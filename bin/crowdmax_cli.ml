@@ -1,0 +1,343 @@
+(* crowdmax: command-line front end.
+
+   Subcommands:
+     allocate    - print the allocation each algorithm computes
+     run         - simulate one MAX computation end to end
+     topk        - top-k by successive MAX passes with answer reuse
+     frontier    - the cost-latency Pareto frontier of a budget sweep
+     estimate    - run the Sec. 6.1 latency-estimation pipeline
+     experiment  - regenerate a paper figure (fig11a .. fig15) *)
+
+open Cmdliner
+module Model = Crowdmax_latency.Model
+module Problem = Crowdmax_core.Problem
+module Tdp = Crowdmax_core.Tdp
+module Allocation = Crowdmax_core.Allocation
+module Heuristics = Crowdmax_core.Heuristics
+module Selection = Crowdmax_selection.Selection
+module Engine = Crowdmax_runtime.Engine
+module X = Crowdmax_experiments
+
+(* --- shared arguments -------------------------------------------------- *)
+
+let elements_arg =
+  Arg.(
+    value & opt int 500
+    & info [ "n"; "elements" ] ~docv:"N" ~doc:"Collection size c0.")
+
+let budget_arg =
+  Arg.(
+    value & opt int 4000
+    & info [ "b"; "budget" ] ~docv:"B" ~doc:"Question budget b.")
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+let runs_arg =
+  Arg.(
+    value & opt int 20
+    & info [ "runs" ] ~docv:"RUNS" ~doc:"Replicated runs to average over.")
+
+let delta_arg =
+  Arg.(
+    value & opt float 239.0
+    & info [ "delta" ] ~docv:"D" ~doc:"Latency overhead per round (seconds).")
+
+let alpha_arg =
+  Arg.(
+    value & opt float 0.06
+    & info [ "alpha" ] ~docv:"A" ~doc:"Latency per question (seconds).")
+
+let p_arg =
+  Arg.(
+    value & opt float 1.0
+    & info [ "p" ] ~docv:"P" ~doc:"Latency exponent: L = delta + alpha*q^P.")
+
+let model_of delta alpha p =
+  if p = 1.0 then Model.linear ~delta ~alpha else Model.power ~delta ~alpha ~p
+
+let selection_arg =
+  let all = List.map (fun s -> (s.Selection.name, s)) Selection.all in
+  Arg.(
+    value
+    & opt (enum all) Selection.tournament
+    & info [ "selection" ] ~docv:"SEL"
+        ~doc:
+          (Printf.sprintf "Question selection algorithm: %s."
+             (String.concat ", " (List.map fst all))))
+
+(* --- allocate ----------------------------------------------------------- *)
+
+let json_flag =
+  Arg.(value & flag & info [ "json" ] ~doc:"Emit machine-readable JSON.")
+
+let allocate_cmd =
+  let run elements budget delta alpha p json =
+    let model = model_of delta alpha p in
+    let problem = Problem.create ~elements ~budget ~latency:model in
+    let sol = Tdp.solve problem in
+    let heuristic_rows =
+      List.map
+        (fun Heuristics.{ name; allocate } ->
+          let alloc = allocate ~elements ~budget in
+          (name, alloc, Allocation.predicted_latency alloc model))
+        Heuristics.all
+    in
+    if json then begin
+      let module J = Crowdmax_util.Json in
+      let alloc_json a = J.List (List.map J.int (Allocation.round_budgets a)) in
+      let doc =
+        J.Obj
+          [
+            ("elements", J.int elements);
+            ("budget", J.int budget);
+            ( "tdp",
+              J.Obj
+                [
+                  ("rounds", alloc_json sol.Tdp.allocation);
+                  ("sequence", J.List (List.map J.int sol.Tdp.sequence));
+                  ("latency_seconds", J.Float sol.Tdp.latency);
+                  ("questions_used", J.int sol.Tdp.questions_used);
+                ] );
+            ( "heuristics",
+              J.Obj
+                (List.map
+                   (fun (name, alloc, lat) ->
+                     ( name,
+                       J.Obj
+                         [
+                           ("rounds", alloc_json alloc);
+                           ("latency_seconds", J.Float lat);
+                         ] ))
+                   heuristic_rows) );
+          ]
+      in
+      print_endline (J.to_string ~pretty:true doc)
+    end
+    else begin
+      Format.printf "%a@." Problem.pp problem;
+      Format.printf
+        "tDP: rounds %a  (sequence: %s; predicted latency %.1f s; uses %d of %d questions)@."
+        Allocation.pp sol.Tdp.allocation
+        (String.concat " -> " (List.map string_of_int sol.Tdp.sequence))
+        sol.Tdp.latency sol.Tdp.questions_used budget;
+      List.iter
+        (fun (name, alloc, lat) ->
+          Format.printf "%s: rounds %a  (predicted latency %.1f s)@." name
+            Allocation.pp alloc lat)
+        heuristic_rows
+    end
+  in
+  let term =
+    Term.(
+      const run $ elements_arg $ budget_arg $ delta_arg $ alpha_arg $ p_arg
+      $ json_flag)
+  in
+  Cmd.v
+    (Cmd.info "allocate"
+       ~doc:"Print the round allocation each budget-allocation algorithm computes.")
+    term
+
+(* --- topk ----------------------------------------------------------------- *)
+
+let topk_cmd =
+  let k_arg =
+    Arg.(value & opt int 3 & info [ "k" ] ~docv:"K" ~doc:"How many leaders to extract.")
+  in
+  let run elements budget delta alpha p seed k selection =
+    let model = model_of delta alpha p in
+    let problem = Problem.create ~elements ~budget ~latency:model in
+    let rng = Crowdmax_util.Rng.create seed in
+    let truth = Crowdmax_crowd.Ground_truth.random rng elements in
+    let r = Crowdmax_topk.Topk.run rng ~k ~problem ~selection truth in
+    Format.printf "top-%d of %d (best first): %s%s@." k elements
+      (String.concat ", " (List.map string_of_int r.Crowdmax_topk.Topk.ranking))
+      (if r.Crowdmax_topk.Topk.exact then "" else "  (inexact: budget ran dry)");
+    Format.printf "%d questions, %d rounds, %.1f s@."
+      r.Crowdmax_topk.Topk.questions_posted r.Crowdmax_topk.Topk.rounds_run
+      r.Crowdmax_topk.Topk.total_latency;
+    List.iter
+      (fun pr ->
+        Format.printf "  pass %d: #%d from %d candidates (%d q, %.0f s)@."
+          (pr.Crowdmax_topk.Topk.pass_index + 1) pr.Crowdmax_topk.Topk.extracted
+          pr.Crowdmax_topk.Topk.candidates pr.Crowdmax_topk.Topk.questions
+          pr.Crowdmax_topk.Topk.latency)
+      r.Crowdmax_topk.Topk.passes
+  in
+  let term =
+    Term.(
+      const run $ elements_arg $ budget_arg $ delta_arg $ alpha_arg $ p_arg
+      $ seed_arg $ k_arg $ selection_arg)
+  in
+  Cmd.v
+    (Cmd.info "topk"
+       ~doc:"Find the top-k elements by successive MAX passes with answer reuse.")
+    term
+
+(* --- frontier --------------------------------------------------------------- *)
+
+let frontier_cmd =
+  let price_arg =
+    Arg.(
+      value & opt float 0.01
+      & info [ "price" ] ~docv:"USD" ~doc:"Dollars per raw answer.")
+  in
+  let votes_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "votes" ] ~docv:"V" ~doc:"RWL repetitions per question.")
+  in
+  let run elements delta alpha p price votes json =
+    let model = model_of delta alpha p in
+    let pricing =
+      Crowdmax_core.Cost.create_pricing ~per_question:price
+        ~votes_per_question:votes
+    in
+    let budgets =
+      let lo = elements - 1 in
+      List.sort_uniq compare
+        (lo
+        :: List.concat_map
+             (fun m -> [ m * elements ])
+             [ 2; 3; 4; 6; 8; 12; 16; 24; 32 ])
+    in
+    let pts =
+      Crowdmax_core.Cost.frontier ~pricing ~latency:model ~elements ~budgets ()
+    in
+    if json then begin
+      let module J = Crowdmax_util.Json in
+      print_endline
+        (J.to_string ~pretty:true
+           (J.List
+              (List.map
+                 (fun pt ->
+                   J.Obj
+                     [
+                       ("budget", J.int pt.Crowdmax_core.Cost.budget);
+                       ("dollars", J.Float pt.Crowdmax_core.Cost.dollars);
+                       ("latency_seconds", J.Float pt.Crowdmax_core.Cost.latency);
+                     ])
+                 pts)))
+    end
+    else begin
+      let table =
+        Crowdmax_util.Table.create
+          ~title:
+            (Printf.sprintf "cost-latency frontier, c0 = %d ($%.3g/answer, %d votes)"
+               elements price votes)
+          [ ("budget", Crowdmax_util.Table.Right);
+            ("spend ($)", Crowdmax_util.Table.Right);
+            ("optimal latency (s)", Crowdmax_util.Table.Right) ]
+      in
+      List.iter
+        (fun pt ->
+          Crowdmax_util.Table.add_row table
+            [
+              string_of_int pt.Crowdmax_core.Cost.budget;
+              Printf.sprintf "%.2f" pt.Crowdmax_core.Cost.dollars;
+              Printf.sprintf "%.1f" pt.Crowdmax_core.Cost.latency;
+            ])
+        pts;
+      Crowdmax_util.Table.print table
+    end
+  in
+  let term =
+    Term.(
+      const run $ elements_arg $ delta_arg $ alpha_arg $ p_arg $ price_arg
+      $ votes_arg $ json_flag)
+  in
+  Cmd.v
+    (Cmd.info "frontier"
+       ~doc:"Print the cost-latency Pareto frontier a budget sweep traces out.")
+    term
+
+(* --- run ----------------------------------------------------------------- *)
+
+let run_cmd =
+  let run elements budget delta alpha p seed runs selection =
+    let model = model_of delta alpha p in
+    let problem = Problem.create ~elements ~budget ~latency:model in
+    let sol = Tdp.solve problem in
+    let cfg =
+      Engine.config ~allocation:sol.Tdp.allocation ~selection
+        ~latency_model:model ()
+    in
+    let agg = Engine.replicate ~runs ~seed cfg ~elements in
+    Format.printf "%a, selection = %s@." Problem.pp problem
+      selection.Selection.name;
+    Format.printf "allocation: %a@." Allocation.pp sol.Tdp.allocation;
+    Format.printf
+      "mean latency %.1f s (stddev %.1f); singleton %.0f%%; correct %.0f%%; mean questions %.0f; mean rounds %.1f@."
+      agg.Engine.mean_latency agg.Engine.stddev_latency
+      (100.0 *. agg.Engine.singleton_rate)
+      (100.0 *. agg.Engine.correct_rate)
+      agg.Engine.mean_questions agg.Engine.mean_rounds
+  in
+  let term =
+    Term.(
+      const run $ elements_arg $ budget_arg $ delta_arg $ alpha_arg $ p_arg
+      $ seed_arg $ runs_arg $ selection_arg)
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:"Simulate MAX computations with the tDP allocation and report aggregates.")
+    term
+
+(* --- estimate ------------------------------------------------------------ *)
+
+let estimate_cmd =
+  let run runs seed =
+    X.Fig11a.print (X.Fig11a.run ~runs_per_size:runs ~seed ())
+  in
+  let term = Term.(const run $ runs_arg $ seed_arg) in
+  Cmd.v
+    (Cmd.info "estimate"
+       ~doc:"Estimate L(q) from the simulated platform (Sec. 6.1 pipeline).")
+    term
+
+(* --- experiment ---------------------------------------------------------- *)
+
+let experiment_cmd =
+  let figures =
+    [
+      ("fig11a", `Fig11a); ("fig11b", `Fig11b); ("fig12", `Fig12);
+      ("fig13a", `Fig13a); ("fig13b", `Fig13b); ("fig14a", `Fig14a);
+      ("fig14b", `Fig14b); ("fig15", `Fig15);
+    ]
+  in
+  let figure_arg =
+    Arg.(
+      required
+      & pos 0 (some (enum figures)) None
+      & info [] ~docv:"FIGURE"
+          ~doc:
+            (Printf.sprintf "Which figure to regenerate: %s."
+               (String.concat ", " (List.map fst figures))))
+  in
+  let run figure runs seed =
+    match figure with
+    | `Fig11a -> X.Fig11a.print (X.Fig11a.run ~seed ())
+    | `Fig11b -> X.Fig11b.print (X.Fig11b.run ~seed ())
+    | `Fig12 -> X.Fig12.print (X.Fig12.run ~runs ~seed ())
+    | `Fig13a -> X.Fig13.print (X.Fig13.run_a ~runs ~seed ())
+    | `Fig13b -> X.Fig13.print (X.Fig13.run_b ~runs ~seed ())
+    | `Fig14a -> X.Fig14.print_a (X.Fig14.run_a ~runs ~seed ())
+    | `Fig14b -> X.Fig14.print_b (X.Fig14.run_b ())
+    | `Fig15 -> X.Fig15.print (X.Fig15.run ())
+  in
+  let term = Term.(const run $ figure_arg $ runs_arg $ seed_arg) in
+  Cmd.v
+    (Cmd.info "experiment"
+       ~doc:"Regenerate a figure of the paper's evaluation section.")
+    term
+
+let () =
+  let info =
+    Cmd.info "crowdmax" ~version:"1.0.0"
+      ~doc:"Crowdsourced MAX with optimal-latency budget allocation (tDP, SIGMOD 2015)."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ allocate_cmd; run_cmd; topk_cmd; frontier_cmd; estimate_cmd;
+            experiment_cmd ]))

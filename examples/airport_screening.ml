@@ -1,0 +1,77 @@
+(* A latency-critical scenario from the paper's introduction: ranking
+   which of a set of flagged passenger photos most resembles a watchlist
+   subject, where the answer is needed before boarding closes.
+
+   The example sweeps the time budget (deadline) and shows, for each
+   deadline, the largest collection each allocation strategy can handle:
+   tDP's deadline-aware allocation dominates because, unlike the
+   heuristics, it adapts the number of rounds to the latency function.
+
+   Run with:  dune exec examples/airport_screening.exe *)
+
+module Model = Crowdmax_latency.Model
+module Problem = Crowdmax_core.Problem
+module Tdp = Crowdmax_core.Tdp
+module Heuristics = Crowdmax_core.Heuristics
+module Allocation = Crowdmax_core.Allocation
+module Table = Crowdmax_util.Table
+
+(* Expert review pool: long per-round overhead (verification protocol),
+   modest per-question cost. *)
+let latency = Model.linear ~delta:90.0 ~alpha:1.5
+
+(* Predicted completion time of an allocation under the model. *)
+let finish_time alloc = Allocation.predicted_latency alloc latency
+
+(* Largest c0 (by doubling + binary search) whose optimal-latency plan
+   beats the deadline, given budget 8 * c0. *)
+let max_collection_for deadline allocate =
+  let fits c0 =
+    match allocate ~elements:c0 ~budget:(8 * c0) with
+    | alloc -> finish_time alloc <= deadline
+    | exception Invalid_argument _ -> false
+  in
+  if not (fits 2) then 0
+  else begin
+    let hi = ref 2 in
+    while fits (!hi * 2) && !hi < 4096 do
+      hi := !hi * 2
+    done;
+    let lo = ref !hi and probe = ref (!hi * 2) in
+    (* binary search in (lo, probe] *)
+    while !probe - !lo > 1 do
+      let mid = (!lo + !probe) / 2 in
+      if fits mid then lo := mid else probe := mid
+    done;
+    !lo
+  end
+
+let tdp_allocate ~elements ~budget =
+  (Tdp.solve (Problem.create ~elements ~budget ~latency)).Tdp.allocation
+
+let () =
+  Format.printf
+    "Airport screening: biggest photo collection resolvable before the deadline@.";
+  Format.printf "(latency per round: %a; budget 8 questions/photo)@.@." Model.pp
+    latency;
+  let deadlines = [ 300.0; 600.0; 1200.0; 2400.0 ] in
+  let table =
+    Table.create
+      [ ("deadline", Table.Right); ("tDP", Table.Right); ("HE", Table.Right);
+        ("HF", Table.Right); ("uHE", Table.Right); ("uHF", Table.Right) ]
+  in
+  List.iter
+    (fun deadline ->
+      let row =
+        Printf.sprintf "%.0f s" deadline
+        :: List.map
+             (fun allocate -> string_of_int (max_collection_for deadline allocate))
+             (tdp_allocate
+              :: List.map (fun h -> h.Heuristics.allocate) Heuristics.all)
+      in
+      Table.add_row table row)
+    deadlines;
+  Table.print table;
+  Format.printf
+    "@.With a 10-minute deadline, tDP clears a collection %s@."
+    "the halving heuristics cannot touch - extra rounds cost 90 s each."

@@ -1,0 +1,68 @@
+(* The paper's introduction scenario: one day before the election, find
+   the best of 1000 candidate responses to an opponent's attack.
+
+   This example contrasts the two extreme strategies from Sec. 1 with
+   the tDP allocation, under the latency function estimated from the
+   (simulated) platform, and shows why neither extreme is optimal:
+   one-question-at-a-time minimizes questions but takes ~1000 rounds of
+   overhead; everything-in-one-round minimizes rounds but posts a batch
+   far bigger than the worker pool can absorb quickly.
+
+   Run with:  dune exec examples/debate_response.exe *)
+
+module Model = Crowdmax_latency.Model
+module Problem = Crowdmax_core.Problem
+module Tdp = Crowdmax_core.Tdp
+module Allocation = Crowdmax_core.Allocation
+module Selection = Crowdmax_selection.Selection
+module Engine = Crowdmax_runtime.Engine
+module Ground_truth = Crowdmax_crowd.Ground_truth
+module Ints = Crowdmax_util.Ints
+module Rng = Crowdmax_util.Rng
+
+let responses = 1000
+
+(* A convex latency function: small batches are fine, huge batches
+   saturate the pool (Sec. 6.6). *)
+let latency = Model.power ~delta:120.0 ~alpha:0.05 ~p:1.3
+
+let hours s = s /. 3600.0
+
+let describe name allocation =
+  let rng = Rng.create 7 in
+  let truth = Ground_truth.random rng responses in
+  let cfg =
+    Engine.config ~allocation ~selection:Selection.tournament
+      ~latency_model:latency ()
+  in
+  let r = Engine.run rng cfg truth in
+  Format.printf "%-28s %2d rounds, %6d questions, %7.2f hours (%s)@." name
+    r.Engine.rounds_run r.Engine.questions_posted
+    (hours r.Engine.total_latency)
+    (if r.Engine.correct then "correct" else "WRONG")
+
+let () =
+  Format.printf "Choosing the best of %d debate responses@.@." responses;
+
+  (* Extreme 1: one question at a time - 999 rounds. *)
+  let one_at_a_time =
+    Allocation.of_round_budgets (List.init (responses - 1) (fun _ -> 1))
+  in
+  describe "one question per round:" one_at_a_time;
+
+  (* Extreme 2: the complete tournament in a single round. *)
+  let single_round =
+    Allocation.of_round_budgets [ Ints.choose2 responses ]
+  in
+  describe "everything in one round:" single_round;
+
+  (* tDP with a generous budget: it will pick the sweet spot, and spend
+     only as much of the budget as actually helps. *)
+  let budget = 50_000 in
+  let problem = Problem.create ~elements:responses ~budget ~latency in
+  let sol = Tdp.solve problem in
+  Format.printf "@.tDP (budget %d): allocation %a@." budget Allocation.pp
+    sol.Tdp.allocation;
+  describe "tDP allocation:" sol.Tdp.allocation;
+  Format.printf "@.tDP chose to use %d of the %d available questions.@."
+    sol.Tdp.questions_used budget

@@ -1,0 +1,54 @@
+(* Full SORT with the crowd: build the complete price ladder of a small
+   car collection (not just the most expensive one), comparing the
+   one-round and round-per-pass strategies under two platforms.
+
+   Run with:  dune exec examples/price_ladder.exe *)
+
+module Sort = Crowdmax_sort.Sort
+module Model = Crowdmax_latency.Model
+module G = Crowdmax_crowd.Ground_truth
+module Rng = Crowdmax_util.Rng
+module Table = Crowdmax_util.Table
+
+let cars = 40
+
+let () =
+  let rng = Rng.create 31415 in
+  let truth = G.with_values rng cars ~lo:8_000.0 ~hi:180_000.0 in
+  Format.printf "Sorting %d cars by price with pairwise crowd questions@.@."
+    cars;
+  let platforms =
+    [
+      ("big worker pool  (L = 239 + 0.06 q)", Model.paper_mturk);
+      ("tiny worker pool (L = 15 + 4 q)", Model.linear ~delta:15.0 ~alpha:4.0);
+    ]
+  in
+  List.iter
+    (fun (label, latency) ->
+      Format.printf "%s@." label;
+      let table =
+        Table.create
+          [ ("strategy", Table.Left); ("questions", Table.Right);
+            ("rounds", Table.Right); ("time", Table.Right);
+            ("sorted?", Table.Right) ]
+      in
+      List.iter
+        (fun strategy ->
+          let r = Sort.run rng ~strategy ~latency truth in
+          Table.add_row table
+            [
+              Sort.strategy_name strategy;
+              string_of_int r.Sort.questions_posted;
+              string_of_int r.Sort.rounds_run;
+              Printf.sprintf "%.0f s" r.Sort.total_latency;
+              (if r.Sort.correct then "yes" else "NO");
+            ])
+        [ Sort.All_pairs; Sort.Odd_even; Sort.Odd_even_skip ];
+      Table.print table;
+      print_newline ())
+    platforms;
+  let best = G.sorted_desc truth in
+  Format.printf "most expensive three: #%d ($%.0f), #%d ($%.0f), #%d ($%.0f)@."
+    best.(0) (G.value truth best.(0))
+    best.(1) (G.value truth best.(1))
+    best.(2) (G.value truth best.(2))

@@ -1,0 +1,53 @@
+(* Quickstart: find the MAX of a small collection with the tDP
+   allocation and tournament question selection.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+module Model = Crowdmax_latency.Model
+module Problem = Crowdmax_core.Problem
+module Tdp = Crowdmax_core.Tdp
+module Allocation = Crowdmax_core.Allocation
+module Selection = Crowdmax_selection.Selection
+module Engine = Crowdmax_runtime.Engine
+module Ground_truth = Crowdmax_crowd.Ground_truth
+module Rng = Crowdmax_util.Rng
+
+let () =
+  (* 1. Describe the platform: each round costs 60 s of overhead plus
+     half a second per question posted. *)
+  let latency = Model.linear ~delta:60.0 ~alpha:0.5 in
+
+  (* 2. Describe the task: 100 items, at most 300 pairwise questions. *)
+  let problem = Problem.create ~elements:100 ~budget:300 ~latency in
+
+  (* 3. Ask tDP for the latency-optimal split of the budget into rounds. *)
+  let solution = Tdp.solve problem in
+  Format.printf "instance: %a@." Problem.pp problem;
+  Format.printf "tDP allocation: %a (candidate counts: %s)@."
+    Allocation.pp solution.Tdp.allocation
+    (String.concat " -> " (List.map string_of_int solution.Tdp.sequence));
+  Format.printf "predicted latency: %.1f s, questions used: %d of %d@."
+    solution.Tdp.latency solution.Tdp.questions_used problem.Problem.budget;
+
+  (* 4. Execute: the engine plays the rounds against a hidden true
+     order (error-free workers here; see noisy_crowd.ml for errors). *)
+  let rng = Rng.create 2024 in
+  let truth = Ground_truth.random rng 100 in
+  let cfg =
+    Engine.config ~allocation:solution.Tdp.allocation
+      ~selection:Selection.tournament ~latency_model:latency ()
+  in
+  let result = Engine.run rng cfg truth in
+  Format.printf "found element #%d in %d rounds and %.1f s (%s, %s)@."
+    result.Engine.chosen result.Engine.rounds_run result.Engine.total_latency
+    (if result.Engine.correct then "correct" else "WRONG")
+    (if result.Engine.singleton then "singleton termination" else "tie-broken");
+  Format.printf "round-by-round:@.";
+  List.iter
+    (fun r ->
+      Format.printf
+        "  round %d: %d candidates -> %d, %d questions, %.1f s@."
+        (r.Engine.round_index + 1) r.Engine.candidates_before
+        r.Engine.candidates_after r.Engine.distinct_questions
+        r.Engine.round_latency)
+    result.Engine.trace

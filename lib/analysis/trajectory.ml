@@ -1,0 +1,71 @@
+module T = Crowdmax_tournament.Tournament
+module ERC = Crowdmax_graph.Expected_rc
+module Allocation = Crowdmax_core.Allocation
+
+type prediction = {
+  counts : float list;
+  rounds_used : int;
+  questions_used : int;
+  reaches_singleton : bool;
+}
+
+let tournament ~elements allocation =
+  if elements < 1 then invalid_arg "Trajectory.tournament: elements < 1";
+  let rec walk c questions rounds acc = function
+    | [] ->
+        {
+          counts = List.rev acc;
+          rounds_used = rounds;
+          questions_used = questions;
+          reaches_singleton = c <= 1;
+        }
+    | b :: rest ->
+        if c <= 1 then
+          {
+            counts = List.rev acc;
+            rounds_used = rounds;
+            questions_used = questions;
+            reaches_singleton = true;
+          }
+        else begin
+          match T.min_groups_within_budget c b with
+          | None ->
+              (* the round can't afford a single question; engine skips *)
+              walk c questions rounds acc rest
+          | Some groups ->
+              let asked = T.questions c groups in
+              walk groups (questions + asked) (rounds + 1)
+                (float_of_int groups :: acc)
+                rest
+        end
+  in
+  walk elements 0 0 [] (Allocation.round_budgets allocation)
+
+let near_regular ~elements allocation =
+  if elements < 1 then invalid_arg "Trajectory.near_regular: elements < 1";
+  let rec walk c questions rounds acc = function
+    | [] ->
+        {
+          counts = List.rev acc;
+          rounds_used = rounds;
+          questions_used = questions;
+          reaches_singleton = c <= 1.5;
+        }
+    | b :: rest ->
+        if c <= 1.5 then
+          {
+            counts = List.rev acc;
+            rounds_used = rounds;
+            questions_used = questions;
+            reaches_singleton = true;
+          }
+        else begin
+          (* a near-regular graph on ~c nodes can host at most choose2
+             of the rounded count; the engine pads the rest *)
+          let nodes = int_of_float (Float.round c) in
+          let edges = min b (Crowdmax_util.Ints.choose2 nodes) in
+          let expected = ERC.lower_bound ~nodes ~edges in
+          walk expected (questions + b) (rounds + 1) (expected :: acc) rest
+        end
+  in
+  walk (float_of_int elements) 0 0 [] (Allocation.round_budgets allocation)

@@ -1,0 +1,41 @@
+(** Predicted candidate-count trajectories for a given allocation
+    (Appendix A's average-case lens, made operational).
+
+    Two predictors:
+
+    - {!tournament}: with tournament formation the survivor count per
+      round is {e deterministic} — the fewest cliques the round budget
+      allows — so the whole trajectory, including which rounds actually
+      run, follows by iteration.
+    - {!near_regular}: for selectors that spread questions evenly
+      without clique structure (SPREAD), Lemma 4 gives the expected
+      survivors [E(R) = sum 1/(d_v+1)] of a near-regular graph; the
+      trajectory iterates that expectation (a mean-field approximation:
+      expectations are propagated as if exact, which the tests show
+      tracks simulation closely).
+
+    Both stop early when at most one candidate remains, mirroring the
+    engine. *)
+
+type prediction = {
+  counts : float list;
+      (** candidate counts after each executed round; first entry is the
+          count after round 1 *)
+  rounds_used : int;  (** rounds actually executed *)
+  questions_used : int;  (** total questions the executed rounds post *)
+  reaches_singleton : bool;
+}
+
+val tournament :
+  elements:int -> Crowdmax_core.Allocation.t -> prediction
+(** Exact for tournament formation without cross-clique extras (i.e.
+    budgets that match Q exactly, as tDP's do). With extras the real
+    engine can only eliminate more, so this is a safe upper bound on
+    survivor counts. Raises [Invalid_argument] if [elements < 1]. *)
+
+val near_regular :
+  elements:int -> Crowdmax_core.Allocation.t -> prediction
+(** Mean-field expectation under near-regular question graphs
+    (Lemma 5's optimal shape). Fractional counts are propagated;
+    [reaches_singleton] tests [<= 1.5] at the end (the engine's
+    singleton check rounds to the nearest achievable integer). *)

@@ -1,0 +1,80 @@
+module U = Crowdmax_graph.Undirected
+module MI = Crowdmax_graph.Max_ind
+module T = Crowdmax_tournament.Tournament
+module Model = Crowdmax_latency.Model
+module Problem = Crowdmax_core.Problem
+module Tdp = Crowdmax_core.Tdp
+
+type plan = U.t list
+
+let worst_case_survivors g = List.length (MI.exact g)
+
+let validate plan =
+  match plan with
+  | [] -> Error "empty plan"
+  | first :: _ ->
+      if U.size first < 1 then Error "first round has no nodes"
+      else begin
+        let rec walk = function
+          | [] -> Ok ()
+          | [ last ] ->
+              if worst_case_survivors last = 1 then Ok ()
+              else Error "final round's worst case leaves more than one candidate"
+          | g :: (next :: _ as rest) ->
+              let survivors = worst_case_survivors g in
+              if U.size next <> survivors then
+                Error
+                  (Printf.sprintf
+                     "round size mismatch: maxRC = %d but next round has %d nodes"
+                     survivors (U.size next))
+              else walk rest
+        in
+        walk plan
+      end
+
+let questions plan = List.fold_left (fun acc g -> acc + U.edge_count g) 0 plan
+
+let worst_latency model plan =
+  List.fold_left (fun acc g -> acc +. Model.eval model (U.edge_count g)) 0.0 plan
+
+let complete_tournament_graph c_prev c_next =
+  (* G_T(c_prev, c_next) over nodes 0..c_prev-1, deterministic layout. *)
+  let assignment = T.assign_seeded (Array.init c_prev (fun i -> i)) c_next in
+  T.to_undirected c_prev assignment
+
+let tournament_replacement plan =
+  (match validate plan with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("Worst_case.tournament_replacement: " ^ e));
+  List.map
+    (fun g -> complete_tournament_graph (U.size g) (worst_case_survivors g))
+    plan
+
+type certificate = {
+  plan_questions : int;
+  plan_latency : float;
+  replaced_questions : int;
+  replaced_latency : float;
+  optimal_latency : float;
+}
+
+let theorem4_certificate model plan =
+  (match validate plan with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("Worst_case.theorem4_certificate: " ^ e));
+  let replaced = tournament_replacement plan in
+  let c0 = U.size (List.hd plan) in
+  let budget = questions plan in
+  let optimal_latency =
+    if c0 = 1 then 0.0
+    else
+      (Tdp.solve (Problem.create ~elements:c0 ~budget ~latency:model))
+        .Tdp.latency
+  in
+  {
+    plan_questions = budget;
+    plan_latency = worst_latency model plan;
+    replaced_questions = questions replaced;
+    replaced_latency = worst_latency model replaced;
+    optimal_latency;
+  }

@@ -1,0 +1,58 @@
+(** The Generalized Worst MinLatency machinery of Sec. 4.1, made
+    constructive.
+
+    A {e plan} is a sequence of arbitrary question graphs
+    [(G_i)], one per round (Problem 2): round [i+1]'s node count must
+    equal the worst-case number of survivors of round [i] — the size of
+    [G_i]'s maximum remaining-candidate set, which by Theorem 2 equals
+    its maximum independent set. This module validates plans, prices
+    their worst-case latency, applies Lemma 3's tournament replacement
+    (swap each graph for the tournament graph with the same worst case,
+    never increasing any round's question count), and certifies
+    Theorem 4 by comparing any plan against the tDP optimum.
+
+    maxRC sets are computed exactly with the branch-and-bound
+    independent-set solver, so plans are limited to the graph sizes that
+    solver handles comfortably (tens of nodes — ample for theory
+    checking). *)
+
+type plan = Crowdmax_graph.Undirected.t list
+(** Round graphs, first round first. Nodes of each graph are
+    [0 .. c_i - 1]; the identity of survivors across rounds is
+    irrelevant to worst-case analysis (only counts matter). *)
+
+val validate : plan -> (unit, string) result
+(** Checks Problem 2's constraints: the plan is non-empty, each round's
+    node count equals the previous round's [|maxRC|], and the final
+    round's [|maxRC|] is 1. *)
+
+val questions : plan -> int
+(** Total edge count (the budget the plan consumes). *)
+
+val worst_latency : Crowdmax_latency.Model.t -> plan -> float
+(** Sum of [L(|E_i|)] — Eq. (8), the worst-case objective. *)
+
+val worst_case_survivors : Crowdmax_graph.Undirected.t -> int
+(** [|maxRC| = |maxIND|] of one round graph (Theorem 2). *)
+
+val tournament_replacement : plan -> plan
+(** Lemma 3: replace every [G_i] by [G_T(|V_i|, |maxRC(G_i)|)]. The
+    result is a valid plan with the same per-round worst cases and
+    edge counts no larger round by round (Theorem 3). Raises
+    [Invalid_argument] if the input fails [validate]. *)
+
+type certificate = {
+  plan_questions : int;
+  plan_latency : float;
+  replaced_questions : int;
+  replaced_latency : float;
+  optimal_latency : float;  (** tDP on the same (c0, plan budget, L) *)
+}
+
+val theorem4_certificate :
+  Crowdmax_latency.Model.t -> plan -> certificate
+(** For a valid plan: price it, price its tournament replacement, and
+    solve tDP for the plan's own element count and question budget. By
+    Theorem 4, [optimal_latency <= replaced_latency <= plan_latency]
+    for any non-decreasing [L] (property-tested). Raises
+    [Invalid_argument] on invalid plans. *)

@@ -1,0 +1,62 @@
+open Crowdmax_util
+
+type t = { round_budgets : int list; count_sequence : int list option }
+
+let of_round_budgets round_budgets =
+  if List.exists (fun b -> b < 1) round_budgets then
+    invalid_arg "Allocation.of_round_budgets: round budget < 1";
+  { round_budgets; count_sequence = None }
+
+let of_count_sequence seq =
+  let rec validate = function
+    | [] -> invalid_arg "Allocation.of_count_sequence: empty sequence"
+    | [ last ] ->
+        if last <> 1 then
+          invalid_arg "Allocation.of_count_sequence: must end at 1"
+    | a :: (b :: _ as rest) ->
+        if b >= a then
+          invalid_arg "Allocation.of_count_sequence: must be strictly decreasing";
+        validate rest
+  in
+  validate seq;
+  let rec budgets = function
+    | a :: (b :: _ as rest) ->
+        Crowdmax_tournament.Tournament.questions a b :: budgets rest
+    | [ _ ] | [] -> []
+  in
+  { round_budgets = budgets seq; count_sequence = Some seq }
+
+let round_budgets t = t.round_budgets
+let rounds t = List.length t.round_budgets
+let count_sequence t = t.count_sequence
+let questions_total t = Ints.sum t.round_budgets
+
+let predicted_latency t model =
+  List.fold_left
+    (fun acc q -> acc +. Crowdmax_latency.Model.eval model q)
+    0.0 t.round_budgets
+
+let within_budget t b = questions_total t <= b
+
+let uniform ~total ~rounds =
+  if rounds < 1 then begin
+    if total > 0 then invalid_arg "Allocation.uniform: rounds < 1"
+    else { round_budgets = []; count_sequence = None }
+  end
+  else if total < rounds then
+    invalid_arg "Allocation.uniform: fewer questions than rounds"
+  else begin
+    let base = total / rounds in
+    let extra = total mod rounds in
+    let budgets = List.init rounds (fun i -> if i < extra then base + 1 else base) in
+    { round_budgets = budgets; count_sequence = None }
+  end
+
+let pp fmt t =
+  Format.fprintf fmt "(%a)"
+    (Format.pp_print_list
+       ~pp_sep:(fun fmt () -> Format.fprintf fmt ", ")
+       Format.pp_print_int)
+    t.round_budgets
+
+let equal a b = a.round_budgets = b.round_budgets

@@ -1,0 +1,47 @@
+(** Budget allocations: the MAX operator's input vector of per-round
+    question counts (Sec. 1).
+
+    A budget allocation algorithm turns [(c0, b, L)] into a vector
+    [(b_1, ..., b_r)]; the question selection algorithm then decides the
+    actual questions of each round within [b_j]. tDP's output is a
+    candidate-count sequence [(c_0, ..., c_r)]; [of_count_sequence]
+    converts it to the question vector [Q(c_0,c_1), ..., Q(c_{r-1},c_r)]
+    and remembers the sequence. *)
+
+type t
+
+val of_round_budgets : int list -> t
+(** Raises [Invalid_argument] if any round budget is [< 1] (an empty
+    round spends latency for nothing and no algorithm in the paper emits
+    one); an empty list is the trivial allocation for [c0 = 1]. *)
+
+val of_count_sequence : int list -> t
+(** [of_count_sequence [c0; c1; ...; 1]] — validates the sequence is
+    strictly decreasing and ends at 1 (Eq. 5), then derives round
+    budgets via the Q-function. [[c0]] alone is only valid as [[1]]. *)
+
+val round_budgets : t -> int list
+val rounds : t -> int
+
+val count_sequence : t -> int list option
+(** The tournament candidate-count sequence, when this allocation was
+    built from one. *)
+
+val questions_total : t -> int
+(** Sum of the round budgets. *)
+
+val predicted_latency : t -> Crowdmax_latency.Model.t -> float
+(** Sum of L over the rounds of the vector — the objective in Eq. (3)
+    when every round of the vector is actually run. *)
+
+val within_budget : t -> int -> bool
+
+val uniform : total:int -> rounds:int -> t
+(** Spread [total] into [rounds] near-equal parts, remainder to the front
+    (the uHE/uHF redistribution). Raises [Invalid_argument] if
+    [rounds < 1] and [total > 0], or [total < rounds] (a round would get
+    zero questions). *)
+
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool
+(** Equality of round-budget vectors. *)

@@ -1,0 +1,32 @@
+open Crowdmax_util
+module Model = Crowdmax_latency.Model
+
+let latency_lower_bound model ~elements =
+  if elements <= 1 then 0.0
+  else begin
+    let overhead = Model.eval model 0 in
+    let need = elements - 1 in
+    let best = ref infinity in
+    for r = 1 to need do
+      let heaviest = Ints.ceil_div need r in
+      let bound =
+        (float_of_int (r - 1) *. overhead) +. Model.eval model heaviest
+      in
+      if bound < !best then best := bound
+    done;
+    !best
+  end
+
+let max_rounds ~elements = max 0 (elements - 1)
+
+let min_rounds_within_budget ~elements ~budget =
+  if not (Problem.is_feasible ~elements ~budget) then None
+  else if elements <= 1 then Some 0
+  else begin
+    (* tDP under L(q) = 1 minimizes the round count exactly. *)
+    let rounds_model = Model.Custom (fun _ -> 1.0) in
+    let sol =
+      Tdp.solve (Problem.create ~elements ~budget ~latency:rounds_model)
+    in
+    Some (int_of_float (Float.round sol.Tdp.latency))
+  end

@@ -1,0 +1,26 @@
+(** Analytical lower bounds on the MinLatency optimum.
+
+    Useful as sanity oracles in tests and as quick feasibility checks
+    before running the DP: any valid plan must ask at least [c0 - 1]
+    questions (Theorem 1) spread over some number of rounds [r], each
+    round costing at least [L(0)] and the heaviest round at least
+    [L(ceil((c0-1)/r))] for a non-decreasing latency function. *)
+
+val latency_lower_bound : Crowdmax_latency.Model.t -> elements:int -> float
+(** [latency_lower_bound l ~elements] is
+    [min over r in 1..elements-1 of (r-1) * L(0) + L(ceil((elements-1)/r))]
+    — a valid lower bound on the optimum of any MinLatency instance with
+    this element count and a non-decreasing [l], regardless of budget.
+    Returns 0 for [elements <= 1]. *)
+
+val max_rounds : elements:int -> int
+(** [elements - 1]: a round that asks no question makes no progress, so
+    no optimal plan exceeds one elimination per round. *)
+
+val min_rounds_within_budget : elements:int -> budget:int -> int option
+(** The fewest rounds any tournament plan can use within the budget —
+    computed exactly by running the tDP itself under the constant
+    latency function [L(q) = 1], whose optimum *is* the round count
+    (this is also how the paper frames the related work that measures
+    latency in rounds). [None] if the instance is infeasible
+    (Theorem 1). *)

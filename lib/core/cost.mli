@@ -1,0 +1,48 @@
+(** The cost dimension (Sec. 1): dollars, not seconds.
+
+    The paper pays $0.01 per answer on MTurk and treats the question
+    budget [b] as the knob that caps spending. This module makes the
+    translation explicit — including the RWL's repetition factor, which
+    multiplies the real money spent per logical question — and computes
+    the cost-latency frontier that a budget sweep traces out (the
+    "skyline" of [19] in the paper's related work). *)
+
+type pricing = {
+  per_question : float;  (** dollars per raw platform answer *)
+  votes_per_question : int;  (** RWL repetition factor (>= 1) *)
+}
+
+val mturk_pricing : pricing
+(** The paper's setup: $0.01 per answer, no repetition. *)
+
+val create_pricing : per_question:float -> votes_per_question:int -> pricing
+(** Raises [Invalid_argument] on negative price or [votes < 1]. *)
+
+val dollars_of_questions : pricing -> int -> float
+(** Money spent posting this many logical questions. *)
+
+val questions_for_dollars : pricing -> float -> int
+(** Largest logical-question budget affordable with this much money. *)
+
+val allocation_cost : pricing -> Allocation.t -> float
+(** Cost of running every round of the allocation. *)
+
+type frontier_point = {
+  budget : int;  (** logical questions allowed *)
+  dollars : float;  (** cost of the questions tDP actually uses *)
+  latency : float;  (** the tDP optimum at this budget *)
+}
+
+val frontier :
+  ?pricing:pricing ->
+  latency:Crowdmax_latency.Model.t ->
+  elements:int ->
+  budgets:int list ->
+  unit ->
+  frontier_point list
+(** For each feasible budget in [budgets], solve tDP and price the
+    questions it actually spends; then drop dominated points (another
+    point at most as expensive and strictly faster, or cheaper and at
+    least as fast). Result is sorted by ascending dollars with strictly
+    decreasing latency — the Pareto frontier of the cost-latency
+    tradeoff. Infeasible budgets ([< elements - 1]) are skipped. *)

@@ -1,0 +1,80 @@
+open Crowdmax_util
+
+let check ~elements ~budget =
+  if elements < 1 then invalid_arg "Heuristics: elements < 1";
+  if not (Problem.is_feasible ~elements ~budget) then
+    invalid_arg "Heuristics: infeasible instance (Theorem 1)"
+
+let halving_rounds c =
+  let rec loop c acc =
+    if c <= 1 then List.rev acc else loop (Ints.ceil_div c 2) ((c / 2) :: acc)
+  in
+  loop c []
+
+(* HE walks forward: while the remaining budget cannot pay for one final
+   all-in tournament (choose2 of the survivors), spend floor(c/2)
+   questions on a halving round; then dump the rest into the last round. *)
+let he ~elements ~budget =
+  check ~elements ~budget;
+  if elements = 1 then Allocation.of_round_budgets []
+  else begin
+    let rec loop c remaining acc =
+      if remaining >= Ints.choose2 c then List.rev (remaining :: acc)
+      else begin
+        let q = c / 2 in
+        loop (Ints.ceil_div c 2) (remaining - q) (q :: acc)
+      end
+    in
+    Allocation.of_round_budgets (loop elements budget [])
+  end
+
+(* HF walks backward: suffix levels are 1, 2, 4, ... candidates; the
+   suffix of halving rounds from 2^k costs 2^k - 1 questions. Stop at the
+   first (smallest) 2^k where one round can bridge c0 -> 2^k within the
+   remaining budget; the first round takes everything not reserved for
+   the suffix. If 2^k reaches c0 first, HF degenerates to pure halving. *)
+let hf ~elements ~budget =
+  check ~elements ~budget;
+  if elements = 1 then Allocation.of_round_budgets []
+  else begin
+    let rec find_level k =
+      let c = 1 lsl k in
+      if c >= elements then None
+      else begin
+        let suffix_cost = c - 1 in
+        let bridge = Crowdmax_tournament.Tournament.questions elements c in
+        if budget - suffix_cost >= bridge then Some (k, budget - suffix_cost)
+        else find_level (k + 1)
+      end
+    in
+    match find_level 0 with
+    | Some (k, first_round) ->
+        let suffix = halving_rounds (1 lsl k) in
+        Allocation.of_round_budgets (first_round :: suffix)
+    | None -> Allocation.of_round_budgets (halving_rounds elements)
+  end
+
+let uniform_of_rounds ~budget r =
+  if r = 0 then Allocation.of_round_budgets []
+  else Allocation.uniform ~total:budget ~rounds:r
+
+let uhe ~elements ~budget =
+  let base = he ~elements ~budget in
+  uniform_of_rounds ~budget (Allocation.rounds base)
+
+let uhf ~elements ~budget =
+  let base = hf ~elements ~budget in
+  uniform_of_rounds ~budget (Allocation.rounds base)
+
+type named = {
+  name : string;
+  allocate : elements:int -> budget:int -> Allocation.t;
+}
+
+let all =
+  [
+    { name = "HE"; allocate = he };
+    { name = "HF"; allocate = hf };
+    { name = "uHE"; allocate = uhe };
+    { name = "uHF"; allocate = uhf };
+  ]

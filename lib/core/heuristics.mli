@@ -1,0 +1,37 @@
+(** The four baseline budget allocators of Sec. 5.1.
+
+    - HE (Heavy End): halve the candidates with one question per pair of
+      elements each round, until the remaining budget suffices for a
+      single final tournament over all survivors; that last round gets
+      the whole remaining budget.
+    - HF (Heavy Front): the mirror image — assume halving rounds at the
+      end, give the first round everything left once one round can
+      bridge from [c0] to the current count.
+    - uHE / uHF: run HE / HF only to learn the round count, then split
+      the budget uniformly across that many rounds (the multiprocessor
+      MAX adaptation of Valiant [21]).
+
+    All four ignore the latency function and always spend the full
+    budget, which is exactly why tDP beats them when L(q) grows
+    (Sec. 6.5-6.6). *)
+
+val he : elements:int -> budget:int -> Allocation.t
+val hf : elements:int -> budget:int -> Allocation.t
+val uhe : elements:int -> budget:int -> Allocation.t
+val uhf : elements:int -> budget:int -> Allocation.t
+(** All raise [Invalid_argument] on infeasible instances
+    ([budget < elements - 1]) or [elements < 1]. For [elements = 1] they
+    return the empty allocation. *)
+
+type named = {
+  name : string;
+  allocate : elements:int -> budget:int -> Allocation.t;
+}
+
+val all : named list
+(** [HE; HF; uHE; uHF] with their paper names, for experiment grids. *)
+
+val halving_rounds : int -> int list
+(** [halving_rounds c] — the per-round question counts of pure halving
+    from [c] down to 1 ([floor(c/2)] questions per round, winners plus a
+    bye advance); the scheme HE/HF build from. *)

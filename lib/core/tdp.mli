@@ -1,0 +1,41 @@
+(** tDP: the dynamic-programming budget allocator (Algorithm 1).
+
+    Solves the MinLatency problem exactly: over all candidate-count
+    sequences [(c_i)] with [c_r = 1] and total questions within budget,
+    minimize [sum L(Q(c_{i-1}, c_i))]. By Theorem 4 the result is also
+    optimal for the Generalized Worst MinLatency problem, where rounds
+    may ask arbitrary question graphs.
+
+    The implementation is the paper's top-down memoization with one
+    refinement: since a pair of elements can meet at most once across a
+    tournament sequence, [OL(q, c) = OL(choose2 c, c)] for
+    [q > choose2 c], so the remaining budget is clamped at [choose2 c].
+    This both bounds the state space for very large budgets (the Fig. 15
+    "pruning" effect) and realizes the paper's budget-limiting behaviour
+    (Figs. 13(b), 14(b)). *)
+
+type solution = {
+  sequence : int list;  (** (c_i): [elements] down to 1 *)
+  allocation : Allocation.t;
+  latency : float;  (** optimal objective value, seconds *)
+  questions_used : int;  (** may be below the budget (Sec. 6.5) *)
+  states_visited : int;  (** memo entries created; Fig. 15 diagnostics *)
+}
+
+val solve : Problem.t -> solution
+(** Optimal solution. The problem is feasible by construction
+    ([Problem.create] enforces Theorem 1). *)
+
+val optimal_latency : Problem.t -> float
+(** Just the objective value. *)
+
+val solve_bottom_up : Problem.t -> solution
+(** Reference implementation filling the full [b x c0] table (no
+    top-down pruning); identical answers, much slower on big budgets —
+    kept for the ablation bench and as an oracle in tests. Intended for
+    small instances. *)
+
+val brute_force : Problem.t -> solution
+(** Exhaustive enumeration of all feasible sequences. Exponential; only
+    for tiny instances (tests). Raises [Invalid_argument] when
+    [elements > 14]. *)

@@ -1,0 +1,60 @@
+open Crowdmax_util
+
+type t = { ranks : int array; values : float array }
+
+let check_permutation ranks =
+  let n = Array.length ranks in
+  let seen = Array.make n false in
+  Array.iter
+    (fun r ->
+      if r < 0 || r >= n || seen.(r) then
+        invalid_arg "Ground_truth: ranks must form a permutation";
+      seen.(r) <- true)
+    ranks
+
+let of_ranks ranks =
+  check_permutation ranks;
+  { ranks = Array.copy ranks; values = Array.map float_of_int ranks }
+
+let random rng n = of_ranks (Rng.permutation rng n)
+
+let with_values rng n ~lo ~hi =
+  if lo <= 0.0 || hi < lo then invalid_arg "Ground_truth.with_values: bad range";
+  let raw =
+    Array.init n (fun _ ->
+        let u = Rng.float rng 1.0 in
+        lo *. exp (u *. log (hi /. lo)))
+  in
+  (* Rank elements by value; perturb exact ties deterministically by id
+     so ranks stay a strict order. *)
+  let order = Array.init n (fun i -> i) in
+  Array.sort (fun a b -> compare (raw.(a), a) (raw.(b), b)) order;
+  let ranks = Array.make n 0 in
+  Array.iteri (fun pos e -> ranks.(e) <- pos) order;
+  { ranks; values = raw }
+
+let size t = Array.length t.ranks
+
+let rank t e =
+  if e < 0 || e >= size t then invalid_arg "Ground_truth.rank: out of range";
+  t.ranks.(e)
+
+let value t e =
+  if e < 0 || e >= size t then invalid_arg "Ground_truth.value: out of range";
+  t.values.(e)
+
+let max_element t =
+  let best = ref 0 in
+  Array.iteri (fun e r -> if r > t.ranks.(!best) then best := e) t.ranks;
+  !best
+
+let better t a b =
+  if a = b then invalid_arg "Ground_truth.better: same element";
+  if rank t a > rank t b then a else b
+
+let compare_elements t a b = compare (rank t a) (rank t b)
+
+let sorted_desc t =
+  let order = Array.init (size t) (fun i -> i) in
+  Array.sort (fun a b -> compare t.ranks.(b) t.ranks.(a)) order;
+  order

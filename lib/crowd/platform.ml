@@ -1,0 +1,152 @@
+open Crowdmax_util
+
+type config = {
+  post_overhead : float;
+  base_rate : float;
+  attract_per_question : float;
+  visibility_exponent : float;
+  burst_seconds : float;
+  tail_rate : float;
+  patience_mean : float;
+  service : Worker.service_model;
+  diurnal_amplitude : float;
+  diurnal_period : float;
+  diurnal_phase : float;
+}
+
+let default_config =
+  {
+    post_overhead = 150.0;
+    base_rate = 0.05;
+    attract_per_question = 0.0007;
+    visibility_exponent = 1.1;
+    burst_seconds = 300.0;
+    tail_rate = 0.02;
+    patience_mean = 8.0;
+    service = Worker.default_service;
+    diurnal_amplitude = 0.0;
+    diurnal_period = 86_400.0;
+    diurnal_phase = 0.0;
+  }
+
+type t = { cfg : config }
+
+let create ?(config = default_config) () = { cfg = config }
+let config t = t.cfg
+
+(* One simulated worker sitting: how many questions they will answer
+   before switching tasks (geometric, mean patience_mean, at least 1). *)
+let draw_patience rng cfg =
+  let p = 1.0 /. Float.max 1.0 cfg.patience_mean in
+  let rec loop k = if Rng.bernoulli rng p then k else loop (k + 1) in
+  loop 1
+
+(* Time-of-day modulation of worker availability. *)
+let diurnal_factor cfg t =
+  if cfg.diurnal_amplitude <= 0.0 then 1.0
+  else
+    1.0
+    +. cfg.diurnal_amplitude
+       *. sin (2.0 *. Float.pi *. ((t +. cfg.diurnal_phase) /. cfg.diurnal_period))
+
+let burst_rate_of cfg q =
+  cfg.base_rate
+  +. (cfg.attract_per_question *. (float_of_int q ** cfg.visibility_exponent))
+
+(* Arrival process: Poisson with rate [burst_rate q] while the batch is
+   visible, then [tail_rate] forever, both scaled by the diurnal factor.
+   Returns the next arrival strictly after [t]. The steady case keeps
+   the direct exponential draws; the diurnal case uses thinning against
+   the peak-rate envelope. *)
+let next_arrival rng cfg q t =
+  let burst_rate = burst_rate_of cfg q in
+  let burst_end = cfg.post_overhead +. cfg.burst_seconds in
+  if cfg.diurnal_amplitude <= 0.0 then begin
+    let t = Float.max t cfg.post_overhead in
+    if t < burst_end then begin
+      let dt = Rng.exponential rng (1.0 /. burst_rate) in
+      if t +. dt <= burst_end then t +. dt
+      else begin
+        (* Memorylessness: restart the draw at the tail rate from the
+           moment the burst ends. *)
+        let dt = Rng.exponential rng (1.0 /. cfg.tail_rate) in
+        burst_end +. dt
+      end
+    end
+    else t +. Rng.exponential rng (1.0 /. cfg.tail_rate)
+  end
+  else begin
+    let base t =
+      if t < cfg.post_overhead then 0.0
+      else if t < burst_end then burst_rate
+      else cfg.tail_rate
+    in
+    let envelope =
+      Float.max burst_rate cfg.tail_rate *. (1.0 +. cfg.diurnal_amplitude)
+    in
+    let rec thin t =
+      let t = t +. Rng.exponential rng (1.0 /. envelope) in
+      let rate = base t *. diurnal_factor cfg t in
+      if Rng.bernoulli rng (rate /. envelope) then t else thin t
+    in
+    thin t
+  end
+
+type sim_event = Arrival of float | Completion of float * int * int
+(* Completion (time, question index, worker patience remaining) *)
+
+let event_time = function Arrival t -> t | Completion (t, _, _) -> t
+
+let simulate t rng q ~on_complete =
+  let cfg = t.cfg in
+  if q < 0 then invalid_arg "Platform: negative batch size";
+  if cfg.tail_rate <= 0.0 then invalid_arg "Platform: tail_rate must be > 0";
+  if q = 0 then cfg.post_overhead
+  else begin
+    let events =
+      Heap.create ~cmp:(fun a b -> compare (event_time a) (event_time b))
+    in
+    Heap.push events (Arrival (next_arrival rng cfg q 0.0));
+    let next_question = ref 0 in
+    let answered = ref 0 in
+    let last_time = ref cfg.post_overhead in
+    let take_question time patience =
+      if !next_question < q && patience > 0 then begin
+        let idx = !next_question in
+        incr next_question;
+        let done_at = time +. Worker.service_time rng cfg.service in
+        Heap.push events (Completion (done_at, idx, patience - 1))
+      end
+    in
+    while !answered < q do
+      match Heap.pop_exn events with
+      | Arrival time ->
+          (* Keep the arrival stream alive only while questions remain
+             unassigned; later arrivals would find nothing to do. *)
+          if !next_question < q then begin
+            Heap.push events (Arrival (next_arrival rng cfg q time));
+            take_question time (draw_patience rng cfg)
+          end
+      | Completion (time, idx, patience) ->
+          incr answered;
+          last_time := Float.max !last_time time;
+          on_complete idx time;
+          take_question time patience
+    done;
+    !last_time
+  end
+
+let batch_latency t rng q = simulate t rng q ~on_complete:(fun _ _ -> ())
+
+type answered = { question : int * int; winner : int; completed_at : float }
+
+let answer_batch t rng ~error ~truth questions =
+  let arr = Array.of_list questions in
+  let results = ref [] in
+  let on_complete idx time =
+    let a, b = arr.(idx) in
+    let winner = Worker.answer rng error truth a b in
+    results := { question = (a, b); winner; completed_at = time } :: !results
+  in
+  let latency = simulate t rng (Array.length arr) ~on_complete in
+  (List.rev !results, latency)

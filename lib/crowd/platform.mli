@@ -1,0 +1,73 @@
+(** A discrete-event simulator of an MTurk-like crowdsourcing platform.
+
+    This is the substitution for live Amazon Mechanical Turk (see
+    DESIGN.md). A batch of [q] questions is posted; workers discover it
+    through the browse/search interface and arrive over time — more and
+    faster for bigger (more visible) batches, with a thin tail of late
+    arrivals so every batch eventually finishes. An arrived worker picks
+    up questions one at a time, spends a log-normal service time on
+    each, and leaves after a geometric number of answers (task
+    switching, Sec. 6.6).
+
+    The emergent time-to-last-answer curve has the Fig. 11(a) shape:
+    cheap small batches, growth past the point where questions outnumber
+    active workers, and a slight dip for very large batches whose
+    visibility attracts disproportionately many workers. *)
+
+type config = {
+  post_overhead : float;
+      (** seconds before any worker can see the batch (publishing,
+          indexing, first page views) *)
+  base_rate : float;  (** worker arrivals/second independent of size *)
+  attract_per_question : float;
+      (** extra arrivals/second per unit of batch visibility *)
+  visibility_exponent : float;
+      (** visibility = q^e; slightly superlinear (> 1) reproduces the
+          large-batch dip of Fig. 11(a) *)
+  burst_seconds : float;
+      (** how long the batch stays near the top of the task list *)
+  tail_rate : float;  (** arrivals/second after the burst; must be > 0 *)
+  patience_mean : float;
+      (** mean questions a worker answers before switching away *)
+  service : Worker.service_model;
+  diurnal_amplitude : float;
+      (** 0 = steady pool (default). In (0, 1): worker arrival rates are
+          modulated by [1 + a * sin(2 pi (t + phase) / period)] — the
+          paper's "availability in different times during the day". *)
+  diurnal_period : float;  (** seconds per day-cycle *)
+  diurnal_phase : float;
+      (** seconds into the cycle at posting time; phase [period/4] posts
+          at peak availability, [3*period/4] at the trough *)
+}
+
+val default_config : config
+(** Calibrated so the Sec. 6.1 estimation pipeline recovers a linear fit
+    close to the paper's [L(q) = 239 + 0.06 q]. *)
+
+type t
+
+val create : ?config:config -> unit -> t
+val config : t -> config
+
+val batch_latency : t -> Crowdmax_util.Rng.t -> int -> float
+(** Time (seconds) from posting a [q]-question batch until the last
+    answer returns. [q = 0] costs just the posting overhead. Raises
+    [Invalid_argument] on negative [q] or a non-positive [tail_rate]. *)
+
+type answered = {
+  question : int * int;
+  winner : int;
+  completed_at : float;  (** seconds after posting *)
+}
+
+val answer_batch :
+  t ->
+  Crowdmax_util.Rng.t ->
+  error:Worker.error_model ->
+  truth:Ground_truth.t ->
+  (int * int) list ->
+  answered list * float
+(** Simulate one round: every question is answered exactly once by a raw
+    worker under [error]; returns the answers (in completion order) and
+    the batch latency. Question repetition for reliability is the RWL's
+    job ({!Rwl}). *)

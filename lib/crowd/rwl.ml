@@ -1,0 +1,191 @@
+type config = { votes : int; error : Worker.error_model }
+
+let default_config = { votes = 3; error = Worker.Uniform 0.1 }
+
+type outcome = {
+  answers : (int * int) list;
+  raw_questions : int;
+  vote_flips : int;
+  cycle_edges_flipped : int;
+  accuracy : float;
+}
+
+(* Tarjan's strongly connected components over the voted answer digraph,
+   restricted to the elements that appear in this round's questions. *)
+let scc_of ~nodes ~succ =
+  let index = Hashtbl.create 64 in
+  let lowlink = Hashtbl.create 64 in
+  let on_stack = Hashtbl.create 64 in
+  let comp = Hashtbl.create 64 in
+  let stack = ref [] in
+  let counter = ref 0 in
+  let comp_count = ref 0 in
+  let rec strongconnect v =
+    Hashtbl.replace index v !counter;
+    Hashtbl.replace lowlink v !counter;
+    incr counter;
+    stack := v :: !stack;
+    Hashtbl.replace on_stack v ();
+    List.iter
+      (fun w ->
+        if not (Hashtbl.mem index w) then begin
+          strongconnect w;
+          let lv = Hashtbl.find lowlink v and lw = Hashtbl.find lowlink w in
+          if lw < lv then Hashtbl.replace lowlink v lw
+        end
+        else if Hashtbl.mem on_stack w then begin
+          let lv = Hashtbl.find lowlink v and iw = Hashtbl.find index w in
+          if iw < lv then Hashtbl.replace lowlink v iw
+        end)
+      (succ v);
+    if Hashtbl.find lowlink v = Hashtbl.find index v then begin
+      let rec popall () =
+        match !stack with
+        | [] -> ()
+        | w :: rest ->
+            stack := rest;
+            Hashtbl.remove on_stack w;
+            Hashtbl.replace comp w !comp_count;
+            if w <> v then popall ()
+      in
+      popall ();
+      incr comp_count
+    end
+  in
+  List.iter (fun v -> if not (Hashtbl.mem index v) then strongconnect v) nodes;
+  comp
+
+(* Cycle resolution shared by both front ends: given one voted
+   (winner, loser) per question, re-orient the edges inside each
+   strongly connected component by the component-local win/loss score so
+   the result is acyclic. Returns the final answers and how many edges
+   were flipped. *)
+let break_cycles voted =
+  let succ_tbl = Hashtbl.create 64 in
+  let nodes_tbl = Hashtbl.create 64 in
+  List.iter
+    (fun (w, l) ->
+      Hashtbl.replace nodes_tbl w ();
+      Hashtbl.replace nodes_tbl l ();
+      let cur = Option.value ~default:[] (Hashtbl.find_opt succ_tbl w) in
+      Hashtbl.replace succ_tbl w (l :: cur))
+    voted;
+  let nodes = Hashtbl.fold (fun v () acc -> v :: acc) nodes_tbl [] in
+  let succ v = Option.value ~default:[] (Hashtbl.find_opt succ_tbl v) in
+  let comp = scc_of ~nodes ~succ in
+  let score = Hashtbl.create 64 in
+  List.iter
+    (fun (w, l) ->
+      if Hashtbl.find comp w = Hashtbl.find comp l then begin
+        Hashtbl.replace score w (1 + Option.value ~default:0 (Hashtbl.find_opt score w));
+        Hashtbl.replace score l (Option.value ~default:0 (Hashtbl.find_opt score l) - 1)
+      end)
+    voted;
+  let flipped = ref 0 in
+  let final =
+    List.map
+      (fun (w, l) ->
+        if Hashtbl.find comp w <> Hashtbl.find comp l then (w, l)
+        else begin
+          let sw = Option.value ~default:0 (Hashtbl.find_opt score w) in
+          let sl = Option.value ~default:0 (Hashtbl.find_opt score l) in
+          if (sw, w) > (sl, l) then (w, l)
+          else begin
+            incr flipped;
+            (l, w)
+          end
+        end)
+      voted
+  in
+  (final, !flipped)
+
+let outcome_of ~truth ~raw_questions ~vote_flips ~questions voted =
+  let final, flipped = break_cycles voted in
+  let correct =
+    List.fold_left
+      (fun acc (w, l) -> if Ground_truth.better truth w l = w then acc + 1 else acc)
+      0 final
+  in
+  let n_questions = List.length questions in
+  {
+    answers = final;
+    raw_questions;
+    vote_flips;
+    cycle_edges_flipped = flipped;
+    accuracy =
+      (if n_questions = 0 then 1.0
+       else float_of_int correct /. float_of_int n_questions);
+  }
+
+let check_questions name questions =
+  List.iter
+    (fun (a, b) -> if a = b then invalid_arg (name ^ ": self-comparison"))
+    questions
+
+let resolve rng cfg ~truth questions =
+  if cfg.votes < 1 then invalid_arg "Rwl.resolve: votes < 1";
+  check_questions "Rwl.resolve" questions;
+  (* Repetition + majority vote per question. *)
+  let vote_flips = ref 0 in
+  let voted =
+    List.map
+      (fun (a, b) ->
+        let wins_a = ref 0 in
+        for _ = 1 to cfg.votes do
+          if Worker.answer rng cfg.error truth a b = a then incr wins_a
+        done;
+        let winner = if 2 * !wins_a > cfg.votes then a else b in
+        if winner <> Ground_truth.better truth a b then incr vote_flips;
+        let loser = if winner = a then b else a in
+        (winner, loser))
+      questions
+  in
+  outcome_of ~truth
+    ~raw_questions:(cfg.votes * List.length questions)
+    ~vote_flips:!vote_flips ~questions voted
+
+let resolve_pool rng ~pool ~votes ~truth questions =
+  if votes < 1 then invalid_arg "Rwl.resolve_pool: votes < 1";
+  check_questions "Rwl.resolve_pool" questions;
+  match questions with
+  | [] ->
+      {
+        answers = [];
+        raw_questions = 0;
+        vote_flips = 0;
+        cycle_edges_flipped = 0;
+        accuracy = 1.0;
+      }
+  | _ ->
+      let question_array = Array.of_list questions in
+      let raw_votes =
+        Worker_pool.collect_votes pool rng ~truth ~votes_per_question:votes
+          question_array
+      in
+      let est =
+        Worker_pool.estimate_accuracies ~questions:question_array
+          ~workers:(Worker_pool.size pool) raw_votes
+      in
+      let vote_flips = ref 0 in
+      let voted =
+        List.mapi
+          (fun qi (a, b) ->
+            let winner = est.Worker_pool.consensus.(qi) in
+            if winner <> Ground_truth.better truth a b then incr vote_flips;
+            let loser = if winner = a then b else a in
+            (winner, loser))
+          questions
+      in
+      outcome_of ~truth
+        ~raw_questions:(votes * List.length questions)
+        ~vote_flips:!vote_flips ~questions voted
+
+let is_conflict_free ~n answers =
+  let dag = Crowdmax_graph.Answer_dag.create n in
+  try
+    List.iter
+      (fun (winner, loser) ->
+        Crowdmax_graph.Answer_dag.add_answer dag ~winner ~loser)
+      answers;
+    true
+  with Crowdmax_graph.Answer_dag.Cycle _ -> false

@@ -1,0 +1,58 @@
+(** The Reliable Worker Layer (Sec. 2.1).
+
+    The paper's algorithms assume a layer between them and the raw crowd
+    that turns noisy worker output into one correct-looking,
+    conflict-free answer per question: it repeats each question across
+    several workers, majority-votes, and resolves any cycles the votes
+    form (techniques of [10, 12, 13, 14, 17, 22]). This module is a
+    working instance: repetition + majority vote + SCC-based cycle
+    resolution (inside each strongly connected component of the voted
+    answer graph, edges are re-oriented by the component-local win/loss
+    score, which yields an acyclic orientation; across components the
+    votes already form a DAG). *)
+
+type config = {
+  votes : int;  (** raw answers per question; use odd values *)
+  error : Worker.error_model;
+}
+
+val default_config : config
+(** 3 votes, 10% uniform error. *)
+
+type outcome = {
+  answers : (int * int) list;
+      (** one conflict-free [(winner, loser)] per input question *)
+  raw_questions : int;  (** questions actually sent to workers *)
+  vote_flips : int;  (** majority answers that contradicted the truth *)
+  cycle_edges_flipped : int;
+      (** voted answers re-oriented by cycle resolution *)
+  accuracy : float;  (** fraction of final answers matching the truth *)
+}
+
+val resolve :
+  Crowdmax_util.Rng.t ->
+  config ->
+  truth:Ground_truth.t ->
+  (int * int) list ->
+  outcome
+(** Answer a round's questions. The output orientation is guaranteed
+    acyclic (checked by construction; property-tested). Raises
+    [Invalid_argument] if [votes < 1] or a question is a
+    self-comparison. *)
+
+val resolve_pool :
+  Crowdmax_util.Rng.t ->
+  pool:Worker_pool.t ->
+  votes:int ->
+  truth:Ground_truth.t ->
+  (int * int) list ->
+  outcome
+(** Like {!resolve}, but the raw answers come from an identified
+    {!Worker_pool} and the per-question consensus is formed by
+    accuracy-weighted voting ([Worker_pool.estimate_accuracies]) instead
+    of a plain majority — the [12]-style quality management the paper's
+    RWL assumes. Same conflict-free guarantee. *)
+
+val is_conflict_free : n:int -> (int * int) list -> bool
+(** [true] iff the [(winner, loser)] pairs over elements [0..n-1] form no
+    directed cycle — the contract RWL promises its caller. *)

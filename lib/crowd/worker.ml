@@ -1,0 +1,30 @@
+open Crowdmax_util
+
+type error_model =
+  | Perfect
+  | Uniform of float
+  | Distance_sensitive of { base : float; halfwidth : float }
+
+let error_probability model truth a b =
+  match model with
+  | Perfect -> 0.0
+  | Uniform p -> Float.max 0.0 (Float.min 1.0 p)
+  | Distance_sensitive { base; halfwidth } ->
+      let gap =
+        float_of_int (abs (Ground_truth.rank truth a - Ground_truth.rank truth b))
+      in
+      Float.max 0.0 (Float.min 1.0 (base *. exp (-.gap /. halfwidth)))
+
+let answer rng model truth a b =
+  let true_winner = Ground_truth.better truth a b in
+  let true_loser = if true_winner = a then b else a in
+  if Rng.bernoulli rng (error_probability model truth a b) then true_loser
+  else true_winner
+
+type service_model = { median_seconds : float; sigma : float }
+
+let default_service = { median_seconds = 3.0; sigma = 0.6 }
+
+let service_time rng { median_seconds; sigma } =
+  if sigma <= 0.0 then median_seconds
+  else Rng.lognormal rng ~mu:(log median_seconds) ~sigma

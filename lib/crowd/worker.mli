@@ -1,0 +1,33 @@
+(** Worker behaviour models: answer errors and service times.
+
+    The paper assumes an error-free layer above the raw crowd; these
+    models generate the raw (possibly wrong) answers that the RWL must
+    clean up, plus the per-answer service times that drive the platform
+    simulator's latency. *)
+
+type error_model =
+  | Perfect  (** always the true winner *)
+  | Uniform of float  (** flips the answer with a fixed probability *)
+  | Distance_sensitive of { base : float; halfwidth : float }
+      (** error probability [base * exp(-gap / halfwidth)] where [gap] is
+          the rank distance — near-ties are hard for humans, easy pairs
+          are easy. *)
+
+val error_probability : error_model -> Ground_truth.t -> int -> int -> float
+(** Probability that one raw answer to this pair is wrong. *)
+
+val answer :
+  Crowdmax_util.Rng.t -> error_model -> Ground_truth.t -> int -> int -> int
+(** One raw worker answer: the reported winner of the pair. Raises
+    [Invalid_argument] on a self-comparison. *)
+
+type service_model = {
+  median_seconds : float;  (** median time to answer one question *)
+  sigma : float;  (** log-normal shape; 0 = deterministic *)
+}
+
+val default_service : service_model
+(** Median 3 s (the paper's car task), moderate spread. *)
+
+val service_time : Crowdmax_util.Rng.t -> service_model -> float
+(** One service-time draw, always > 0. *)

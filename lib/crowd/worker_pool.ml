@@ -1,0 +1,116 @@
+open Crowdmax_util
+
+type t = { accuracies : float array }
+
+let create rng ~workers ~good_fraction ~good_accuracy ~bad_accuracy =
+  if workers < 1 then invalid_arg "Worker_pool.create: workers < 1";
+  let check_p name p =
+    if p < 0.0 || p > 1.0 then
+      invalid_arg ("Worker_pool.create: " ^ name ^ " out of [0,1]")
+  in
+  check_p "good_fraction" good_fraction;
+  check_p "good_accuracy" good_accuracy;
+  check_p "bad_accuracy" bad_accuracy;
+  let accuracies =
+    Array.init workers (fun _ ->
+        if Rng.bernoulli rng good_fraction then good_accuracy else bad_accuracy)
+  in
+  { accuracies }
+
+let size t = Array.length t.accuracies
+
+let true_accuracy t w =
+  if w < 0 || w >= size t then invalid_arg "Worker_pool.true_accuracy: range";
+  t.accuracies.(w)
+
+let answer t rng truth a b ~worker =
+  let acc = true_accuracy t worker in
+  let true_winner = Ground_truth.better truth a b in
+  let true_loser = if true_winner = a then b else a in
+  if Rng.bernoulli rng acc then true_winner else true_loser
+
+type vote = { worker : int; question : int; choice : int }
+
+let collect_votes t rng ~truth ~votes_per_question questions =
+  if votes_per_question > size t then
+    invalid_arg "Worker_pool.collect_votes: pool smaller than votes_per_question";
+  if votes_per_question < 1 then
+    invalid_arg "Worker_pool.collect_votes: votes_per_question < 1";
+  let votes = ref [] in
+  Array.iteri
+    (fun qi (a, b) ->
+      let assigned =
+        Rng.sample_without_replacement rng votes_per_question (size t)
+      in
+      Array.iter
+        (fun w ->
+          votes :=
+            { worker = w; question = qi; choice = answer t rng truth a b ~worker:w }
+            :: !votes)
+        assigned)
+    questions;
+  List.rev !votes
+
+type estimate = {
+  worker_accuracy : float array;
+  consensus : int array;
+  iterations : int;
+}
+
+let clamp lo hi x = Float.max lo (Float.min hi x)
+
+let estimate_accuracies ~questions ~workers votes =
+  let nq = Array.length questions in
+  if nq = 0 then invalid_arg "Worker_pool.estimate_accuracies: no questions";
+  if workers < 1 then invalid_arg "Worker_pool.estimate_accuracies: no workers";
+  List.iter
+    (fun v ->
+      if v.question < 0 || v.question >= nq then
+        invalid_arg "Worker_pool.estimate_accuracies: vote for unknown question";
+      if v.worker < 0 || v.worker >= workers then
+        invalid_arg "Worker_pool.estimate_accuracies: vote by unknown worker";
+      let a, b = questions.(v.question) in
+      if v.choice <> a && v.choice <> b then
+        invalid_arg "Worker_pool.estimate_accuracies: choice not in question")
+    votes;
+  let accuracy = Array.make workers 0.7 in
+  let consensus = Array.make nq (-1) in
+  let by_question = Array.make nq [] in
+  List.iter (fun v -> by_question.(v.question) <- v :: by_question.(v.question)) votes;
+  let iterations = ref 0 in
+  let changed = ref true in
+  while !changed && !iterations < 50 do
+    incr iterations;
+    changed := false;
+    (* E-step: log-odds-weighted consensus per question. *)
+    Array.iteri
+      (fun qi (a, b) ->
+        let score = ref 0.0 in
+        List.iter
+          (fun v ->
+            let acc = clamp 0.01 0.99 accuracy.(v.worker) in
+            let weight = log (acc /. (1.0 -. acc)) in
+            if v.choice = a then score := !score +. weight
+            else score := !score -. weight)
+          by_question.(qi);
+        (* deterministic tie-break toward the lower id *)
+        let winner = if !score >= 0.0 then a else b in
+        if consensus.(qi) <> winner then begin
+          consensus.(qi) <- winner;
+          changed := true
+        end)
+      questions;
+    (* M-step: smoothed agreement rate per worker (Laplace 1/2). *)
+    let agree = Array.make workers 0.0 in
+    let total = Array.make workers 0.0 in
+    List.iter
+      (fun v ->
+        total.(v.worker) <- total.(v.worker) +. 1.0;
+        if v.choice = consensus.(v.question) then
+          agree.(v.worker) <- agree.(v.worker) +. 1.0)
+      votes;
+    for w = 0 to workers - 1 do
+      accuracy.(w) <- (agree.(w) +. 1.0) /. (total.(w) +. 2.0)
+    done
+  done;
+  { worker_accuracy = accuracy; consensus; iterations = !iterations }

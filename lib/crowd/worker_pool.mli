@@ -1,0 +1,63 @@
+(** A pool of identified workers with heterogeneous latent accuracy.
+
+    The plain {!Rwl} treats every raw answer as coming from an anonymous
+    worker with the same error model. Real platforms have spammers and
+    experts side by side; the quality-management literature the paper
+    leans on ([12, 13]) identifies workers and weighs their votes by an
+    estimated accuracy. This module provides the pool (latent accuracies
+    drawn once per worker) and an EM-style estimator that recovers those
+    accuracies from inter-worker agreement alone — no gold questions. *)
+
+type t
+
+val create :
+  Crowdmax_util.Rng.t ->
+  workers:int ->
+  good_fraction:float ->
+  good_accuracy:float ->
+  bad_accuracy:float ->
+  t
+(** A two-population pool: a [good_fraction] of workers answer correctly
+    with probability [good_accuracy], the rest with [bad_accuracy]
+    (0.5 = pure noise). Raises [Invalid_argument] for [workers < 1] or
+    probabilities outside [\[0,1\]]. *)
+
+val size : t -> int
+
+val true_accuracy : t -> int -> float
+(** The latent accuracy of a worker (for tests/diagnostics only — the
+    estimator never sees it). *)
+
+val answer :
+  t -> Crowdmax_util.Rng.t -> Ground_truth.t -> int -> int -> worker:int -> int
+(** One answer by a specific worker: correct with the worker's latent
+    accuracy. *)
+
+type vote = { worker : int; question : int; choice : int }
+(** [choice] is the element the worker said wins question [question]. *)
+
+val collect_votes :
+  t ->
+  Crowdmax_util.Rng.t ->
+  truth:Ground_truth.t ->
+  votes_per_question:int ->
+  (int * int) array ->
+  vote list
+(** Assign [votes_per_question] distinct random workers to every
+    question and record their answers. Raises [Invalid_argument] if the
+    pool is smaller than [votes_per_question]. *)
+
+type estimate = {
+  worker_accuracy : float array;  (** estimated accuracy per worker *)
+  consensus : int array;  (** estimated winner per question index *)
+  iterations : int;
+}
+
+val estimate_accuracies :
+  questions:(int * int) array -> workers:int -> vote list -> estimate
+(** EM-style estimation: initialize every worker at accuracy 0.7,
+    repeatedly (a) form a per-question consensus by log-odds-weighted
+    voting and (b) re-estimate each worker's accuracy as their smoothed
+    agreement rate with the consensus, until consensus fixes or 50
+    iterations. Raises [Invalid_argument] on empty inputs or votes
+    referencing unknown questions/workers. *)

@@ -1,0 +1,70 @@
+open Crowdmax_util
+module Model = Crowdmax_latency.Model
+module Allocation = Crowdmax_core.Allocation
+module Problem = Crowdmax_core.Problem
+module Tdp = Crowdmax_core.Tdp
+module Heuristics = Crowdmax_core.Heuristics
+module Selection = Crowdmax_selection.Selection
+module Engine = Crowdmax_runtime.Engine
+
+type combo = {
+  label : string;
+  allocate : elements:int -> budget:int -> Allocation.t;
+  selection : Selection.t;
+}
+
+let estimated_model = Model.paper_mturk
+
+let tdp_allocate model ~elements ~budget =
+  (Tdp.solve (Problem.create ~elements ~budget ~latency:model)).Tdp.allocation
+
+let tdp_with model selection =
+  {
+    label = "tDP+" ^ selection.Selection.name;
+    allocate = tdp_allocate model;
+    selection;
+  }
+
+let tdp_combo model = tdp_with model Selection.tournament
+
+let heuristic_combos selection =
+  List.map
+    (fun Heuristics.{ name; allocate } ->
+      { label = name ^ "+" ^ selection.Selection.name; allocate; selection })
+    Heuristics.all
+
+let standard_grid model =
+  tdp_combo model :: heuristic_combos Selection.ct25
+
+let measure ~runs ~seed ~elements ~budget ~model combo =
+  let allocation = combo.allocate ~elements ~budget in
+  let cfg =
+    Engine.config ~allocation ~selection:combo.selection ~latency_model:model ()
+  in
+  Engine.replicate ~runs ~seed cfg ~elements
+
+type series = { name : string; points : (float * float) list }
+
+let series_table ?title ~x_label series =
+  let headers =
+    (x_label, Table.Right) :: List.map (fun s -> (s.name, Table.Right)) series
+  in
+  let t = Table.create ?title headers in
+  let xs =
+    List.sort_uniq compare
+      (List.concat_map (fun s -> List.map fst s.points) series)
+  in
+  List.iter
+    (fun x ->
+      let cells =
+        Printf.sprintf "%g" x
+        :: List.map
+             (fun s ->
+               match List.assoc_opt x s.points with
+               | Some y -> Printf.sprintf "%.1f" y
+               | None -> "-")
+             series
+      in
+      Table.add_row t cells)
+    xs;
+  t

@@ -1,0 +1,46 @@
+(** Shared plumbing for the figure-reproduction experiments (Sec. 6).
+
+    After Sec. 6.2 the paper measures every latency with the estimated
+    [L(q) = 239 + 0.06 q] rather than live MTurk; [estimated_model] is
+    that function and every downstream figure uses it unless it sweeps
+    its own family of models (Fig. 14). *)
+
+type combo = {
+  label : string;
+  allocate : elements:int -> budget:int -> Crowdmax_core.Allocation.t;
+  selection : Crowdmax_selection.Selection.t;
+}
+
+val estimated_model : Crowdmax_latency.Model.t
+(** The paper's fitted MTurk latency function. *)
+
+val tdp_combo : Crowdmax_latency.Model.t -> combo
+(** tDP (under the given latency function) + Tournament-formation — the
+    paper's recommended configuration (Sec. 6.3). *)
+
+val tdp_with : Crowdmax_latency.Model.t -> Crowdmax_selection.Selection.t -> combo
+
+val heuristic_combos : Crowdmax_selection.Selection.t -> combo list
+(** HE, HF, uHE, uHF under the given selector (the paper pairs them with
+    CT25 from Sec. 6.4 on). *)
+
+val standard_grid : Crowdmax_latency.Model.t -> combo list
+(** tDP+Tournament followed by the four heuristics + CT25: the grid of
+    Figs. 13-14. *)
+
+val measure :
+  runs:int ->
+  seed:int ->
+  elements:int ->
+  budget:int ->
+  model:Crowdmax_latency.Model.t ->
+  combo ->
+  Crowdmax_runtime.Engine.aggregate
+(** Replicated oracle-mode engine runs of one combo on one instance. *)
+
+type series = { name : string; points : (float * float) list }
+(** A labelled curve, x ascending — one line of a paper figure. *)
+
+val series_table :
+  ?title:string -> x_label:string -> series list -> Crowdmax_util.Table.t
+(** Tabulate curves side by side (x column + one column per series). *)

@@ -1,0 +1,148 @@
+module J = Crowdmax_util.Json
+
+let series ss =
+  J.List
+    (List.map
+       (fun s ->
+         J.Obj
+           [
+             ("name", J.String s.Common.name);
+             ( "points",
+               J.List
+                 (List.map
+                    (fun (x, y) -> J.List [ J.Float x; J.Float y ])
+                    s.Common.points) );
+           ])
+       ss)
+
+let fig11a (f : Fig11a.t) =
+  J.Obj
+    [
+      ("figure", J.String "11a");
+      ( "measured",
+        J.List
+          (Array.to_list
+             (Array.map
+                (fun (q, s) -> J.List [ J.int q; J.Float s ])
+                f.Fig11a.measured)) );
+      ("delta", J.Float f.Fig11a.delta);
+      ("alpha", J.Float f.Fig11a.alpha);
+    ]
+
+let fig11b (f : Fig11b.t) =
+  J.Obj
+    [
+      ("figure", J.String "11b");
+      ("elements", J.int f.Fig11b.elements);
+      ("budget", J.int f.Fig11b.budget);
+      ( "bars",
+        J.List
+          (List.map
+             (fun b ->
+               J.Obj
+                 [
+                   ("label", J.String b.Fig11b.label);
+                   ("platform_seconds", J.Float b.Fig11b.real_latency);
+                   ("predicted_seconds", J.Float b.Fig11b.predicted_latency);
+                   ("singleton_rate", J.Float b.Fig11b.singleton_rate);
+                 ])
+             f.Fig11b.bars) );
+    ]
+
+let fig12 (f : Fig12.t) =
+  J.Obj
+    [
+      ("figure", J.String "12");
+      ("elements", J.int f.Fig12.elements);
+      ("latency", series (Fig12.latency_series f));
+      ("singleton_percent", series (Fig12.singleton_series f));
+    ]
+
+let fig13 (f : Fig13.t) =
+  J.Obj
+    [
+      ("figure", J.String "13");
+      ("title", J.String f.Fig13.title);
+      ("x_label", J.String f.Fig13.x_label);
+      ("latency", series (Fig13.series f));
+    ]
+
+let fig14a (f : Fig14.t_a) =
+  J.Obj
+    [
+      ("figure", J.String "14a");
+      ( "cells",
+        J.List
+          (List.map
+             (fun (label, p, latency) ->
+               J.Obj
+                 [
+                   ("label", J.String label);
+                   ("p", J.Float p);
+                   ("latency_seconds", J.Float latency);
+                 ])
+             f.Fig14.cells) );
+    ]
+
+let fig14b (f : Fig14.t_b) =
+  let curve (p, points) =
+    J.Obj
+      [
+        ("p", J.Float p);
+        ( "points",
+          J.List
+            (List.map (fun (b, u) -> J.List [ J.int b; J.int u ]) points) );
+      ]
+  in
+  J.Obj
+    [
+      ("figure", J.String "14b");
+      ("elements", J.int f.Fig14.elements);
+      ("tdp_curves", J.List (List.map curve f.Fig14.curves));
+      ( "others",
+        J.List
+          (List.map (fun (b, u) -> J.List [ J.int b; J.int u ]) f.Fig14.others)
+      );
+    ]
+
+let fig15 (f : Fig15.t) =
+  J.Obj
+    [
+      ("figure", J.String "15");
+      ( "points",
+        J.List
+          (List.map
+             (fun p ->
+               J.Obj
+                 [
+                   ("elements", J.int p.Fig15.elements);
+                   ("budget_multiple", J.int p.Fig15.budget_multiple);
+                   ("seconds", J.Float p.Fig15.seconds);
+                   ("states_visited", J.int p.Fig15.states_visited);
+                 ])
+             f.Fig15.points) );
+    ]
+
+let write ~path doc =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (J.to_string ~pretty:true doc);
+      output_char oc '\n')
+
+let series_rows ss =
+  List.concat_map
+    (fun s ->
+      List.map
+        (fun (x, y) ->
+          [ s.Common.name; Printf.sprintf "%g" x; Printf.sprintf "%g" y ])
+        s.Common.points)
+    ss
+
+let series_to_csv ss =
+  Crowdmax_util.Csv.to_string ~header:[ "series"; "x"; "y" ] (series_rows ss)
+
+let write_series_csv ~path ss =
+  Crowdmax_util.Csv.write_file ~path ~header:[ "series"; "x"; "y" ]
+    (series_rows ss)

@@ -1,0 +1,25 @@
+(** JSON export of experiment results, for external plotting.
+
+    Every figure module's result type gets an encoder; [write] drops the
+    document next to wherever the harness is invoked from. The encoding
+    is stable: object keys are fixed strings, series are
+    [{"name": ..., "points": [[x, y], ...]}]. *)
+
+val series : Common.series list -> Crowdmax_util.Json.t
+
+val fig11a : Fig11a.t -> Crowdmax_util.Json.t
+val fig11b : Fig11b.t -> Crowdmax_util.Json.t
+val fig12 : Fig12.t -> Crowdmax_util.Json.t
+val fig13 : Fig13.t -> Crowdmax_util.Json.t
+val fig14a : Fig14.t_a -> Crowdmax_util.Json.t
+val fig14b : Fig14.t_b -> Crowdmax_util.Json.t
+val fig15 : Fig15.t -> Crowdmax_util.Json.t
+
+val write : path:string -> Crowdmax_util.Json.t -> unit
+(** Pretty-printed, trailing newline. Raises [Sys_error] on unwritable
+    paths. *)
+
+val series_to_csv : Common.series list -> string
+(** Long-form CSV: [series,x,y] — one row per point. *)
+
+val write_series_csv : path:string -> Common.series list -> unit

@@ -1,0 +1,75 @@
+open Crowdmax_util
+module Engine = Crowdmax_runtime.Engine
+module Selection = Crowdmax_selection.Selection
+module Platform = Crowdmax_crowd.Platform
+module Rwl = Crowdmax_crowd.Rwl
+module Worker = Crowdmax_crowd.Worker
+
+type bar = {
+  label : string;
+  real_latency : float;
+  predicted_latency : float;
+  singleton_rate : float;
+}
+
+type t = { bars : bar list; elements : int; budget : int }
+
+let run ?(runs = 5) ?(seed = 17) ?(elements = 500) ?(budget = 4000) ?platform
+    ?(model = Common.estimated_model) () =
+  let platform =
+    match platform with Some p -> p | None -> Platform.create ()
+  in
+  let combos = Common.tdp_combo model :: Common.heuristic_combos Selection.tournament in
+  let bars =
+    List.map
+      (fun combo ->
+        let allocation = combo.Common.allocate ~elements ~budget in
+        (* Solid bar: live platform, error-free workers behind a
+           single-vote RWL (the paper replaces worker answers with the
+           truth and measures wall-clock). *)
+        let real_cfg =
+          Engine.config
+            ~source:
+              (Engine.Simulated
+                 { platform; rwl = { Rwl.votes = 1; error = Worker.Perfect } })
+            ~allocation ~selection:combo.Common.selection ~latency_model:model
+            ()
+        in
+        let real = Engine.replicate ~runs ~seed real_cfg ~elements in
+        (* Striped bar: same rounds costed by the estimated model. *)
+        let predicted_cfg =
+          Engine.config ~allocation ~selection:combo.Common.selection
+            ~latency_model:model ()
+        in
+        let predicted = Engine.replicate ~runs ~seed predicted_cfg ~elements in
+        {
+          label = combo.Common.label;
+          real_latency = real.Engine.mean_latency;
+          predicted_latency = predicted.Engine.mean_latency;
+          singleton_rate = real.Engine.singleton_rate;
+        })
+      combos
+  in
+  { bars; elements; budget }
+
+let print t =
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "Fig 11(b): time to MAX on the platform (c0 = %d, b = %d)"
+           t.elements t.budget)
+      [ ("approach", Table.Left); ("platform (s)", Table.Right);
+        ("predicted (s)", Table.Right); ("singleton", Table.Right) ]
+  in
+  List.iter
+    (fun bar ->
+      Table.add_row table
+        [
+          bar.label;
+          Printf.sprintf "%.0f" bar.real_latency;
+          Printf.sprintf "%.0f" bar.predicted_latency;
+          Printf.sprintf "%.0f%%" (100.0 *. bar.singleton_rate);
+        ])
+    t.bars;
+  Table.print table

@@ -1,0 +1,32 @@
+(** Fig. 11(b): real-time runs on the (simulated) platform.
+
+    c0 = 500, b = 4000: compute the tDP/HE/HF/uHE/uHF allocations under
+    the estimated L(q), then actually run each against the platform with
+    tournament question selection (5 runs each, like the paper). Solid
+    bars = simulated-platform latency; striped bars = the latency the
+    estimated model predicts for the same rounds. The paper found tDP
+    ~30% faster than the runner-up (uHE) and > 2x faster than HE/HF,
+    with predicted bars roughly tracking real ones. *)
+
+type bar = {
+  label : string;
+  real_latency : float;  (** mean seconds on the platform *)
+  predicted_latency : float;  (** mean seconds under the estimate *)
+  singleton_rate : float;
+}
+
+type t = { bars : bar list; elements : int; budget : int }
+
+val run :
+  ?runs:int ->
+  ?seed:int ->
+  ?elements:int ->
+  ?budget:int ->
+  ?platform:Crowdmax_crowd.Platform.t ->
+  ?model:Crowdmax_latency.Model.t ->
+  unit ->
+  t
+(** Defaults: 5 runs, c0 = 500, b = 4000, the calibrated platform, and
+    the paper's estimated model. *)
+
+val print : t -> unit

@@ -1,0 +1,84 @@
+module Engine = Crowdmax_runtime.Engine
+module Selection = Crowdmax_selection.Selection
+module Heuristics = Crowdmax_core.Heuristics
+
+type cell = {
+  label : string;
+  budget : int;
+  mean_latency : float;
+  singleton_rate : float;
+}
+
+type t = { cells : cell list; elements : int }
+
+let budgets = [ 500; 1000; 2000; 4000; 8000 ]
+
+let combos () =
+  let model = Common.estimated_model in
+  [
+    Common.tdp_with model Selection.tournament;
+    Common.tdp_with model Selection.ct25;
+    {
+      Common.label = "HF+Tournament";
+      allocate = Heuristics.hf;
+      selection = Selection.tournament;
+    };
+    {
+      Common.label = "HF+CT25";
+      allocate = Heuristics.hf;
+      selection = Selection.ct25;
+    };
+  ]
+
+let run ?(runs = 100) ?(seed = 23) ?(elements = 500) () =
+  let model = Common.estimated_model in
+  let cells =
+    List.concat_map
+      (fun budget ->
+        List.map
+          (fun combo ->
+            let agg =
+              Common.measure ~runs ~seed ~elements ~budget ~model combo
+            in
+            {
+              label = combo.Common.label;
+              budget;
+              mean_latency = agg.Engine.mean_latency;
+              singleton_rate = agg.Engine.singleton_rate;
+            })
+          (combos ()))
+      budgets
+  in
+  { cells; elements }
+
+let series_of t value =
+  let labels =
+    List.sort_uniq compare (List.map (fun c -> c.label) t.cells)
+  in
+  List.map
+    (fun label ->
+      {
+        Common.name = label;
+        points =
+          List.filter_map
+            (fun c ->
+              if c.label = label then Some (float_of_int c.budget, value c)
+              else None)
+            t.cells
+          |> List.sort compare;
+      })
+    labels
+
+let latency_series t = series_of t (fun c -> c.mean_latency)
+let singleton_series t = series_of t (fun c -> 100.0 *. c.singleton_rate)
+
+let print t =
+  Crowdmax_util.Table.print
+    (Common.series_table
+       ~title:(Printf.sprintf "Fig 12(a): latency (s) vs budget, c0 = %d" t.elements)
+       ~x_label:"budget" (latency_series t));
+  print_newline ();
+  Crowdmax_util.Table.print
+    (Common.series_table
+       ~title:"Fig 12(b): singleton termination (%) vs budget"
+       ~x_label:"budget" (singleton_series t))

@@ -1,0 +1,103 @@
+open Crowdmax_util
+module Engine = Crowdmax_runtime.Engine
+module Model = Crowdmax_latency.Model
+module Problem = Crowdmax_core.Problem
+module Tdp = Crowdmax_core.Tdp
+
+type t_a = { cells : (string * float * float) list }
+
+type t_b = {
+  curves : (float * (int * int) list) list;
+  others : (int * int) list;
+  elements : int;
+}
+
+let exponents = [ 1.0; 1.2; 1.4; 1.6; 1.8; 2.0 ]
+let exponents_b = [ 1.0; 1.4; 1.8 ]
+let budgets_b = [ 500; 1000; 2000; 3000; 4000; 6000; 8000; 12000; 16000 ]
+
+let model_for p = Model.power ~delta:239.0 ~alpha:0.06 ~p
+
+let run_a ?(runs = 100) ?(seed = 37) ?(elements = 500) ?(budget = 4000) () =
+  let cells =
+    List.concat_map
+      (fun p ->
+        let model = model_for p in
+        let combos = Common.standard_grid model in
+        List.map
+          (fun combo ->
+            let agg =
+              Common.measure ~runs ~seed ~elements ~budget ~model combo
+            in
+            (combo.Common.label, p, agg.Engine.mean_latency))
+          combos)
+      exponents
+  in
+  { cells }
+
+let run_b ?(elements = 500) () =
+  let curves =
+    List.map
+      (fun p ->
+        let model = model_for p in
+        let points =
+          List.map
+            (fun budget ->
+              let sol =
+                Tdp.solve (Problem.create ~elements ~budget ~latency:model)
+              in
+              (budget, sol.Tdp.questions_used))
+            budgets_b
+        in
+        (p, points))
+      exponents_b
+  in
+  (* Other allocators spend everything up to the complete one-round
+     tournament (Sec. 6.6). *)
+  let cap = Problem.max_useful_budget ~elements in
+  let others = List.map (fun b -> (b, min b cap)) budgets_b in
+  { curves; others; elements }
+
+let print_a t =
+  let labels = List.sort_uniq compare (List.map (fun (l, _, _) -> l) t.cells) in
+  let series =
+    List.map
+      (fun label ->
+        {
+          Common.name = label;
+          points =
+            List.filter_map
+              (fun (l, p, y) -> if l = label then Some (p, y) else None)
+              t.cells
+            |> List.sort compare;
+        })
+      labels
+  in
+  Table.print
+    (Common.series_table
+       ~title:"Fig 14(a): latency (s) vs exponent p, L = 239 + 0.06 q^p"
+       ~x_label:"p" series)
+
+let print_b t =
+  let series =
+    List.map
+      (fun (p, points) ->
+        {
+          Common.name = Printf.sprintf "tDP p=%.1f" p;
+          points = List.map (fun (b, u) -> (float_of_int b, float_of_int u)) points;
+        })
+      t.curves
+    @ [
+        {
+          Common.name = "others";
+          points =
+            List.map (fun (b, u) -> (float_of_int b, float_of_int u)) t.others;
+        };
+      ]
+  in
+  Table.print
+    (Common.series_table
+       ~title:
+         (Printf.sprintf "Fig 14(b): questions used vs available budget, c0 = %d"
+            t.elements)
+       ~x_label:"budget" series)

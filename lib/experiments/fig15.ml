@@ -1,0 +1,72 @@
+open Crowdmax_util
+module Problem = Crowdmax_core.Problem
+module Tdp = Crowdmax_core.Tdp
+
+type point = {
+  elements : int;
+  budget_multiple : int;
+  seconds : float;
+  states_visited : int;
+}
+
+type t = { points : point list }
+
+let collection_sizes = [ 250; 500; 1000; 2000 ]
+let budget_multiples = [ 2; 4; 8; 16 ]
+
+let time_solve repeats problem =
+  let best = ref infinity in
+  let states = ref 0 in
+  for _ = 1 to repeats do
+    let t0 = Unix.gettimeofday () in
+    let sol = Tdp.solve problem in
+    let dt = Unix.gettimeofday () -. t0 in
+    states := sol.Tdp.states_visited;
+    if dt < !best then best := dt
+  done;
+  (!best, !states)
+
+let run ?(repeats = 3) ?(sizes = collection_sizes) () =
+  let model = Common.estimated_model in
+  let points =
+    List.concat_map
+      (fun elements ->
+        List.map
+          (fun m ->
+            let problem =
+              Problem.create ~elements ~budget:(m * elements) ~latency:model
+            in
+            let seconds, states_visited = time_solve repeats problem in
+            { elements; budget_multiple = m; seconds; states_visited })
+          budget_multiples)
+      sizes
+  in
+  { points }
+
+let print t =
+  let table =
+    Table.create ~title:"Fig 15: tDP running time (s) vs budget multiple"
+      (("b/c0", Table.Right)
+      :: List.map
+           (fun c -> (Printf.sprintf "c0=%d" c, Table.Right))
+           (List.sort_uniq compare (List.map (fun p -> p.elements) t.points)))
+  in
+  let sizes = List.sort_uniq compare (List.map (fun p -> p.elements) t.points) in
+  List.iter
+    (fun m ->
+      let cells =
+        string_of_int m
+        :: List.map
+             (fun c ->
+               match
+                 List.find_opt
+                   (fun p -> p.elements = c && p.budget_multiple = m)
+                   t.points
+               with
+               | Some p -> Printf.sprintf "%.3f" p.seconds
+               | None -> "-")
+             sizes
+      in
+      Table.add_row table cells)
+    (List.sort_uniq compare (List.map (fun p -> p.budget_multiple) t.points));
+  Table.print table

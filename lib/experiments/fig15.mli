@@ -1,0 +1,24 @@
+(** Fig. 15: running time of tDP itself.
+
+    Wall-clock of [Tdp.solve] for c0 in {250, 500, 1000, 2000} and
+    budgets 2x..16x the collection size. The paper's observations, which
+    the top-down memoized implementation reproduces: the curve is nearly
+    flat in the budget (state pruning) but grows ~4x when c0 doubles
+    (the O(c0^2 b) bound bites in c0). *)
+
+type point = {
+  elements : int;
+  budget_multiple : int;
+  seconds : float;
+  states_visited : int;
+}
+
+type t = { points : point list }
+
+val collection_sizes : int list
+val budget_multiples : int list
+
+val run : ?repeats:int -> ?sizes:int list -> unit -> t
+(** [repeats] timing repetitions per point (default 3, best-of). *)
+
+val print : t -> unit

@@ -1,0 +1,173 @@
+module Engine = Crowdmax_runtime.Engine
+module Selection = Crowdmax_selection.Selection
+module Problem = Crowdmax_core.Problem
+module Tdp = Crowdmax_core.Tdp
+module Heuristics = Crowdmax_core.Heuristics
+
+type finding = {
+  id : int;
+  claim : string;
+  evidence : string;
+  holds : bool;
+}
+
+type t = { findings : finding list; elements : int; budget : int }
+
+let run ?(runs = 30) ?(seed = 41) ?(elements = 200) ?(budget = 1600) () =
+  let model = Common.estimated_model in
+  let allocators =
+    ("tDP", fun ~elements ~budget ->
+        (Tdp.solve (Problem.create ~elements ~budget ~latency:model))
+          .Tdp.allocation)
+    :: List.map
+         (fun Heuristics.{ name; allocate } -> (name, allocate))
+         Heuristics.all
+  in
+  let selectors = [ Selection.tournament; Selection.ct25 ] in
+  (* aggregate per (allocator, selector) *)
+  let cell =
+    let memo = Hashtbl.create 16 in
+    fun alloc_name sel ->
+      let key = (alloc_name, sel.Selection.name) in
+      match Hashtbl.find_opt memo key with
+      | Some a -> a
+      | None ->
+          let allocate = List.assoc alloc_name allocators in
+          let allocation = allocate ~elements ~budget in
+          let cfg =
+            Engine.config ~allocation ~selection:sel ~latency_model:model ()
+          in
+          let a = Engine.replicate ~runs ~seed cfg ~elements in
+          Hashtbl.add memo key a;
+          a
+  in
+  ignore selectors;
+  let lat name sel = (cell name sel).Engine.mean_latency in
+  let single name sel = (cell name sel).Engine.singleton_rate in
+
+  (* (1) tDP lowest latency; tDP+Tournament always singleton. *)
+  let f1 =
+    let tdp = lat "tDP" Selection.tournament in
+    let others =
+      List.filter_map
+        (fun (n, _) ->
+          if n = "tDP" then None else Some (n, lat n Selection.ct25))
+        allocators
+    in
+    let worst_margin =
+      List.fold_left (fun acc (_, l) -> Float.min acc (l -. tdp)) infinity
+        others
+    in
+    {
+      id = 1;
+      claim = "tDP always achieves the lowest latency and, with \
+               Tournament-formation, always terminates singleton";
+      evidence =
+        Printf.sprintf
+          "tDP %.0f s vs best alternative %.0f s; tDP singleton %.0f%%" tdp
+          (tdp +. worst_margin)
+          (100.0 *. single "tDP" Selection.tournament);
+      holds =
+        worst_margin >= -1e-6 && single "tDP" Selection.tournament = 1.0;
+    }
+  in
+  (* (2) tDP limits the budget used via L(q). *)
+  let f2 =
+    let sol b = Tdp.solve (Problem.create ~elements ~budget:b ~latency:model) in
+    let s1 = sol budget and s4 = sol (4 * budget) in
+    {
+      id = 2;
+      claim = "tDP's allocations are not wasteful and may use less than \
+               the available budget";
+      evidence =
+        Printf.sprintf "at b=%d uses %d; at b=%d uses %d (latency %.0f -> %.0f s)"
+          budget s1.Tdp.questions_used (4 * budget) s4.Tdp.questions_used
+          s1.Tdp.latency s4.Tdp.latency;
+      holds =
+        s4.Tdp.questions_used < 4 * budget
+        && s4.Tdp.latency <= s1.Tdp.latency +. 1e-9;
+    }
+  in
+  (* (3) uniform allocators beat their heavy counterparts on latency. *)
+  let f3 =
+    let he = lat "HE" Selection.ct25 and uhe = lat "uHE" Selection.ct25 in
+    let hf = lat "HF" Selection.ct25 and uhf = lat "uHF" Selection.ct25 in
+    {
+      id = 3;
+      claim = "uHE and uHF achieve lower latency than HE and HF";
+      evidence =
+        Printf.sprintf "uHE %.0f vs HE %.0f; uHF %.0f vs HF %.0f (s)" uhe he
+          uhf hf;
+      holds = uhe <= he +. 1e-6 && uhf <= hf +. 1e-6;
+    }
+  in
+  (* (4) uniform allocators reach singleton more often (away from the
+     minimum budget). *)
+  let f4 =
+    let s_he = single "HE" Selection.ct25
+    and s_uhe = single "uHE" Selection.ct25
+    and s_hf = single "HF" Selection.ct25
+    and s_uhf = single "uHF" Selection.ct25 in
+    {
+      id = 4;
+      claim = "uniform allocations reach singleton termination more often \
+               than HE/HF (budgets away from the minimum)";
+      evidence =
+        Printf.sprintf "singleton: uHE %.0f%% vs HE %.0f%%; uHF %.0f%% vs HF %.0f%%"
+          (100.0 *. s_uhe) (100.0 *. s_he) (100.0 *. s_uhf) (100.0 *. s_hf);
+      holds = s_uhe >= s_he -. 1e-6 && s_uhf >= s_hf -. 1e-6;
+    }
+  in
+  (* (5) Tournament-formation has the best singleton probability under
+     any allocator. *)
+  let f5 =
+    let ok =
+      List.for_all
+        (fun (n, _) ->
+          single n Selection.tournament >= single n Selection.ct25 -. 1e-6)
+        allocators
+    in
+    {
+      id = 5;
+      claim = "Tournament-formation achieves the highest singleton \
+               probability under every budget allocator";
+      evidence =
+        String.concat "; "
+          (List.map
+             (fun (n, _) ->
+               Printf.sprintf "%s: %.0f%% vs %.0f%%" n
+                 (100.0 *. single n Selection.tournament)
+                 (100.0 *. single n Selection.ct25))
+             allocators);
+      holds = ok;
+    }
+  in
+  (* (6) tDP's computation is negligible next to the crowd's time. *)
+  let f6 =
+    let t0 = Unix.gettimeofday () in
+    let _ = Tdp.solve (Problem.create ~elements ~budget ~latency:model) in
+    let solve_seconds = Unix.gettimeofday () -. t0 in
+    let crowd_seconds = lat "tDP" Selection.tournament in
+    {
+      id = 6;
+      claim = "tDP's running time is orders of magnitude below the time \
+               spent waiting for the crowd";
+      evidence =
+        Printf.sprintf "solve %.4f s vs crowd %.0f s (%.0fx)" solve_seconds
+          crowd_seconds
+          (crowd_seconds /. Float.max 1e-6 solve_seconds);
+      holds = solve_seconds *. 100.0 < crowd_seconds;
+    }
+  in
+  { findings = [ f1; f2; f3; f4; f5; f6 ]; elements; budget }
+
+let print t =
+  Printf.printf "Sec. 6.8 findings on c0 = %d, b = %d:\n" t.elements t.budget;
+  List.iter
+    (fun f ->
+      Printf.printf "(%d) [%s] %s\n    measured: %s\n" f.id
+        (if f.holds then "HOLDS" else "FAILS")
+        f.claim f.evidence)
+    t.findings
+
+let all_hold t = List.for_all (fun f -> f.holds) t.findings

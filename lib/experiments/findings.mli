@@ -1,0 +1,24 @@
+(** Sec. 6.8 — the paper's summary findings, regenerated as data.
+
+    Runs a compact allocation x selection grid and evaluates each of the
+    paper's six take-aways against it. Each finding carries the
+    measurements behind it so the report is auditable; [holds] is the
+    programmatic verdict. Finding (6) (tDP's running time is orders of
+    magnitude below the crowd's) compares wall-clock tDP time against
+    the simulated crowd latency of the same instance. *)
+
+type finding = {
+  id : int;  (** 1..6, the paper's numbering *)
+  claim : string;  (** paraphrase of the paper's statement *)
+  evidence : string;  (** the measured numbers backing the verdict *)
+  holds : bool;
+}
+
+type t = { findings : finding list; elements : int; budget : int }
+
+val run : ?runs:int -> ?seed:int -> ?elements:int -> ?budget:int -> unit -> t
+(** Defaults: 30 runs, c0 = 200, b = 1600 (compact but representative). *)
+
+val print : t -> unit
+
+val all_hold : t -> bool

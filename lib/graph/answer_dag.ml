@@ -1,0 +1,153 @@
+type t = {
+  n : int;
+  wins : (int, unit) Hashtbl.t array; (* wins.(a) holds b iff a beat b directly *)
+  lost_to : (int, unit) Hashtbl.t array; (* lost_to.(b) holds a iff a beat b directly *)
+  mutable answer_count : int;
+}
+
+exception Cycle of int * int
+
+let create n =
+  if n < 0 then invalid_arg "Answer_dag.create: negative size";
+  {
+    n;
+    wins = Array.init n (fun _ -> Hashtbl.create 4);
+    lost_to = Array.init n (fun _ -> Hashtbl.create 4);
+    answer_count = 0;
+  }
+
+let size t = t.n
+
+let copy t =
+  {
+    n = t.n;
+    wins = Array.map Hashtbl.copy t.wins;
+    lost_to = Array.map Hashtbl.copy t.lost_to;
+    answer_count = t.answer_count;
+  }
+
+let check_id t x name =
+  if x < 0 || x >= t.n then invalid_arg ("Answer_dag: out-of-range element in " ^ name)
+
+let beats_directly t a b =
+  check_id t a "beats_directly";
+  check_id t b "beats_directly";
+  Hashtbl.mem t.wins.(a) b
+
+(* DFS over direct wins; the graph is acyclic so plain visited-set DFS
+   terminates. *)
+let beats t a b =
+  check_id t a "beats";
+  check_id t b "beats";
+  let visited = Hashtbl.create 16 in
+  let rec dfs x =
+    if x = b then true
+    else if Hashtbl.mem visited x then false
+    else begin
+      Hashtbl.add visited x ();
+      Hashtbl.fold (fun y () acc -> acc || dfs y) t.wins.(x) false
+    end
+  in
+  a <> b && dfs a
+
+let add_answer_unchecked t ~winner ~loser =
+  check_id t winner "add_answer";
+  check_id t loser "add_answer";
+  if winner = loser then invalid_arg "Answer_dag.add_answer: self-comparison";
+  if not (Hashtbl.mem t.wins.(winner) loser) then begin
+    Hashtbl.replace t.wins.(winner) loser ();
+    Hashtbl.replace t.lost_to.(loser) winner ();
+    t.answer_count <- t.answer_count + 1
+  end
+
+let add_answer t ~winner ~loser =
+  check_id t winner "add_answer";
+  check_id t loser "add_answer";
+  if winner = loser then invalid_arg "Answer_dag.add_answer: self-comparison";
+  if Hashtbl.mem t.wins.(winner) loser then ()
+  else if beats t loser winner then raise (Cycle (winner, loser))
+  else add_answer_unchecked t ~winner ~loser
+
+let losses t x =
+  check_id t x "losses";
+  Hashtbl.length t.lost_to.(x)
+
+let direct_wins t x =
+  check_id t x "direct_wins";
+  Hashtbl.fold (fun y () acc -> y :: acc) t.wins.(x) []
+
+let direct_losses_to t x =
+  check_id t x "direct_losses_to";
+  Hashtbl.fold (fun y () acc -> y :: acc) t.lost_to.(x) []
+
+let remaining_candidates t =
+  let rec loop acc i =
+    if i < 0 then acc
+    else if Hashtbl.length t.lost_to.(i) = 0 then loop (i :: acc) (i - 1)
+    else loop acc (i - 1)
+  in
+  loop [] (t.n - 1)
+
+let is_singleton t =
+  match remaining_candidates t with [ _ ] -> true | _ -> false
+
+let winner t = match remaining_candidates t with [ w ] -> Some w | _ -> None
+
+let answers t =
+  let acc = ref [] in
+  Array.iteri
+    (fun a tbl -> Hashtbl.iter (fun b () -> acc := (a, b) :: !acc) tbl)
+    t.wins;
+  !acc
+
+let answer_count t = t.answer_count
+
+let topological_order t =
+  (* Kahn's algorithm on the win relation: sources are elements nobody
+     beat, i.e. the remaining candidates. *)
+  let indeg = Array.init t.n (fun i -> Hashtbl.length t.lost_to.(i)) in
+  let queue = Queue.create () in
+  Array.iteri (fun i d -> if d = 0 then Queue.add i queue) indeg;
+  let order = Array.make t.n 0 in
+  let k = ref 0 in
+  while not (Queue.is_empty queue) do
+    let x = Queue.pop queue in
+    order.(!k) <- x;
+    incr k;
+    Hashtbl.iter
+      (fun y () ->
+        indeg.(y) <- indeg.(y) - 1;
+        if indeg.(y) = 0 then Queue.add y queue)
+      t.wins.(x)
+  done;
+  assert (!k = t.n);
+  order
+
+let transitive_win_counts t =
+  (* Process in reverse topological order (losers first) accumulating
+     descendant sets as bitsets packed in Bytes. *)
+  let order = topological_order t in
+  let words = (t.n + 62) / 63 in
+  let desc = Array.make t.n [||] in
+  let counts = Array.make t.n 0 in
+  for idx = t.n - 1 downto 0 do
+    let x = order.(idx) in
+    let set = Array.make words 0 in
+    Hashtbl.iter
+      (fun y () ->
+        set.(y / 63) <- set.(y / 63) lor (1 lsl (y mod 63));
+        Array.iteri (fun w bits -> set.(w) <- set.(w) lor bits) desc.(y))
+      t.wins.(x);
+    desc.(x) <- set;
+    let c = ref 0 in
+    Array.iter
+      (fun bits ->
+        let b = ref bits in
+        while !b <> 0 do
+          b := !b land (!b - 1);
+          incr c
+        done)
+      set;
+    counts.(x) <- !c
+  done;
+  counts

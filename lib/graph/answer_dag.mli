@@ -1,0 +1,77 @@
+(** The directed acyclic graph of answers (Sec. 4 of the paper).
+
+    Elements are integers [0 .. n-1]. An answer [(winner, loser)] is the
+    paper's directed edge from [loser] to [winner] ("a won over b"). The
+    {e remaining candidates} (RC set, Def. 5) are the elements with no
+    outgoing edge in the paper's orientation — i.e. the elements that have
+    not lost any comparison. Because answers come from a strict total
+    order (via the RWL), the graph is acyclic; [add_answer] enforces this
+    and rejects answers that would close a cycle. *)
+
+type t
+
+val create : int -> t
+(** [create n] is the empty answer DAG over elements [0..n-1]. Raises
+    [Invalid_argument] if [n < 0]. *)
+
+val size : t -> int
+
+val copy : t -> t
+
+exception Cycle of int * int
+(** Raised by [add_answer] when the new answer would contradict the
+    transitive closure of previous answers. *)
+
+val add_answer : t -> winner:int -> loser:int -> unit
+(** Record that [winner] beat [loser]. Duplicate answers are idempotent.
+    Raises [Cycle (winner, loser)] if [loser] already (transitively) beat
+    [winner]; raises [Invalid_argument] on out-of-range ids or a
+    self-comparison. The cycle check walks the win relation (O(edges));
+    use {!add_answer_unchecked} in bulk paths whose input is already
+    conflict-free. *)
+
+val add_answer_unchecked : t -> winner:int -> loser:int -> unit
+(** [add_answer] without the transitive cycle check — constant time.
+    The caller must guarantee the answer cannot contradict previous ones
+    (true for oracle answers and for RWL output, which are consistent
+    with a single total order). Still validates ids and idempotence; an
+    actually-cyclic insertion silently corrupts candidate accounting, so
+    never use this on raw worker answers. *)
+
+val beats_directly : t -> int -> int -> bool
+(** [beats_directly t a b] is [true] iff the answer [(a, b)] was recorded. *)
+
+val beats : t -> int -> int -> bool
+(** Transitive: [a] beat [b] directly or through a chain of answers. *)
+
+val losses : t -> int -> int
+(** Number of direct comparisons this element lost. *)
+
+val direct_wins : t -> int -> int list
+(** Elements this element beat directly. *)
+
+val direct_losses_to : t -> int -> int list
+(** Elements that beat this element directly. *)
+
+val remaining_candidates : t -> int list
+(** The RC set: elements with zero losses, ascending. *)
+
+val is_singleton : t -> bool
+(** [true] iff exactly one candidate remains. *)
+
+val winner : t -> int option
+(** The single remaining candidate, when [is_singleton]. *)
+
+val answers : t -> (int * int) list
+(** All recorded answers as [(winner, loser)], unspecified order. *)
+
+val answer_count : t -> int
+
+val transitive_win_counts : t -> int array
+(** [transitive_win_counts t] maps each element to the number of elements
+    it beat implicitly or explicitly (size of its descendant set in the
+    win relation). Used by the Algorithm-2 scoring function. *)
+
+val topological_order : t -> int array
+(** Elements ordered winners-first: if [a] beats [b] then [a] appears
+    before [b]. *)

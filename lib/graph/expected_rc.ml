@@ -1,0 +1,26 @@
+let closed_form g =
+  let ds = Undirected.degrees g in
+  Array.fold_left (fun acc d -> acc +. (1.0 /. float_of_int (d + 1))) 0.0 ds
+
+let lower_bound ~nodes ~edges =
+  if nodes <= 0 then 0.0
+  else begin
+    (* Near-regular degree sequence: total degree 2*edges spread so that
+       degrees differ by at most one (Lemma 5). *)
+    let total = 2 * edges in
+    let base = total / nodes in
+    let extra = total mod nodes in
+    let high = float_of_int extra /. float_of_int (base + 2) in
+    let low = float_of_int (nodes - extra) /. float_of_int (base + 1) in
+    high +. low
+  end
+
+let monte_carlo ?(runs = 1000) rng g =
+  let n = Undirected.size g in
+  let total = ref 0 in
+  for _ = 1 to runs do
+    let perm = Crowdmax_util.Rng.permutation rng n in
+    (* perm.(v) is v's rank: higher rank = greater element. *)
+    total := !total + List.length (Undirected.remaining_after g perm)
+  done;
+  float_of_int !total /. float_of_int runs

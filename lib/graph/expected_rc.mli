@@ -1,0 +1,19 @@
+(** Expected number of remaining candidates after one round (Appendix A).
+
+    Under a uniform history, Lemma 4 gives the closed form
+    [E(R) = sum over v of 1/(d_v + 1)] for a question graph with degrees
+    [d_v]; Theorem 5 shows near-regular (tournament) graphs minimize it.
+    The Monte-Carlo estimator exists to cross-check the formula in tests
+    and to study non-uniform histories empirically. *)
+
+val closed_form : Undirected.t -> float
+(** Lemma 4's formula. *)
+
+val lower_bound : nodes:int -> edges:int -> float
+(** The minimum achievable [E(R)] over all graphs with the given node and
+    edge counts, i.e. the value for a near-regular degree sequence
+    (Lemma 5). *)
+
+val monte_carlo : ?runs:int -> Crowdmax_util.Rng.t -> Undirected.t -> float
+(** Sample uniform ground-truth permutations, orient the graph by each,
+    and average the RC-set size. Default 1000 runs. *)

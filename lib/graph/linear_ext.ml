@@ -1,0 +1,75 @@
+(* Count linear extensions with a DP over subsets.
+
+   f(S) = number of linear orders of the elements in S that respect all
+   answers among S, built by repeatedly choosing the top element: an
+   element may be placed on top of S only if nothing in S beats it.
+   Then f(S) = sum over such maximal v of f(S \ {v}), f({}) = 1.
+
+   beaten_by.(v) is the bitmask of elements that beat v directly; v is
+   maximal in S iff (beaten_by.(v) land S) = 0. Direct edges suffice:
+   any transitive constraint is implied. *)
+
+let max_elements = 20
+
+let masks t =
+  let n = Answer_dag.size t in
+  if n > max_elements then invalid_arg "Linear_ext: more than 20 elements";
+  let beaten_by = Array.make n 0 in
+  List.iter
+    (fun (winner, loser) -> beaten_by.(loser) <- beaten_by.(loser) lor (1 lsl winner))
+    (Answer_dag.answers t);
+  beaten_by
+
+let count_table t =
+  let n = Answer_dag.size t in
+  let beaten_by = masks t in
+  let full = (1 lsl n) - 1 in
+  let f = Array.make (full + 1) 0 in
+  f.(0) <- 1;
+  for s = 1 to full do
+    let acc = ref 0 in
+    let rem = ref s in
+    while !rem <> 0 do
+      let v_bit = !rem land - !rem in
+      rem := !rem land (!rem - 1);
+      let v = ref 0 in
+      let b = ref v_bit in
+      while !b > 1 do
+        b := !b lsr 1;
+        incr v
+      done;
+      if beaten_by.(!v) land s = 0 then acc := !acc + f.(s lxor v_bit)
+    done;
+    f.(s) <- !acc
+  done;
+  f
+
+let count t =
+  let n = Answer_dag.size t in
+  if n = 0 then 1 else (count_table t).((1 lsl n) - 1)
+
+let p_max t i =
+  let n = Answer_dag.size t in
+  if i < 0 || i >= n then invalid_arg "Linear_ext.p_max: out of range";
+  let beaten_by = masks t in
+  if beaten_by.(i) <> 0 then 0.0
+  else begin
+    let f = count_table t in
+    let full = (1 lsl n) - 1 in
+    let total = f.(full) in
+    if total = 0 then 0.0
+    else float_of_int f.(full lxor (1 lsl i)) /. float_of_int total
+  end
+
+let p_max_all t =
+  let n = Answer_dag.size t in
+  if n = 0 then [||]
+  else begin
+    let beaten_by = masks t in
+    let f = count_table t in
+    let full = (1 lsl n) - 1 in
+    let total = float_of_int f.(full) in
+    Array.init n (fun i ->
+        if beaten_by.(i) <> 0 then 0.0
+        else float_of_int f.(full lxor (1 lsl i)) /. total)
+  end

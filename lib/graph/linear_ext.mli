@@ -1,0 +1,21 @@
+(** Linear-extension counting and the probability of being the MAX
+    (Appendix B.1).
+
+    The paper proves computing [P-Max] is #P-hard in general; this module
+    gives the exact answer for small instances (bitmask dynamic program
+    over down-sets, up to 20 elements) so the scoring heuristic of
+    Appendix B.2 can be validated against ground truth. *)
+
+val count : Answer_dag.t -> int
+(** Number of permutations of all elements consistent with the recorded
+    answers. Raises [Invalid_argument] for DAGs with more than 20
+    elements. *)
+
+val p_max : Answer_dag.t -> int -> float
+(** [p_max dag i] is the probability that element [i] is the MAX under a
+    uniform prior over consistent permutations. Zero when [i] has already
+    lost a comparison. Raises [Invalid_argument] above 20 elements or on
+    an out-of-range [i]. *)
+
+val p_max_all : Answer_dag.t -> float array
+(** [p_max] for every element; sums to 1. *)

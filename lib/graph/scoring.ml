@@ -1,0 +1,39 @@
+let scores_array dag =
+  let n = Answer_dag.size dag in
+  let energy = Array.make n (if n = 0 then 0.0 else 1.0 /. float_of_int n) in
+  if n > 0 then begin
+    (* Algorithm 2 processes elements in increasing order of the number
+       of comparisons won implicitly or explicitly; an element with
+       outgoing edges (it lost to someone) forwards its energy split
+       evenly among the elements that beat it. Processing in this order
+       guarantees every element is drained before anything it feeds. *)
+    let won = Answer_dag.transitive_win_counts dag in
+    let order = Array.init n (fun i -> i) in
+    Array.sort (fun a b -> compare (won.(a), a) (won.(b), b)) order;
+    Array.iter
+      (fun e ->
+        if energy.(e) > 0.0 then begin
+          match Answer_dag.direct_losses_to dag e with
+          | [] -> ()
+          | beaters ->
+              let share = energy.(e) /. float_of_int (List.length beaters) in
+              List.iter (fun w -> energy.(w) <- energy.(w) +. share) beaters;
+              energy.(e) <- 0.0
+        end)
+      order
+  end;
+  energy
+
+let scores dag =
+  let energy = scores_array dag in
+  List.map (fun c -> (c, energy.(c))) (Answer_dag.remaining_candidates dag)
+
+let ranked_candidates dag =
+  let cs = scores dag in
+  let sorted =
+    List.sort
+      (fun (a, ea) (b, eb) ->
+        match compare eb ea with 0 -> compare a b | c -> c)
+      cs
+  in
+  List.map fst sorted

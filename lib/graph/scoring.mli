@@ -1,0 +1,21 @@
+(** The PageRank-like scoring function of Appendix B.2 (Algorithm 2).
+
+    Every element starts with energy [1/c0]; elements that lost at least
+    one comparison pass their energy, in increasing order of (implicit or
+    explicit) win count, along their outgoing answer edges — i.e. to the
+    elements that beat them. All energy ends up on the remaining
+    candidates, where a higher score marks a "stronger" candidate. The
+    scores equal the trapping probabilities of the random walk described
+    in the paper. *)
+
+val scores : Answer_dag.t -> (int * float) list
+(** [(candidate, energy)] for every remaining candidate, energies summing
+    to 1 (for a non-empty DAG), candidates in ascending id order. *)
+
+val scores_array : Answer_dag.t -> float array
+(** Energy per element after the transfer; zero for every element that
+    lost a comparison and has an outgoing edge. *)
+
+val ranked_candidates : Answer_dag.t -> int list
+(** Remaining candidates sorted by descending score (ties by ascending
+    id) — the "strongest first" order COMPLETE uses. *)

@@ -1,0 +1,43 @@
+(** Simple undirected question graphs (Sec. 4).
+
+    A round's questions form an undirected graph over the surviving
+    candidates; this module provides the structural queries the theory
+    needs (degrees, independence checks, regularity) and the DAG
+    orientation induced by a permutation (the Lemma-2 construction). *)
+
+type t
+
+val create : int -> t
+(** [create n]: empty graph on nodes [0..n-1]. *)
+
+val of_edges : int -> (int * int) list -> t
+(** Build from an edge list; duplicate and symmetric duplicates collapse.
+    Raises [Invalid_argument] on out-of-range ids or self-loops. *)
+
+val size : t -> int
+val edge_count : t -> int
+val has_edge : t -> int -> int -> bool
+val add_edge : t -> int -> int -> unit
+val edges : t -> (int * int) list
+(** Each edge once, with [fst < snd]. *)
+
+val neighbors : t -> int -> int list
+val degree : t -> int -> int
+val degrees : t -> int array
+
+val is_independent : t -> int list -> bool
+(** No edge joins two listed nodes. *)
+
+val is_near_regular : t -> bool
+(** Max degree - min degree <= 1 (the Lemma-5 optimality condition). *)
+
+val orient_by_permutation : t -> int array -> Answer_dag.t
+(** [orient_by_permutation g rank] directs every edge from the
+    lower-ranked to the higher-ranked endpoint, where [rank.(v)] gives
+    [v]'s position in the true order (higher rank wins). This is exactly
+    the set of answers produced by error-free workers whose ground truth
+    is [rank]. *)
+
+val remaining_after : t -> int array -> int list
+(** [remaining_after g rank] is the RC set of [orient_by_permutation g
+    rank]: the nodes that win all their comparisons under that truth. *)

@@ -1,0 +1,86 @@
+open Crowdmax_util
+
+type observation = { batch_size : int; seconds : float }
+
+let average_by_size obs =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun { batch_size; seconds } ->
+      let sum, count =
+        match Hashtbl.find_opt tbl batch_size with
+        | Some (s, c) -> (s +. seconds, c + 1)
+        | None -> (seconds, 1)
+      in
+      Hashtbl.replace tbl batch_size (sum, count))
+    obs;
+  let pairs =
+    Hashtbl.fold (fun size (sum, count) acc -> (size, sum /. float_of_int count) :: acc) tbl []
+  in
+  let arr = Array.of_list pairs in
+  Array.sort (fun (a, _) (b, _) -> compare a b) arr;
+  arr
+
+let to_points obs =
+  Array.of_list
+    (List.map (fun { batch_size; seconds } -> (float_of_int batch_size, seconds)) obs)
+
+let fit_linear obs =
+  let fit = Stats.linear_regression (to_points obs) in
+  Model.linear ~delta:fit.Stats.intercept ~alpha:fit.Stats.slope
+
+let fit_power ~delta obs =
+  let fit = Stats.power_regression ~delta (to_points obs) in
+  Model.power ~delta:fit.Stats.delta ~alpha:fit.Stats.alpha ~p:fit.Stats.p
+
+let fit_piecewise obs = Model.Piecewise (average_by_size obs)
+
+type linear_interval = {
+  delta_low : float;
+  delta_high : float;
+  alpha_low : float;
+  alpha_high : float;
+}
+
+let bootstrap_linear ?(resamples = 1000) ?(confidence = 0.95) rng obs =
+  if confidence <= 0.0 || confidence >= 1.0 then
+    invalid_arg "Estimate.bootstrap_linear: confidence outside (0,1)";
+  let base = Array.of_list obs in
+  let n = Array.length base in
+  (* fail early with the fit's own error if the data is unusable *)
+  let _ = fit_linear obs in
+  let deltas = Array.make resamples 0.0 in
+  let alphas = Array.make resamples 0.0 in
+  let rec one_resample () =
+    let sample = List.init n (fun _ -> base.(Rng.int rng n)) in
+    match fit_linear sample with
+    | Model.Linear { delta; alpha } -> (delta, alpha)
+    | _ -> assert false
+    | exception Invalid_argument _ ->
+        (* all-equal batch sizes drawn; redraw *)
+        one_resample ()
+  in
+  for i = 0 to resamples - 1 do
+    let d, a = one_resample () in
+    deltas.(i) <- d;
+    alphas.(i) <- a
+  done;
+  let tail = 100.0 *. (1.0 -. confidence) /. 2.0 in
+  {
+    delta_low = Stats.percentile deltas tail;
+    delta_high = Stats.percentile deltas (100.0 -. tail);
+    alpha_low = Stats.percentile alphas tail;
+    alpha_high = Stats.percentile alphas (100.0 -. tail);
+  }
+
+let residual_rms model obs =
+  match obs with
+  | [] -> 0.0
+  | _ ->
+      let se =
+        List.fold_left
+          (fun acc { batch_size; seconds } ->
+            let e = Model.eval model batch_size -. seconds in
+            acc +. (e *. e))
+          0.0 obs
+      in
+      sqrt (se /. float_of_int (List.length obs))

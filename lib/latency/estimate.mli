@@ -1,0 +1,45 @@
+(** Estimating L(q) from platform measurements (Sec. 6.1).
+
+    The paper publishes batches of several sizes on MTurk, measures
+    time-to-last-answer 20 times per size, and fits
+    [L(q) = delta + alpha q] by least squares. This module reproduces
+    that pipeline against any source of [(batch size, seconds)]
+    observations — in this repo, the discrete-event platform simulator. *)
+
+type observation = { batch_size : int; seconds : float }
+
+val average_by_size : observation list -> (int * float) array
+(** Mean observed latency per batch size, ascending in size. *)
+
+val fit_linear : observation list -> Model.t
+(** Least-squares [Linear] fit. Raises [Invalid_argument] with fewer than
+    two distinct batch sizes. *)
+
+val fit_power : delta:float -> observation list -> Model.t
+(** Fit [delta + alpha q^p] with [delta] fixed, by log-log regression. *)
+
+val fit_piecewise : observation list -> Model.t
+(** The empirical curve itself: mean latency per size as [Piecewise]
+    knots. *)
+
+val residual_rms : Model.t -> observation list -> float
+(** Root-mean-square error of a model against observations. *)
+
+type linear_interval = {
+  delta_low : float;
+  delta_high : float;
+  alpha_low : float;
+  alpha_high : float;
+}
+
+val bootstrap_linear :
+  ?resamples:int ->
+  ?confidence:float ->
+  Crowdmax_util.Rng.t ->
+  observation list ->
+  linear_interval
+(** Percentile-bootstrap confidence intervals for the linear fit's
+    parameters (default 1000 resamples, 95% confidence): quantifies how
+    rough the Sec. 6.1 estimate is. Resamples that collapse x-variance
+    are redrawn. Raises [Invalid_argument] with fewer than two distinct
+    batch sizes or [confidence] outside (0, 1). *)

@@ -1,0 +1,56 @@
+type t =
+  | Linear of { delta : float; alpha : float }
+  | Power of { delta : float; alpha : float; p : float }
+  | Piecewise of (int * float) array
+  | Custom of (int -> float)
+
+let eval t q =
+  if q < 0 then invalid_arg "Latency.Model.eval: negative batch size";
+  let qf = float_of_int q in
+  match t with
+  | Linear { delta; alpha } -> delta +. (alpha *. qf)
+  | Power { delta; alpha; p } -> delta +. (alpha *. (qf ** p))
+  | Custom f -> f q
+  | Piecewise knots ->
+      let n = Array.length knots in
+      if n = 0 then invalid_arg "Latency.Model.eval: empty piecewise model";
+      let x0, y0 = knots.(0) in
+      let xn, yn = knots.(n - 1) in
+      if q <= x0 then y0
+      else if q >= xn then begin
+        if n = 1 then yn
+        else begin
+          let xp, yp = knots.(n - 2) in
+          let slope = (yn -. yp) /. float_of_int (xn - xp) in
+          yn +. (slope *. float_of_int (q - xn))
+        end
+      end
+      else begin
+        (* Binary search for the segment containing q. *)
+        let lo = ref 0 and hi = ref (n - 1) in
+        while !hi - !lo > 1 do
+          let mid = (!lo + !hi) / 2 in
+          if fst knots.(mid) <= q then lo := mid else hi := mid
+        done;
+        let xl, yl = knots.(!lo) and xh, yh = knots.(!hi) in
+        let w = float_of_int (q - xl) /. float_of_int (xh - xl) in
+        yl +. (w *. (yh -. yl))
+      end
+
+let paper_mturk = Linear { delta = 239.0; alpha = 0.06 }
+
+let linear ~delta ~alpha = Linear { delta; alpha }
+let power ~delta ~alpha ~p = Power { delta; alpha; p }
+
+let per_round_overhead t = eval t 0
+
+let is_increasing_on t qmax =
+  let rec loop q = q >= qmax || (eval t q <= eval t (q + 1) && loop (q + 1)) in
+  loop 0
+
+let pp fmt = function
+  | Linear { delta; alpha } -> Format.fprintf fmt "L(q) = %g + %g q" delta alpha
+  | Power { delta; alpha; p } ->
+      Format.fprintf fmt "L(q) = %g + %g q^%g" delta alpha p
+  | Piecewise knots -> Format.fprintf fmt "L(q) = piecewise(%d knots)" (Array.length knots)
+  | Custom _ -> Format.fprintf fmt "L(q) = <custom>"

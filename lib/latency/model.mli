@@ -1,0 +1,39 @@
+(** Latency functions L(q) (Def. 3): the time to get back all answers
+    when [q] questions are posted in a single round.
+
+    The paper's experiments use [L(q) = 239 + 0.06 q] (fitted on MTurk,
+    Sec. 6.1) and the generalized [L(q) = delta + alpha * q^p]
+    (Sec. 6.6). [Piecewise] interpolates an empirical curve such as
+    Fig. 11(a)'s measurements; [Custom] admits anything. All models must
+    be non-decreasing in [q] — that is the only assumption the theory
+    (Sec. 4.1) needs — and [is_increasing_on] lets tests check it. *)
+
+type t =
+  | Linear of { delta : float; alpha : float }
+      (** [delta + alpha * q] seconds. *)
+  | Power of { delta : float; alpha : float; p : float }
+      (** [delta + alpha * q^p] seconds. *)
+  | Piecewise of (int * float) array
+      (** Sorted [(q, seconds)] knots; linear interpolation between
+          knots, flat extrapolation before the first and linear (last
+          segment slope) after the last. *)
+  | Custom of (int -> float)
+
+val eval : t -> int -> float
+(** [eval l q] for [q >= 0]. Raises [Invalid_argument] on negative [q]
+    or an empty [Piecewise]. *)
+
+val paper_mturk : t
+(** The fitted MTurk function from Sec. 6.1: [239 + 0.06 q]. *)
+
+val linear : delta:float -> alpha:float -> t
+val power : delta:float -> alpha:float -> p:float -> t
+
+val per_round_overhead : t -> float
+(** [eval t 0] — the cost of merely opening a round. *)
+
+val is_increasing_on : t -> int -> bool
+(** [is_increasing_on l qmax] checks [eval l q <= eval l (q+1)] for all
+    [q] in [0, qmax). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,138 @@
+open Crowdmax_util
+module Dag = Crowdmax_graph.Answer_dag
+module Scoring = Crowdmax_graph.Scoring
+module Model = Crowdmax_latency.Model
+module Problem = Crowdmax_core.Problem
+module Tdp = Crowdmax_core.Tdp
+module Allocation = Crowdmax_core.Allocation
+module Selection = Crowdmax_selection.Selection
+module Ground_truth = Crowdmax_crowd.Ground_truth
+
+type result = { engine_result : Engine.result; replans : int }
+
+let run rng ~problem ~selection truth =
+  let n = Ground_truth.size truth in
+  if n <> problem.Problem.elements then
+    invalid_arg "Adaptive.run: ground truth size mismatch";
+  let model = problem.Problem.latency in
+  let dag = Dag.create n in
+  let remaining_budget = ref problem.Problem.budget in
+  let total_latency = ref 0.0 in
+  let questions_posted = ref 0 in
+  let rounds_run = ref 0 in
+  let replans = ref 0 in
+  let trace = ref [] in
+  let continue_ = ref true in
+  while !continue_ do
+    let candidates = Array.of_list (Dag.remaining_candidates dag) in
+    let c = Array.length candidates in
+    if c <= 1 || !remaining_budget < c - 1 then continue_ := false
+    else begin
+      (* Re-plan for the actual state; the suffix of the previous plan is
+         only optimal for its worst case, this is optimal for reality. *)
+      let plan =
+        Tdp.solve
+          (Problem.create ~elements:c ~budget:!remaining_budget ~latency:model)
+      in
+      incr replans;
+      let round_budget =
+        match Allocation.round_budgets plan.Tdp.allocation with
+        | q :: _ -> min q !remaining_budget
+        | [] -> 0
+      in
+      if round_budget = 0 then continue_ := false
+      else begin
+        let input =
+          {
+            Selection.budget = round_budget;
+            candidates;
+            history = dag;
+            round_index = !rounds_run;
+            (* adaptive re-planning has no fixed horizon; report the
+               current plan's length for phase-split selectors *)
+            total_rounds = !rounds_run + Allocation.rounds plan.Tdp.allocation;
+          }
+        in
+        let questions = selection.Selection.select rng input in
+        let posted = List.length questions in
+        if posted = 0 then continue_ := false
+        else begin
+          List.iter
+            (fun (a, b) ->
+              let w = Ground_truth.better truth a b in
+              Dag.add_answer_unchecked dag ~winner:w
+                ~loser:(if w = a then b else a))
+            questions;
+          let latency = Model.eval model posted in
+          total_latency := !total_latency +. latency;
+          questions_posted := !questions_posted + posted;
+          remaining_budget := !remaining_budget - posted;
+          let after = List.length (Dag.remaining_candidates dag) in
+          trace :=
+            {
+              Engine.round_index = !rounds_run;
+              round_budget;
+              distinct_questions = posted;
+              padded_questions = 0;
+              candidates_before = c;
+              candidates_after = after;
+              round_latency = latency;
+            }
+            :: !trace;
+          incr rounds_run
+        end
+      end
+    end
+  done;
+  let remaining = Dag.remaining_candidates dag in
+  let singleton = match remaining with [ _ ] -> true | _ -> false in
+  let chosen =
+    match remaining with
+    | [ w ] -> w
+    | _ -> (
+        match Scoring.ranked_candidates dag with
+        | best :: _ -> best
+        | [] -> assert false)
+  in
+  {
+    engine_result =
+      {
+        Engine.chosen;
+        correct = chosen = Ground_truth.max_element truth;
+        singleton;
+        rounds_run = !rounds_run;
+        questions_posted = !questions_posted;
+        total_latency = !total_latency;
+        trace = List.rev !trace;
+      };
+    replans = !replans;
+  }
+
+let replicate ~runs ~seed ~problem ~selection =
+  if runs < 1 then invalid_arg "Adaptive.replicate: runs < 1";
+  let latencies = Array.make runs 0.0 in
+  let singles = ref 0 and corrects = ref 0 in
+  let questions = ref 0 and rounds = ref 0 in
+  let master = Rng.create seed in
+  for i = 0 to runs - 1 do
+    let rng = Rng.split master in
+    let truth = Ground_truth.random rng problem.Problem.elements in
+    let r = (run rng ~problem ~selection truth).engine_result in
+    latencies.(i) <- r.Engine.total_latency;
+    if r.Engine.singleton then incr singles;
+    if r.Engine.correct then incr corrects;
+    questions := !questions + r.Engine.questions_posted;
+    rounds := !rounds + r.Engine.rounds_run
+  done;
+  let f = float_of_int in
+  {
+    Engine.runs;
+    mean_latency = Stats.mean latencies;
+    stddev_latency = Stats.stddev latencies;
+    median_latency = Stats.percentile latencies 50.0;
+    p95_latency = Stats.percentile latencies 95.0;
+    singleton_rate = f !singles /. f runs;
+    correct_rate = f !corrects /. f runs;
+    mean_questions = f !questions /. f runs;
+    mean_rounds = f !rounds /. f runs;
+  }

@@ -1,0 +1,39 @@
+(** Adaptive tDP: re-plan after every round (an extension beyond the
+    paper).
+
+    Static tDP fixes the whole allocation up front, sized for the
+    worst case of every round (tournament winners are deterministic, so
+    with tournament selection the plan is exact). When rounds eliminate
+    more candidates than planned — cross-tournament extras, or a
+    non-tournament selector — the remaining plan is oversized. The
+    adaptive runner instead solves the MinLatency problem again after
+    each round for the *actual* surviving candidates and remaining
+    budget, and runs only the first round of each plan.
+
+    With plain tournament selection and no extras this reproduces static
+    tDP exactly (the DP's suffix optimality), which the test suite
+    checks; with extras it can only do better. The ablation bench
+    quantifies the gain. *)
+
+type result = {
+  engine_result : Engine.result;
+  replans : int;  (** number of tDP solves performed *)
+}
+
+val run :
+  Crowdmax_util.Rng.t ->
+  problem:Crowdmax_core.Problem.t ->
+  selection:Crowdmax_selection.Selection.t ->
+  Crowdmax_crowd.Ground_truth.t ->
+  result
+(** Run the MAX operator with per-round re-planning, error-free answers,
+    and latency from the problem's model. Raises [Invalid_argument] if
+    the ground truth size differs from the problem's element count. *)
+
+val replicate :
+  runs:int ->
+  seed:int ->
+  problem:Crowdmax_core.Problem.t ->
+  selection:Crowdmax_selection.Selection.t ->
+  Engine.aggregate
+(** Aggregate adaptive runs over random ground truths. *)

@@ -1,0 +1,202 @@
+open Crowdmax_util
+module Dag = Crowdmax_graph.Answer_dag
+module Scoring = Crowdmax_graph.Scoring
+module Model = Crowdmax_latency.Model
+module Allocation = Crowdmax_core.Allocation
+module Selection = Crowdmax_selection.Selection
+module Ground_truth = Crowdmax_crowd.Ground_truth
+module Platform = Crowdmax_crowd.Platform
+module Rwl = Crowdmax_crowd.Rwl
+
+type answer_source =
+  | Oracle
+  | Simulated of { platform : Platform.t; rwl : Rwl.config }
+  | Simulated_pool of {
+      platform : Platform.t;
+      pool : Crowdmax_crowd.Worker_pool.t;
+      votes : int;
+    }
+
+type config = {
+  allocation : Allocation.t;
+  selection : Selection.t;
+  latency_model : Model.t;
+  source : answer_source;
+  pad_to_round_budget : bool;
+}
+
+let config ?(source = Oracle) ?(pad_to_round_budget = true) ~allocation
+    ~selection ~latency_model () =
+  { allocation; selection; latency_model; source; pad_to_round_budget }
+
+type round_record = {
+  round_index : int;
+  round_budget : int;
+  distinct_questions : int;
+  padded_questions : int;
+  candidates_before : int;
+  candidates_after : int;
+  round_latency : float;
+}
+
+type result = {
+  chosen : int;
+  correct : bool;
+  singleton : bool;
+  rounds_run : int;
+  questions_posted : int;
+  total_latency : float;
+  trace : round_record list;
+}
+
+(* Answers for a round's questions plus the round latency. *)
+let answer_round rng cfg truth questions posted_count =
+  match cfg.source with
+  | Oracle ->
+      let answers =
+        List.map
+          (fun (a, b) ->
+            let w = Ground_truth.better truth a b in
+            (w, if w = a then b else a))
+          questions
+      in
+      (answers, Model.eval cfg.latency_model posted_count)
+  | Simulated { platform; rwl } ->
+      let outcome = Rwl.resolve rng rwl ~truth questions in
+      (* Latency: all raw repetitions of all posted questions (padding
+         included) go to the platform as one batch. *)
+      let raw_posted = rwl.Rwl.votes * posted_count in
+      let latency = Platform.batch_latency platform rng raw_posted in
+      (outcome.Rwl.answers, latency)
+  | Simulated_pool { platform; pool; votes } ->
+      let outcome = Rwl.resolve_pool rng ~pool ~votes ~truth questions in
+      let latency =
+        Platform.batch_latency platform rng (votes * posted_count)
+      in
+      (outcome.Rwl.answers, latency)
+
+let run rng cfg truth =
+  let n = Ground_truth.size truth in
+  let dag = Dag.create n in
+  let budgets = Array.of_list (Allocation.round_budgets cfg.allocation) in
+  let total_rounds = Array.length budgets in
+  let trace = ref [] in
+  let total_latency = ref 0.0 in
+  let questions_posted = ref 0 in
+  let rounds_run = ref 0 in
+  let finished = ref false in
+  let round = ref 0 in
+  while (not !finished) && !round < total_rounds do
+    let candidates = Array.of_list (Dag.remaining_candidates dag) in
+    if Array.length candidates <= 1 then finished := true
+    else begin
+      let budget = budgets.(!round) in
+      let input =
+        {
+          Selection.budget;
+          candidates;
+          history = dag;
+          round_index = !round;
+          total_rounds;
+        }
+      in
+      let questions = cfg.selection.Selection.select rng input in
+      let distinct = List.length questions in
+      let padded =
+        if cfg.pad_to_round_budget && distinct < budget then budget - distinct
+        else 0
+      in
+      let posted = distinct + padded in
+      if posted = 0 then begin
+        (* A selector that asks nothing cannot make progress; skip the
+           round without charging latency. *)
+        incr round
+      end
+      else begin
+        let answers, latency = answer_round rng cfg truth questions posted in
+        (* RWL / oracle answers are conflict-free by contract, so the
+           per-edge transitive cycle check would be pure overhead. *)
+        List.iter
+          (fun (winner, loser) -> Dag.add_answer_unchecked dag ~winner ~loser)
+          answers;
+        total_latency := !total_latency +. latency;
+        questions_posted := !questions_posted + posted;
+        incr rounds_run;
+        let after = List.length (Dag.remaining_candidates dag) in
+        trace :=
+          {
+            round_index = !round;
+            round_budget = budget;
+            distinct_questions = distinct;
+            padded_questions = padded;
+            candidates_before = Array.length candidates;
+            candidates_after = after;
+            round_latency = latency;
+          }
+          :: !trace;
+        incr round;
+        if after <= 1 then finished := true
+      end
+    end
+  done;
+  let remaining = Dag.remaining_candidates dag in
+  let singleton = match remaining with [ _ ] -> true | _ -> false in
+  let chosen =
+    match remaining with
+    | [ w ] -> w
+    | [] -> assert false (* someone always remains unbeaten *)
+    | _ :: _ -> (
+        match Scoring.ranked_candidates dag with
+        | best :: _ -> best
+        | [] -> assert false)
+  in
+  {
+    chosen;
+    correct = chosen = Ground_truth.max_element truth;
+    singleton;
+    rounds_run = !rounds_run;
+    questions_posted = !questions_posted;
+    total_latency = !total_latency;
+    trace = List.rev !trace;
+  }
+
+type aggregate = {
+  runs : int;
+  mean_latency : float;
+  stddev_latency : float;
+  median_latency : float;
+  p95_latency : float;
+  singleton_rate : float;
+  correct_rate : float;
+  mean_questions : float;
+  mean_rounds : float;
+}
+
+let replicate ~runs ~seed cfg ~elements =
+  if runs < 1 then invalid_arg "Engine.replicate: runs < 1";
+  let latencies = Array.make runs 0.0 in
+  let singles = ref 0 and corrects = ref 0 in
+  let questions = ref 0 and rounds = ref 0 in
+  let master = Rng.create seed in
+  for i = 0 to runs - 1 do
+    let rng = Rng.split master in
+    let truth = Ground_truth.random rng elements in
+    let r = run rng cfg truth in
+    latencies.(i) <- r.total_latency;
+    if r.singleton then incr singles;
+    if r.correct then incr corrects;
+    questions := !questions + r.questions_posted;
+    rounds := !rounds + r.rounds_run
+  done;
+  let f = float_of_int in
+  {
+    runs;
+    mean_latency = Stats.mean latencies;
+    stddev_latency = Stats.stddev latencies;
+    median_latency = Stats.percentile latencies 50.0;
+    p95_latency = Stats.percentile latencies 95.0;
+    singleton_rate = f !singles /. f runs;
+    correct_rate = f !corrects /. f runs;
+    mean_questions = f !questions /. f runs;
+    mean_rounds = f !rounds /. f runs;
+  }

@@ -1,0 +1,102 @@
+(** The MAX-operator execution engine (Sec. 1-2).
+
+    Runs the round loop: take the next round budget from the allocation
+    vector, let the question-selection algorithm pick the round's
+    questions among the surviving candidates, obtain answers (from the
+    error-free oracle, or from the simulated platform through the RWL),
+    fold them into the answer DAG, and advance the winners. Stops early
+    as soon as a single candidate remains; if the vector runs out with
+    several candidates left (no singleton termination), the
+    highest-scoring candidate is returned as the best guess.
+
+    Latency accounting follows the paper: a round that posts [q]
+    questions costs [L(q)]. Budget allocators other than tDP "always use
+    the whole budget" (Sec. 6.5), so when a selector cannot produce
+    enough distinct useful pairs the engine pads the round with redundant
+    questions — they are still posted, still cost latency, but add no
+    information. [pad_to_round_budget = false] disables this for
+    ablations. *)
+
+type answer_source =
+  | Oracle
+      (** error-free workers: every question is answered truthfully and
+          instantly by the ground truth; latency comes from the model *)
+  | Simulated of {
+      platform : Crowdmax_crowd.Platform.t;
+      rwl : Crowdmax_crowd.Rwl.config;
+    }
+      (** the discrete-event platform answers (with worker errors) and
+          the RWL cleans them up; round latency is the simulated batch
+          completion time of all [votes * q] raw questions *)
+  | Simulated_pool of {
+      platform : Crowdmax_crowd.Platform.t;
+      pool : Crowdmax_crowd.Worker_pool.t;
+      votes : int;
+    }
+      (** identified workers with heterogeneous latent accuracy; the RWL
+          forms each round's answers by accuracy-weighted consensus
+          ([Rwl.resolve_pool]); latency as in [Simulated] *)
+
+type config = {
+  allocation : Crowdmax_core.Allocation.t;
+  selection : Crowdmax_selection.Selection.t;
+  latency_model : Crowdmax_latency.Model.t;
+      (** used for latency whenever [answer_source = Oracle] *)
+  source : answer_source;
+  pad_to_round_budget : bool;
+}
+
+val config :
+  ?source:answer_source ->
+  ?pad_to_round_budget:bool ->
+  allocation:Crowdmax_core.Allocation.t ->
+  selection:Crowdmax_selection.Selection.t ->
+  latency_model:Crowdmax_latency.Model.t ->
+  unit ->
+  config
+(** Defaults: [Oracle] source, padding on. *)
+
+type round_record = {
+  round_index : int;
+  round_budget : int;
+  distinct_questions : int;  (** informative questions posted *)
+  padded_questions : int;  (** redundant filler posted *)
+  candidates_before : int;
+  candidates_after : int;
+  round_latency : float;
+}
+
+type result = {
+  chosen : int;  (** the element returned as the MAX *)
+  correct : bool;  (** equals the true MAX *)
+  singleton : bool;  (** exactly one candidate remained (Sec. 4) *)
+  rounds_run : int;
+  questions_posted : int;  (** distinct + padded over all rounds run *)
+  total_latency : float;
+  trace : round_record list;  (** in round order *)
+}
+
+val run :
+  Crowdmax_util.Rng.t -> config -> Crowdmax_crowd.Ground_truth.t -> result
+(** One complete MAX computation. Deterministic given the rng state. *)
+
+type aggregate = {
+  runs : int;
+  mean_latency : float;
+  stddev_latency : float;
+  median_latency : float;
+  p95_latency : float;  (** tail latency across the replicated runs *)
+  singleton_rate : float;  (** fraction of runs ending singleton *)
+  correct_rate : float;
+  mean_questions : float;
+  mean_rounds : float;
+}
+
+val replicate :
+  runs:int ->
+  seed:int ->
+  config ->
+  elements:int ->
+  aggregate
+(** Run [runs] times on fresh random ground truths (seeds derived from
+    [seed]) and aggregate — the experiment harness's inner loop. *)

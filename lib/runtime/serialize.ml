@@ -1,0 +1,123 @@
+module J = Crowdmax_util.Json
+
+(* --- encoding ------------------------------------------------------------ *)
+
+let round_to_json (r : Engine.round_record) =
+  J.Obj
+    [
+      ("round_index", J.int r.Engine.round_index);
+      ("round_budget", J.int r.Engine.round_budget);
+      ("distinct_questions", J.int r.Engine.distinct_questions);
+      ("padded_questions", J.int r.Engine.padded_questions);
+      ("candidates_before", J.int r.Engine.candidates_before);
+      ("candidates_after", J.int r.Engine.candidates_after);
+      ("round_latency", J.Float r.Engine.round_latency);
+    ]
+
+let result_to_json (r : Engine.result) =
+  J.Obj
+    [
+      ("chosen", J.int r.Engine.chosen);
+      ("correct", J.Bool r.Engine.correct);
+      ("singleton", J.Bool r.Engine.singleton);
+      ("rounds_run", J.int r.Engine.rounds_run);
+      ("questions_posted", J.int r.Engine.questions_posted);
+      ("total_latency", J.Float r.Engine.total_latency);
+      ("trace", J.List (List.map round_to_json r.Engine.trace));
+    ]
+
+let aggregate_to_json (a : Engine.aggregate) =
+  J.Obj
+    [
+      ("runs", J.int a.Engine.runs);
+      ("mean_latency", J.Float a.Engine.mean_latency);
+      ("stddev_latency", J.Float a.Engine.stddev_latency);
+      ("median_latency", J.Float a.Engine.median_latency);
+      ("p95_latency", J.Float a.Engine.p95_latency);
+      ("singleton_rate", J.Float a.Engine.singleton_rate);
+      ("correct_rate", J.Float a.Engine.correct_rate);
+      ("mean_questions", J.Float a.Engine.mean_questions);
+      ("mean_rounds", J.Float a.Engine.mean_rounds);
+    ]
+
+(* --- decoding ------------------------------------------------------------ *)
+
+let ( let* ) r f = Result.bind r f
+
+let field name conv doc =
+  match Option.bind (J.member name doc) conv with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "missing or ill-typed field %S" name)
+
+let int_field name = field name J.to_int
+let float_field name = field name J.to_float
+let bool_field name = field name J.to_bool
+
+let round_of_json doc =
+  let* round_index = int_field "round_index" doc in
+  let* round_budget = int_field "round_budget" doc in
+  let* distinct_questions = int_field "distinct_questions" doc in
+  let* padded_questions = int_field "padded_questions" doc in
+  let* candidates_before = int_field "candidates_before" doc in
+  let* candidates_after = int_field "candidates_after" doc in
+  let* round_latency = float_field "round_latency" doc in
+  Ok
+    {
+      Engine.round_index;
+      round_budget;
+      distinct_questions;
+      padded_questions;
+      candidates_before;
+      candidates_after;
+      round_latency;
+    }
+
+let rec collect_rounds = function
+  | [] -> Ok []
+  | doc :: rest ->
+      let* r = round_of_json doc in
+      let* rs = collect_rounds rest in
+      Ok (r :: rs)
+
+let result_of_json doc =
+  let* chosen = int_field "chosen" doc in
+  let* correct = bool_field "correct" doc in
+  let* singleton = bool_field "singleton" doc in
+  let* rounds_run = int_field "rounds_run" doc in
+  let* questions_posted = int_field "questions_posted" doc in
+  let* total_latency = float_field "total_latency" doc in
+  let* trace_docs = field "trace" J.to_list doc in
+  let* trace = collect_rounds trace_docs in
+  Ok
+    {
+      Engine.chosen;
+      correct;
+      singleton;
+      rounds_run;
+      questions_posted;
+      total_latency;
+      trace;
+    }
+
+let aggregate_of_json doc =
+  let* runs = int_field "runs" doc in
+  let* mean_latency = float_field "mean_latency" doc in
+  let* stddev_latency = float_field "stddev_latency" doc in
+  let* median_latency = float_field "median_latency" doc in
+  let* p95_latency = float_field "p95_latency" doc in
+  let* singleton_rate = float_field "singleton_rate" doc in
+  let* correct_rate = float_field "correct_rate" doc in
+  let* mean_questions = float_field "mean_questions" doc in
+  let* mean_rounds = float_field "mean_rounds" doc in
+  Ok
+    {
+      Engine.runs;
+      mean_latency;
+      stddev_latency;
+      median_latency;
+      p95_latency;
+      singleton_rate;
+      correct_rate;
+      mean_questions;
+      mean_rounds;
+    }

@@ -1,0 +1,18 @@
+(** JSON persistence for engine outputs.
+
+    Lets long experiment campaigns checkpoint their raw results and lets
+    external tooling (plotting, dashboards) consume runs without linking
+    OCaml. Encoders/decoders round-trip exactly (property-tested). *)
+
+val round_to_json : Engine.round_record -> Crowdmax_util.Json.t
+val result_to_json : Engine.result -> Crowdmax_util.Json.t
+val aggregate_to_json : Engine.aggregate -> Crowdmax_util.Json.t
+
+val round_of_json :
+  Crowdmax_util.Json.t -> (Engine.round_record, string) result
+
+val result_of_json : Crowdmax_util.Json.t -> (Engine.result, string) result
+(** [Error] names the first missing or ill-typed field. *)
+
+val aggregate_of_json :
+  Crowdmax_util.Json.t -> (Engine.aggregate, string) result

@@ -1,0 +1,114 @@
+module Dag = Crowdmax_graph.Answer_dag
+module Model = Crowdmax_latency.Model
+module Ground_truth = Crowdmax_crowd.Ground_truth
+module Ints = Crowdmax_util.Ints
+
+type strategy = All_pairs | Odd_even | Odd_even_skip
+
+let strategy_name = function
+  | All_pairs -> "all-pairs"
+  | Odd_even -> "odd-even"
+  | Odd_even_skip -> "odd-even+skip"
+
+type result = {
+  order : int array;
+  correct : bool;
+  rounds_run : int;
+  questions_posted : int;
+  total_latency : float;
+  round_questions : int list;
+}
+
+let max_questions strategy n =
+  match strategy with
+  | All_pairs | Odd_even_skip -> Ints.choose2 n
+  | Odd_even -> (n + 1) * (n / 2)
+
+let finish truth ~order ~rounds ~questions ~latency ~round_questions =
+  let expected = Ground_truth.sorted_desc truth in
+  {
+    order;
+    correct = order = expected;
+    rounds_run = rounds;
+    questions_posted = questions;
+    total_latency = latency;
+    round_questions = List.rev round_questions;
+  }
+
+let run_all_pairs latency_model truth =
+  let n = Ground_truth.size truth in
+  let wins = Array.make n 0 in
+  let q = ref 0 in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      incr q;
+      let w = Ground_truth.better truth i j in
+      wins.(w) <- wins.(w) + 1
+    done
+  done;
+  let order = Array.init n (fun i -> i) in
+  Array.sort (fun a b -> compare wins.(b) wins.(a)) order;
+  let latency = if !q = 0 then 0.0 else Model.eval latency_model !q in
+  finish truth ~order ~rounds:(if !q = 0 then 0 else 1) ~questions:!q ~latency
+    ~round_questions:(if !q = 0 then [] else [ !q ])
+
+let run_odd_even ~skip latency_model truth =
+  let n = Ground_truth.size truth in
+  let order = Array.init n (fun i -> i) in
+  let dag = Dag.create n in
+  let rounds = ref 0 in
+  let questions = ref 0 in
+  let latency = ref 0.0 in
+  let round_questions = ref [] in
+  let swapless_streak = ref 0 in
+  let parity = ref 0 in
+  let passes = ref 0 in
+  (* Two consecutive swapless passes = sorted (the comparisons of an
+     even and an odd pass together cover every adjacent position). *)
+  while !swapless_streak < 2 && !passes <= n do
+    incr passes;
+    let posted_this_pass = ref 0 in
+    let swaps_this_pass = ref 0 in
+    let i = ref !parity in
+    while !i + 1 < n do
+      let a = order.(!i) and b = order.(!i + 1) in
+      let known_winner =
+        if not skip then None
+        else if Dag.beats dag a b then Some a
+        else if Dag.beats dag b a then Some b
+        else None
+      in
+      let winner =
+        match known_winner with
+        | Some w -> w
+        | None ->
+            incr posted_this_pass;
+            let w = Ground_truth.better truth a b in
+            Dag.add_answer_unchecked dag ~winner:w
+              ~loser:(if w = a then b else a);
+            w
+      in
+      if winner = b then begin
+        order.(!i) <- b;
+        order.(!i + 1) <- a;
+        incr swaps_this_pass
+      end;
+      i := !i + 2
+    done;
+    if !posted_this_pass > 0 then begin
+      incr rounds;
+      questions := !questions + !posted_this_pass;
+      latency := !latency +. Model.eval latency_model !posted_this_pass;
+      round_questions := !posted_this_pass :: !round_questions
+    end;
+    if !swaps_this_pass = 0 then incr swapless_streak else swapless_streak := 0;
+    parity := 1 - !parity
+  done;
+  finish truth ~order ~rounds:!rounds ~questions:!questions ~latency:!latency
+    ~round_questions:!round_questions
+
+let run _rng ~strategy ~latency truth =
+  match strategy with
+  | All_pairs -> run_all_pairs latency truth
+  | Odd_even -> run_odd_even ~skip:false latency truth
+  | Odd_even_skip -> run_odd_even ~skip:true latency truth

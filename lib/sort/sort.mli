@@ -1,0 +1,50 @@
+(** Crowdsourced full SORT in rounds — the sibling operator the paper's
+    introduction and related work repeatedly point at ([5, 11, 15]).
+
+    The same cost-latency tradeoff as MAX: one extreme asks all
+    [choose2 n] comparisons in a single round; the other runs odd-even
+    transposition sort — [n] rounds whose comparisons are pairwise
+    disjoint, so each round is one platform batch. The [Odd_even_skip]
+    strategy additionally consults the growing answer DAG and skips any
+    comparison already implied transitively, spending fewer questions
+    for identical behaviour.
+
+    Unlike MAX there is no budget-allocation DP here (the paper leaves
+    operator-specific generalizations as future work); the module's job
+    is to expose the tradeoff under the same latency models and
+    substrate. *)
+
+type strategy =
+  | All_pairs  (** every comparison in one round *)
+  | Odd_even  (** classic odd-even transposition rounds *)
+  | Odd_even_skip
+      (** odd-even, but comparisons already implied by transitivity are
+          not posted *)
+
+val strategy_name : strategy -> string
+
+type result = {
+  order : int array;  (** best to worst *)
+  correct : bool;  (** matches the ground truth exactly *)
+  rounds_run : int;
+  questions_posted : int;
+  total_latency : float;
+  round_questions : int list;  (** questions per executed round *)
+}
+
+val run :
+  Crowdmax_util.Rng.t ->
+  strategy:strategy ->
+  latency:Crowdmax_latency.Model.t ->
+  Crowdmax_crowd.Ground_truth.t ->
+  result
+(** Sort with error-free answers, pricing each round with the latency
+    model. Odd-even stops as soon as a full pass makes no swap (the
+    classic early exit), so pre-sorted inputs finish in two rounds. *)
+
+val max_questions : strategy -> int -> int
+(** Worst-case question count for [n] elements: [choose2 n] for
+    [All_pairs] and [Odd_even_skip] (skipping never re-posts a pair),
+    and [(n+1) * (n/2)] for plain [Odd_even] — the transposition network
+    re-compares pairs whose relative order it has forgotten, so it can
+    post slightly more than [choose2 n]. *)

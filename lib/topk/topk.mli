@@ -1,0 +1,57 @@
+(** Top-k via successive crowdsourced MAX passes (an extension beyond
+    the paper; its conclusion points at adapting tDP to other
+    operators).
+
+    Pass 1 finds the MAX with a tDP-allocated tournament schedule. Every
+    later pass exploits the answers already paid for: after extracting
+    the leaders so far, the only elements that can be the next-best are
+    those whose every recorded loss was to an already-extracted leader —
+    usually a small set (the extracted winner's former clique mates), so
+    later passes are much cheaper than restarting from scratch.
+
+    The budget is re-planned before each pass: the remaining budget is
+    split evenly over the remaining passes, any unspent part rolls
+    forward, and each pass's share is floored at what Theorem 1 requires
+    for its candidate set. With error-free answers the returned prefix
+    is exactly the true top-k (property-tested). *)
+
+type pass_record = {
+  pass_index : int;  (** 0-based *)
+  extracted : int;  (** the element this pass selected *)
+  candidates : int;  (** size of the pass's candidate set *)
+  pass_budget : int;  (** questions the planner granted this pass *)
+  questions : int;  (** questions actually posted *)
+  rounds : int;
+  latency : float;
+}
+
+type result = {
+  ranking : int list;  (** best first, length [min k c0] *)
+  total_latency : float;
+  questions_posted : int;
+  rounds_run : int;
+  passes : pass_record list;  (** in pass order *)
+  exact : bool;
+      (** every pass ended with a singleton; when false, the tail of the
+          ranking came from the scoring fallback *)
+}
+
+val run :
+  Crowdmax_util.Rng.t ->
+  k:int ->
+  problem:Crowdmax_core.Problem.t ->
+  selection:Crowdmax_selection.Selection.t ->
+  Crowdmax_crowd.Ground_truth.t ->
+  result
+(** Raises [Invalid_argument] if [k < 1], the truth size mismatches the
+    problem, or the budget cannot cover the k passes
+    ([b < (c0 - 1) + (k - 1)]). *)
+
+val min_budget : elements:int -> k:int -> int
+(** [(elements - 1) + (k - 1)]: pass 1 must eliminate everyone once and
+    every later pass must ask at least one question (assuming maximal
+    answer reuse). *)
+
+val true_top_k : Crowdmax_crowd.Ground_truth.t -> int -> int list
+(** Ground-truth top-k, best first — the oracle the tests compare
+    against. *)

@@ -1,0 +1,45 @@
+(** Tournament graphs G_T(c_prev, c_next) (Defs. 1-2).
+
+    A round that must reduce [c_prev] surviving candidates to [c_next]
+    partitions them into [c_next] cliques whose sizes differ by at most
+    one: [c_prev mod c_next] cliques of size [ceil(c_prev/c_next)] and
+    the rest of size [floor(c_prev/c_next)]. Each clique is a complete
+    sub-tournament whose single undefeated element advances. *)
+
+val questions : int -> int -> int
+(** [questions c_prev c_next] is Q(c_prev, c_next) of Eq. (2): the number
+    of edges in G_T(c_prev, c_next). Raises [Invalid_argument] unless
+    [1 <= c_next <= c_prev]. *)
+
+val sizes : int -> int -> int list
+(** [sizes c_prev c_next]: the clique sizes, largest first; sums to
+    [c_prev] and has length [c_next]. Same preconditions as
+    [questions]. *)
+
+val min_groups_within_budget : int -> int -> int option
+(** [min_groups_within_budget c budget] is the least [c_next] with
+    [questions c c_next <= budget] — the tournament-formation rule
+    "form the fewest tournaments the round budget allows" (Sec. 5.2).
+    [None] when even [c_next = c - 1] (one single question) exceeds the
+    budget, which only happens for [budget < 1] (with [c >= 2]).
+    For [c <= 1], returns [Some c] when budget is non-negative. *)
+
+type assignment = { groups : int array array }
+(** [groups.(k)] lists the element ids in clique [k]. *)
+
+val assign : Crowdmax_util.Rng.t -> int array -> int -> assignment
+(** [assign rng elements c_next] randomly partitions [elements] into the
+    [sizes] clique pattern (random assignment per Sec. 2.1). *)
+
+val assign_seeded : int array -> int -> assignment
+(** Deterministic variant used by ablations: elements are dealt to
+    cliques round-robin in the given order (so "seeded" orders spread
+    the strongest candidates across cliques). *)
+
+val edges_of_assignment : assignment -> (int * int) list
+(** All intra-clique pairs — the round's questions. *)
+
+val questions_of_assignment : assignment -> int
+
+val to_undirected : int -> assignment -> Crowdmax_graph.Undirected.t
+(** The question graph over [n] elements implied by the assignment. *)

@@ -1,0 +1,17 @@
+(** Minimal RFC-4180-style CSV writing (no external dependencies).
+
+    Output side only: experiment series and tables go to CSV for
+    spreadsheet/plotting consumption. Fields containing commas, quotes
+    or newlines are quoted; quotes are doubled. *)
+
+val escape_field : string -> string
+(** A single field, quoted if necessary. *)
+
+val line : string list -> string
+(** One row, no trailing newline. *)
+
+val to_string : header:string list -> string list list -> string
+(** Header plus rows, each terminated by ["\n"]. Raises
+    [Invalid_argument] if any row's arity differs from the header's. *)
+
+val write_file : path:string -> header:string list -> string list list -> unit

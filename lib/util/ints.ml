@@ -1,0 +1,13 @@
+let choose2 n = if n < 2 then 0 else n * (n - 1) / 2
+
+let ceil_div a b = (a + b - 1) / b
+
+let sum = List.fold_left ( + ) 0
+
+let range lo hi =
+  let rec loop acc i = if i < lo then acc else loop (i :: acc) (i - 1) in
+  loop [] hi
+
+let log2_ceil n =
+  let rec loop k pow = if pow >= n then k else loop (k + 1) (pow * 2) in
+  if n <= 1 then 0 else loop 0 1

@@ -1,0 +1,17 @@
+(** Small integer helpers shared across the tournament and allocation code. *)
+
+val choose2 : int -> int
+(** [choose2 n] is [n * (n-1) / 2], the number of edges in an [n]-clique;
+    0 for [n < 2]. *)
+
+val ceil_div : int -> int -> int
+(** [ceil_div a b] for positive [b]. *)
+
+val sum : int list -> int
+
+val range : int -> int -> int list
+(** [range lo hi] is [\[lo; lo+1; ...; hi\]], empty if [hi < lo]. *)
+
+val log2_ceil : int -> int
+(** [log2_ceil n] is the least [k] with [2^k >= n]; 0 for [n <= 1]. Used by
+    the halving heuristics (HE/HF) to count rounds. *)

@@ -1,0 +1,81 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+
+let copy t = { state = t.state }
+
+(* splitmix64 finalizer: the state marches by a fixed gamma and each output
+   is a strong mix of the new state value. *)
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let bits64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix64 t.state
+
+let split t =
+  let s = bits64 t in
+  { state = s }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  let mask = Int64.shift_right_logical (bits64 t) 1 in
+  Int64.to_int (Int64.rem mask (Int64.of_int bound))
+
+let int_in t lo hi =
+  if hi < lo then invalid_arg "Rng.int_in: empty range";
+  lo + int t (hi - lo + 1)
+
+let float t bound =
+  let mantissa = Int64.shift_right_logical (bits64 t) 11 in
+  Int64.to_float mantissa /. 9007199254740992.0 *. bound
+
+let bool t = Int64.compare (bits64 t) 0L < 0
+
+let bernoulli t p =
+  if p <= 0.0 then false
+  else if p >= 1.0 then true
+  else float t 1.0 < p
+
+let exponential t mean =
+  if mean <= 0.0 then invalid_arg "Rng.exponential: mean must be positive";
+  let u = 1.0 -. float t 1.0 in
+  -.mean *. log u
+
+let gaussian t ~mu ~sigma =
+  let u1 = 1.0 -. float t 1.0 in
+  let u2 = float t 1.0 in
+  mu +. (sigma *. sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2))
+
+let lognormal t ~mu ~sigma = exp (gaussian t ~mu ~sigma)
+
+let shuffle_in_place t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let shuffle t a =
+  let b = Array.copy a in
+  shuffle_in_place t b;
+  b
+
+let permutation t n =
+  let a = Array.init n (fun i -> i) in
+  shuffle_in_place t a;
+  a
+
+let sample_without_replacement t k n =
+  if k < 0 || k > n then invalid_arg "Rng.sample_without_replacement";
+  let a = permutation t n in
+  Array.sub a 0 k
+
+let choose t a =
+  if Array.length a = 0 then invalid_arg "Rng.choose: empty array";
+  a.(int t (Array.length a))

@@ -1,0 +1,71 @@
+(** Deterministic pseudo-random number generation.
+
+    All stochastic components of crowdmax (tournament seeding, worker
+    behaviour, workload generation) draw from an explicit [Rng.t] so that
+    every experiment is reproducible from a single integer seed.  The
+    generator is splitmix64: tiny state, good statistical quality, and
+    [split] produces independent streams for parallel sub-experiments. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] returns a fresh generator. Two generators built from the
+    same seed produce identical streams. *)
+
+val copy : t -> t
+(** [copy t] is an independent generator that continues from the current
+    state of [t] without affecting it. *)
+
+val split : t -> t
+(** [split t] advances [t] and returns a new generator whose stream is
+    statistically independent from the remainder of [t]'s stream. *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. Raises [Invalid_argument]
+    if [bound <= 0]. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform in [\[lo, hi\]] (inclusive). Raises
+    [Invalid_argument] if [hi < lo]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val bernoulli : t -> float -> bool
+(** [bernoulli t p] is [true] with probability [p] (clamped to [0,1]). *)
+
+val exponential : t -> float -> float
+(** [exponential t mean] draws from an exponential distribution with the
+    given mean. Raises [Invalid_argument] if [mean <= 0]. *)
+
+val gaussian : t -> mu:float -> sigma:float -> float
+(** Box-Muller normal draw. *)
+
+val lognormal : t -> mu:float -> sigma:float -> float
+(** [lognormal t ~mu ~sigma] is [exp] of a normal draw; a standard model
+    for human task service times. *)
+
+val shuffle_in_place : t -> 'a array -> unit
+(** Fisher-Yates shuffle. *)
+
+val shuffle : t -> 'a array -> 'a array
+(** Non-destructive shuffle. *)
+
+val permutation : t -> int -> int array
+(** [permutation t n] is a uniform random permutation of [0..n-1]. *)
+
+val sample_without_replacement : t -> int -> int -> int array
+(** [sample_without_replacement t k n] draws [k] distinct values from
+    [0..n-1], in random order. Raises [Invalid_argument] if [k > n] or
+    [k < 0]. *)
+
+val choose : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. Raises [Invalid_argument] on an
+    empty array. *)

@@ -1,0 +1,90 @@
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  median : float;
+}
+
+let mean xs =
+  if Array.length xs = 0 then invalid_arg "Stats.mean: empty";
+  Array.fold_left ( +. ) 0.0 xs /. float_of_int (Array.length xs)
+
+let stddev xs =
+  let n = Array.length xs in
+  if n < 2 then 0.0
+  else begin
+    let m = mean xs in
+    let ss = Array.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 xs in
+    sqrt (ss /. float_of_int (n - 1))
+  end
+
+let percentile xs p =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.percentile: empty";
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let rank = p /. 100.0 *. float_of_int (n - 1) in
+  let lo = int_of_float (Float.floor rank) in
+  let hi = int_of_float (Float.ceil rank) in
+  if lo = hi then sorted.(lo)
+  else begin
+    let w = rank -. float_of_int lo in
+    (sorted.(lo) *. (1.0 -. w)) +. (sorted.(hi) *. w)
+  end
+
+let summarize xs =
+  if Array.length xs = 0 then invalid_arg "Stats.summarize: empty";
+  {
+    n = Array.length xs;
+    mean = mean xs;
+    stddev = stddev xs;
+    min = Array.fold_left Float.min xs.(0) xs;
+    max = Array.fold_left Float.max xs.(0) xs;
+    median = percentile xs 50.0;
+  }
+
+type linear_fit = { intercept : float; slope : float; r_squared : float }
+
+let linear_regression pts =
+  let n = Array.length pts in
+  if n < 2 then invalid_arg "Stats.linear_regression: need >= 2 points";
+  let xs = Array.map fst pts and ys = Array.map snd pts in
+  let mx = mean xs and my = mean ys in
+  let sxx = ref 0.0 and sxy = ref 0.0 and syy = ref 0.0 in
+  Array.iter
+    (fun (x, y) ->
+      let dx = x -. mx and dy = y -. my in
+      sxx := !sxx +. (dx *. dx);
+      sxy := !sxy +. (dx *. dy);
+      syy := !syy +. (dy *. dy))
+    pts;
+  if !sxx = 0.0 then invalid_arg "Stats.linear_regression: zero x-variance";
+  let slope = !sxy /. !sxx in
+  let intercept = my -. (slope *. mx) in
+  let r_squared =
+    if !syy = 0.0 then 1.0 else !sxy *. !sxy /. (!sxx *. !syy)
+  in
+  { intercept; slope; r_squared }
+
+type power_fit = { delta : float; alpha : float; p : float }
+
+let power_regression ~delta pts =
+  let usable =
+    Array.of_list
+      (List.filter_map
+         (fun (x, y) ->
+           if x > 0.0 && y > delta then Some (log x, log (y -. delta)) else None)
+         (Array.to_list pts))
+  in
+  if Array.length usable < 2 then
+    invalid_arg "Stats.power_regression: need >= 2 usable points";
+  let fit = linear_regression usable in
+  { delta; alpha = exp fit.intercept; p = fit.slope }
+
+let weighted_mean pts =
+  let total_w = Array.fold_left (fun acc (_, w) -> acc +. w) 0.0 pts in
+  if total_w <= 0.0 then invalid_arg "Stats.weighted_mean: non-positive weight";
+  Array.fold_left (fun acc (v, w) -> acc +. (v *. w)) 0.0 pts /. total_w

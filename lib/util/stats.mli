@@ -1,0 +1,51 @@
+(** Summary statistics and least-squares fitting.
+
+    Used by the latency estimator (Sec. 6.1 of the paper: fit
+    [L(q) = delta + alpha * q] to observed batch completion times) and by
+    the experiment harness to aggregate replicated runs. *)
+
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;  (** sample standard deviation (n-1 denominator) *)
+  min : float;
+  max : float;
+  median : float;
+}
+
+val summarize : float array -> summary
+(** Raises [Invalid_argument] on an empty array. *)
+
+val mean : float array -> float
+val stddev : float array -> float
+
+val percentile : float array -> float -> float
+(** [percentile xs p] for [p] in [\[0,100\]], linear interpolation between
+    order statistics. Raises [Invalid_argument] on an empty array or
+    out-of-range [p]. *)
+
+type linear_fit = {
+  intercept : float;
+  slope : float;
+  r_squared : float;
+}
+
+val linear_regression : (float * float) array -> linear_fit
+(** Ordinary least squares of [y] on [x]. Raises [Invalid_argument] with
+    fewer than two points or zero x-variance. *)
+
+type power_fit = {
+  delta : float;   (** additive round overhead *)
+  alpha : float;   (** scale of the power term *)
+  p : float;       (** exponent *)
+}
+
+val power_regression : delta:float -> (float * float) array -> power_fit
+(** [power_regression ~delta pts] fits [y = delta + alpha * x^p] by
+    log-log linear regression of [y - delta] on [x], for points with
+    [y > delta] and [x > 0]. Raises [Invalid_argument] if fewer than two
+    usable points remain. *)
+
+val weighted_mean : (float * float) array -> float
+(** [(value, weight)] pairs; raises [Invalid_argument] if total weight is
+    not positive. *)

@@ -1,0 +1,69 @@
+type align = Left | Right
+
+type t = {
+  title : string option;
+  headers : string array;
+  aligns : align array;
+  mutable rows : string array list; (* reversed *)
+}
+
+let create ?title columns =
+  {
+    title;
+    headers = Array.of_list (List.map fst columns);
+    aligns = Array.of_list (List.map snd columns);
+    rows = [];
+  }
+
+let add_row t cells =
+  let row = Array.of_list cells in
+  if Array.length row <> Array.length t.headers then
+    invalid_arg "Table.add_row: arity mismatch";
+  t.rows <- row :: t.rows
+
+let add_float_row t ?(decimals = 2) label values =
+  add_row t (label :: List.map (fun v -> Printf.sprintf "%.*f" decimals v) values)
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    match align with
+    | Left -> s ^ String.make (width - n) ' '
+    | Right -> String.make (width - n) ' ' ^ s
+
+let render t =
+  let rows = List.rev t.rows in
+  let ncols = Array.length t.headers in
+  let widths =
+    Array.init ncols (fun i ->
+        List.fold_left
+          (fun acc row -> max acc (String.length row.(i)))
+          (String.length t.headers.(i))
+          rows)
+  in
+  let buf = Buffer.create 256 in
+  (match t.title with
+  | Some title ->
+      Buffer.add_string buf title;
+      Buffer.add_char buf '\n'
+  | None -> ());
+  let emit_row cells =
+    Array.iteri
+      (fun i cell ->
+        if i > 0 then Buffer.add_string buf "  ";
+        Buffer.add_string buf (pad t.aligns.(i) widths.(i) cell))
+      cells;
+    Buffer.add_char buf '\n'
+  in
+  emit_row t.headers;
+  Array.iteri
+    (fun i _ ->
+      if i > 0 then Buffer.add_string buf "  ";
+      Buffer.add_string buf (String.make widths.(i) '-'))
+    t.headers;
+  Buffer.add_char buf '\n';
+  List.iter emit_row rows;
+  Buffer.contents buf
+
+let print t = print_string (render t)

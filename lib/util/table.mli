@@ -1,0 +1,27 @@
+(** Plain-text table rendering for experiment reports.
+
+    The benchmark harness prints the same rows/series the paper's figures
+    report; this module keeps that output aligned and readable. *)
+
+type align = Left | Right
+
+type t
+
+val create : ?title:string -> (string * align) list -> t
+(** [create ?title columns] starts an empty table with the given header. *)
+
+val add_row : t -> string list -> unit
+(** Appends a row. Raises [Invalid_argument] if the arity does not match
+    the header. *)
+
+val add_float_row : t -> ?decimals:int -> string -> float list -> unit
+(** [add_float_row t label values] appends a row whose first cell is
+    [label] and remaining cells are formatted floats. The header must have
+    [1 + List.length values] columns. *)
+
+val render : t -> string
+(** Render with column padding, a header separator, and the title (if
+    any) on top. *)
+
+val print : t -> unit
+(** [render] to stdout followed by a newline. *)

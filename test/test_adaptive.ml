@@ -1,0 +1,86 @@
+module A = Crowdmax_runtime.Adaptive
+module E = Crowdmax_runtime.Engine
+module S = Crowdmax_selection.Selection
+module Model = Crowdmax_latency.Model
+module Problem = Crowdmax_core.Problem
+module Tdp = Crowdmax_core.Tdp
+module G = Crowdmax_crowd.Ground_truth
+module Rng = Crowdmax_util.Rng
+
+let tc = Alcotest.test_case
+let check_int = Alcotest.check Alcotest.int
+let check_bool = Alcotest.check Alcotest.bool
+
+let model = Model.paper_mturk
+
+let test_finds_max () =
+  let rng = Rng.create 3 in
+  for _ = 1 to 20 do
+    let c0 = 2 + Rng.int rng 80 in
+    let problem = Problem.create ~elements:c0 ~budget:(5 * c0) ~latency:model in
+    let truth = G.random rng c0 in
+    let r = A.run rng ~problem ~selection:S.tournament truth in
+    check_bool "correct" true r.A.engine_result.E.correct;
+    check_bool "singleton" true r.A.engine_result.E.singleton;
+    check_bool "replanned each round" true
+      (r.A.replans >= r.A.engine_result.E.rounds_run)
+  done
+
+let test_never_worse_than_static () =
+  let rng = Rng.create 5 in
+  for _ = 1 to 15 do
+    let c0 = 5 + Rng.int rng 60 in
+    let b = c0 - 1 + Rng.int rng 400 in
+    let problem = Problem.create ~elements:c0 ~budget:b ~latency:model in
+    let static = Tdp.solve problem in
+    let truth = G.random rng c0 in
+    let r = A.run rng ~problem ~selection:S.tournament truth in
+    check_bool "adaptive <= static" true
+      (r.A.engine_result.E.total_latency <= static.Tdp.latency +. 1e-6)
+  done
+
+let test_budget_respected () =
+  let rng = Rng.create 7 in
+  for _ = 1 to 15 do
+    let c0 = 5 + Rng.int rng 40 in
+    let b = c0 - 1 + Rng.int rng 200 in
+    let problem = Problem.create ~elements:c0 ~budget:b ~latency:model in
+    let truth = G.random rng c0 in
+    let r = A.run rng ~problem ~selection:S.tournament truth in
+    check_bool "within budget" true (r.A.engine_result.E.questions_posted <= b)
+  done
+
+let test_single_element () =
+  let rng = Rng.create 9 in
+  let problem = Problem.create ~elements:1 ~budget:0 ~latency:model in
+  let truth = G.random rng 1 in
+  let r = A.run rng ~problem ~selection:S.tournament truth in
+  check_int "no rounds" 0 r.A.engine_result.E.rounds_run;
+  check_bool "correct" true r.A.engine_result.E.correct
+
+let test_truth_size_mismatch () =
+  let rng = Rng.create 11 in
+  let problem = Problem.create ~elements:5 ~budget:10 ~latency:model in
+  let truth = G.random rng 6 in
+  Alcotest.check_raises "mismatch"
+    (Invalid_argument "Adaptive.run: ground truth size mismatch") (fun () ->
+      ignore (A.run rng ~problem ~selection:S.tournament truth))
+
+let test_replicate () =
+  let problem = Problem.create ~elements:30 ~budget:150 ~latency:model in
+  let agg = A.replicate ~runs:20 ~seed:13 ~problem ~selection:S.tournament in
+  Alcotest.check (Alcotest.float 1e-9) "all correct" 1.0 agg.E.correct_rate;
+  check_bool "positive latency" true (agg.E.mean_latency > 0.0)
+
+let suite =
+  [
+    ( "adaptive",
+      [
+        tc "finds max" `Quick test_finds_max;
+        tc "never worse than static" `Quick test_never_worse_than_static;
+        tc "budget respected" `Quick test_budget_respected;
+        tc "single element" `Quick test_single_element;
+        tc "truth size mismatch" `Quick test_truth_size_mismatch;
+        tc "replicate" `Quick test_replicate;
+      ] );
+  ]

@@ -1,0 +1,119 @@
+module Allocation = Crowdmax_core.Allocation
+module Model = Crowdmax_latency.Model
+
+let tc = Alcotest.test_case
+let check_int = Alcotest.check Alcotest.int
+let checkf = Alcotest.check (Alcotest.float 1e-9)
+
+let test_of_round_budgets () =
+  let a = Allocation.of_round_budgets [ 10; 20; 5 ] in
+  Alcotest.check Alcotest.(list int) "budgets" [ 10; 20; 5 ]
+    (Allocation.round_budgets a);
+  check_int "rounds" 3 (Allocation.rounds a);
+  check_int "total" 35 (Allocation.questions_total a);
+  Alcotest.check Alcotest.(option (list int)) "no sequence" None
+    (Allocation.count_sequence a)
+
+let test_empty_allocation () =
+  let a = Allocation.of_round_budgets [] in
+  check_int "zero rounds" 0 (Allocation.rounds a);
+  check_int "zero questions" 0 (Allocation.questions_total a);
+  checkf "zero latency" 0.0 (Allocation.predicted_latency a Model.paper_mturk)
+
+let test_rejects_empty_round () =
+  Alcotest.check_raises "round < 1"
+    (Invalid_argument "Allocation.of_round_budgets: round budget < 1") (fun () ->
+      ignore (Allocation.of_round_budgets [ 5; 0 ]))
+
+let test_of_count_sequence_paper () =
+  (* (40, 8, 1): Q(40,8) = 80, Q(8,1) = 28 (Fig. 4(b)) *)
+  let a = Allocation.of_count_sequence [ 40; 8; 1 ] in
+  Alcotest.check Alcotest.(list int) "budgets" [ 80; 28 ]
+    (Allocation.round_budgets a);
+  Alcotest.check Alcotest.(option (list int)) "sequence kept"
+    (Some [ 40; 8; 1 ])
+    (Allocation.count_sequence a);
+  (* paper: with L = 100 + q the latency is 180 + 128 = 308 *)
+  checkf "paper latency" 308.0
+    (Allocation.predicted_latency a (Model.linear ~delta:100.0 ~alpha:1.0))
+
+let test_of_count_sequence_fig4a () =
+  (* (40, 20, 5, 1): 20 + 30 + 10 = 60 questions, latency 360 at L=100+q *)
+  let a = Allocation.of_count_sequence [ 40; 20; 5; 1 ] in
+  check_int "60 questions" 60 (Allocation.questions_total a);
+  checkf "360 seconds" 360.0
+    (Allocation.predicted_latency a (Model.linear ~delta:100.0 ~alpha:1.0))
+
+let test_sequence_validation () =
+  Alcotest.check_raises "not ending at 1"
+    (Invalid_argument "Allocation.of_count_sequence: must end at 1") (fun () ->
+      ignore (Allocation.of_count_sequence [ 10; 5 ]));
+  Alcotest.check_raises "not decreasing"
+    (Invalid_argument "Allocation.of_count_sequence: must be strictly decreasing")
+    (fun () -> ignore (Allocation.of_count_sequence [ 10; 10; 1 ]));
+  Alcotest.check_raises "empty"
+    (Invalid_argument "Allocation.of_count_sequence: empty sequence") (fun () ->
+      ignore (Allocation.of_count_sequence []))
+
+let test_trivial_sequence () =
+  let a = Allocation.of_count_sequence [ 1 ] in
+  check_int "no rounds" 0 (Allocation.rounds a)
+
+let test_within_budget () =
+  let a = Allocation.of_round_budgets [ 10; 10 ] in
+  Alcotest.check Alcotest.bool "within" true (Allocation.within_budget a 20);
+  Alcotest.check Alcotest.bool "over" false (Allocation.within_budget a 19)
+
+let test_uniform_paper_examples () =
+  (* Sec. 5.1: 51 questions over 3 rounds -> (17,17,17); over 4 rounds
+     -> (13,13,13,12) *)
+  Alcotest.check Alcotest.(list int) "uHE example" [ 17; 17; 17 ]
+    (Allocation.round_budgets (Allocation.uniform ~total:51 ~rounds:3));
+  Alcotest.check Alcotest.(list int) "uHF example" [ 13; 13; 13; 12 ]
+    (Allocation.round_budgets (Allocation.uniform ~total:51 ~rounds:4))
+
+let test_uniform_preserves_total () =
+  for total = 5 to 60 do
+    for rounds = 1 to 5 do
+      if total >= rounds then
+        check_int "total preserved" total
+          (Allocation.questions_total (Allocation.uniform ~total ~rounds))
+    done
+  done
+
+let test_uniform_rejects () =
+  Alcotest.check_raises "too few questions"
+    (Invalid_argument "Allocation.uniform: fewer questions than rounds")
+    (fun () -> ignore (Allocation.uniform ~total:2 ~rounds:3));
+  Alcotest.check_raises "no rounds" (Invalid_argument "Allocation.uniform: rounds < 1")
+    (fun () -> ignore (Allocation.uniform ~total:2 ~rounds:0))
+
+let test_equal () =
+  let a = Allocation.of_round_budgets [ 80; 28 ] in
+  let b = Allocation.of_count_sequence [ 40; 8; 1 ] in
+  Alcotest.check Alcotest.bool "same budgets" true (Allocation.equal a b)
+
+let test_pp () =
+  let a = Allocation.of_round_budgets [ 1; 2; 3 ] in
+  Alcotest.check Alcotest.string "rendered" "(1, 2, 3)"
+    (Format.asprintf "%a" Allocation.pp a)
+
+let suite =
+  [
+    ( "allocation",
+      [
+        tc "of_round_budgets" `Quick test_of_round_budgets;
+        tc "empty allocation" `Quick test_empty_allocation;
+        tc "rejects empty round" `Quick test_rejects_empty_round;
+        tc "count sequence (paper Fig 4b)" `Quick test_of_count_sequence_paper;
+        tc "count sequence (paper Fig 4a)" `Quick test_of_count_sequence_fig4a;
+        tc "sequence validation" `Quick test_sequence_validation;
+        tc "trivial sequence" `Quick test_trivial_sequence;
+        tc "within budget" `Quick test_within_budget;
+        tc "uniform paper examples" `Quick test_uniform_paper_examples;
+        tc "uniform preserves total" `Quick test_uniform_preserves_total;
+        tc "uniform rejects" `Quick test_uniform_rejects;
+        tc "equal" `Quick test_equal;
+        tc "pp" `Quick test_pp;
+      ] );
+  ]

@@ -1,0 +1,227 @@
+module WC = Crowdmax_analysis.Worst_case
+module Traj = Crowdmax_analysis.Trajectory
+module U = Crowdmax_graph.Undirected
+module Model = Crowdmax_latency.Model
+module Problem = Crowdmax_core.Problem
+module Tdp = Crowdmax_core.Tdp
+module Allocation = Crowdmax_core.Allocation
+module Engine = Crowdmax_runtime.Engine
+module S = Crowdmax_selection.Selection
+module G = Crowdmax_crowd.Ground_truth
+module Rng = Crowdmax_util.Rng
+
+let tc = Alcotest.test_case
+let check_int = Alcotest.check Alcotest.int
+let check_bool = Alcotest.check Alcotest.bool
+
+let model = Model.linear ~delta:100.0 ~alpha:1.0
+
+(* The paper's Fig. 9(a): 12 nodes in round 1 with maxRC 6 (six disjoint
+   edges would do; the figure uses a denser graph - we use one with the
+   same worst case), then 6 nodes with maxRC 2, then one edge. *)
+let fig9_like_plan () =
+  [
+    (* 12 nodes: 6 disjoint edges + extra edges inside pairs' union that
+       don't change the maxIND of 6 *)
+    U.of_edges 12 [ (0, 1); (2, 3); (4, 5); (6, 7); (8, 9); (10, 11) ];
+    (* 6 nodes, maxIND 2: two triangles *)
+    U.of_edges 6 [ (0, 1); (1, 2); (0, 2); (3, 4); (4, 5); (3, 5) ];
+    (* 2 nodes, one question *)
+    U.of_edges 2 [ (0, 1) ];
+  ]
+
+let test_validate_good_plan () =
+  match WC.validate (fig9_like_plan ()) with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+let test_validate_bad_plans () =
+  (match WC.validate [] with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "empty accepted");
+  (* size mismatch: maxRC of round 1 is 6, but next round has 5 nodes *)
+  (match
+     WC.validate
+       [
+         U.of_edges 12 [ (0, 1); (2, 3); (4, 5); (6, 7); (8, 9); (10, 11) ];
+         U.of_edges 5 [ (0, 1); (1, 2); (2, 3); (3, 4); (0, 4) ];
+       ]
+   with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "mismatch accepted");
+  (* last round leaves 2 candidates in the worst case *)
+  match WC.validate [ U.of_edges 4 [ (0, 1); (2, 3) ] ] with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "non-singleton tail accepted"
+
+let test_plan_pricing () =
+  let plan = fig9_like_plan () in
+  check_int "questions" 13 (WC.questions plan);
+  Alcotest.check (Alcotest.float 1e-9) "latency"
+    (Model.eval model 6 +. Model.eval model 6 +. Model.eval model 1)
+    (WC.worst_latency model plan)
+
+let test_tournament_replacement_valid_and_cheaper () =
+  let plan = fig9_like_plan () in
+  let replaced = WC.tournament_replacement plan in
+  (match WC.validate replaced with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail ("replacement invalid: " ^ e));
+  (* Theorem 3: round by round no more edges *)
+  List.iter2
+    (fun g g' ->
+      check_bool "no more edges per round" true
+        (U.edge_count g' <= U.edge_count g);
+      check_int "same worst case" (WC.worst_case_survivors g)
+        (WC.worst_case_survivors g'))
+    plan replaced
+
+let test_replacement_on_wasteful_plan () =
+  (* a dense graph with small maxIND: the tournament swap saves edges *)
+  let dense =
+    (* 6 nodes: complete bipartite K_{3,3} plus a pendant structure;
+       maxIND of K_{3,3} = 3 *)
+    U.of_edges 6
+      [ (0, 3); (0, 4); (0, 5); (1, 3); (1, 4); (1, 5); (2, 3); (2, 4); (2, 5) ]
+  in
+  let tail =
+    [ U.of_edges 3 [ (0, 1); (1, 2); (0, 2) ] ]
+  in
+  let plan = dense :: tail in
+  (match WC.validate plan with Ok () -> () | Error e -> Alcotest.fail e);
+  let replaced = WC.tournament_replacement plan in
+  check_bool "replacement strictly cheaper" true
+    (WC.questions replaced < WC.questions plan);
+  (* K_{3,3} has 9 edges; G_T(6,3) has 3 *)
+  check_int "first round shrinks to Q(6,3)" 3
+    (U.edge_count (List.hd replaced))
+
+let test_theorem4_certificate_ordering () =
+  let rng = Rng.create 5 in
+  for _ = 1 to 15 do
+    (* random valid plan: start from a random graph, then chain by
+       worst-case survivor counts using matchings/triangles *)
+    let n = 4 + Rng.int rng 8 in
+    let g0 = U.create n in
+    for i = 0 to n - 1 do
+      for j = i + 1 to n - 1 do
+        if Rng.bernoulli rng 0.45 then U.add_edge g0 i j
+      done
+    done;
+    (* ensure at least one edge so the worst case shrinks *)
+    if U.edge_count g0 = 0 then U.add_edge g0 0 1;
+    let plan =
+      let s = WC.worst_case_survivors g0 in
+      if s = 1 then [ g0 ]
+      else begin
+        (* second round: complete tournament over the survivors *)
+        let next = U.create s in
+        for i = 0 to s - 1 do
+          for j = i + 1 to s - 1 do
+            U.add_edge next i j
+          done
+        done;
+        [ g0; next ]
+      end
+    in
+    (match WC.validate plan with Ok () -> () | Error e -> Alcotest.fail e);
+    let cert = WC.theorem4_certificate model plan in
+    check_bool "replacement <= plan" true
+      (cert.WC.replaced_latency <= cert.WC.plan_latency +. 1e-9);
+    check_bool "tDP optimal <= replacement (Theorem 4)" true
+      (cert.WC.optimal_latency <= cert.WC.replaced_latency +. 1e-9);
+    check_bool "edge counts ordered" true
+      (cert.WC.replaced_questions <= cert.WC.plan_questions)
+  done
+
+(* --- trajectories -------------------------------------------------------- *)
+
+let test_tournament_trajectory_matches_engine () =
+  let rng = Rng.create 7 in
+  for _ = 1 to 15 do
+    let c0 = 4 + Rng.int rng 80 in
+    let b = c0 - 1 + Rng.int rng 400 in
+    let sol = Tdp.solve (Problem.create ~elements:c0 ~budget:b ~latency:model) in
+    let pred = Traj.tournament ~elements:c0 sol.Tdp.allocation in
+    let truth = G.random rng c0 in
+    let cfg =
+      Engine.config ~allocation:sol.Tdp.allocation ~selection:S.tournament
+        ~latency_model:model ()
+    in
+    let r = Engine.run rng cfg truth in
+    check_int "rounds predicted exactly" r.Engine.rounds_run pred.Traj.rounds_used;
+    check_int "questions predicted exactly" r.Engine.questions_posted
+      pred.Traj.questions_used;
+    check_bool "singleton predicted" true pred.Traj.reaches_singleton;
+    (* per-round survivor counts *)
+    List.iter2
+      (fun predicted rr ->
+        check_int "survivors per round"
+          (int_of_float predicted)
+          rr.Engine.candidates_after)
+      pred.Traj.counts r.Engine.trace
+  done
+
+let test_tournament_trajectory_skips_unaffordable_rounds () =
+  let alloc = Allocation.of_round_budgets [ 1; 1 ] in
+  (* 5 candidates: round 1 can ask one question (4 survivors), round 2
+     one more (3 survivors) - no singleton *)
+  let pred = Traj.tournament ~elements:5 alloc in
+  check_bool "no singleton" false pred.Traj.reaches_singleton;
+  Alcotest.check
+    Alcotest.(list (float 1e-9))
+    "counts" [ 4.0; 3.0 ] pred.Traj.counts
+
+let test_near_regular_tracks_spread_simulation () =
+  (* one SPREAD round with budget = c (degree-2 graph): Lemma 4 expects
+     ~ c/3 survivors; compare the mean-field prediction with simulation *)
+  let c0 = 60 in
+  let alloc = Allocation.of_round_budgets [ 60 ] in
+  let pred = Traj.near_regular ~elements:c0 alloc in
+  let first_pred = List.hd pred.Traj.counts in
+  let rng = Rng.create 11 in
+  let total = ref 0 in
+  let runs = 200 in
+  for _ = 1 to runs do
+    let truth = G.random rng c0 in
+    let cfg =
+      Engine.config ~allocation:alloc ~selection:S.spread ~latency_model:model
+        ()
+    in
+    let r = Engine.run rng cfg truth in
+    match r.Engine.trace with
+    | [ rr ] -> total := !total + rr.Engine.candidates_after
+    | _ -> Alcotest.fail "expected one round"
+  done;
+  let simulated = float_of_int !total /. float_of_int runs in
+  check_bool
+    (Printf.sprintf "prediction %.2f within 15%% of simulation %.2f" first_pred
+       simulated)
+    true
+    (Float.abs (first_pred -. simulated) /. simulated < 0.15)
+
+let test_near_regular_monotone_rounds () =
+  let alloc = Allocation.of_round_budgets [ 50; 50; 50 ] in
+  let pred = Traj.near_regular ~elements:100 alloc in
+  let rec decreasing = function
+    | a :: (b :: _ as rest) -> a > b && decreasing rest
+    | _ -> true
+  in
+  check_bool "counts fall" true (decreasing pred.Traj.counts)
+
+let suite =
+  [
+    ( "analysis",
+      [
+        tc "validate good plan" `Quick test_validate_good_plan;
+        tc "validate bad plans" `Quick test_validate_bad_plans;
+        tc "plan pricing" `Quick test_plan_pricing;
+        tc "Lemma 3 replacement" `Quick test_tournament_replacement_valid_and_cheaper;
+        tc "replacement saves on wasteful plans" `Quick test_replacement_on_wasteful_plan;
+        tc "Theorem 4 certificates" `Quick test_theorem4_certificate_ordering;
+        tc "tournament trajectory = engine" `Quick test_tournament_trajectory_matches_engine;
+        tc "trajectory skips unaffordable" `Quick test_tournament_trajectory_skips_unaffordable_rounds;
+        tc "near-regular tracks SPREAD" `Slow test_near_regular_tracks_spread_simulation;
+        tc "near-regular monotone" `Quick test_near_regular_monotone_rounds;
+      ] );
+  ]

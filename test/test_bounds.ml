@@ -1,0 +1,115 @@
+module Bounds = Crowdmax_core.Bounds
+module Problem = Crowdmax_core.Problem
+module Tdp = Crowdmax_core.Tdp
+module Allocation = Crowdmax_core.Allocation
+module Model = Crowdmax_latency.Model
+module Ints = Crowdmax_util.Ints
+module Rng = Crowdmax_util.Rng
+
+let tc = Alcotest.test_case
+let check_bool = Alcotest.check Alcotest.bool
+let check_int = Alcotest.check Alcotest.int
+
+let model = Model.linear ~delta:100.0 ~alpha:1.0
+
+let test_lower_bound_trivial () =
+  Alcotest.check (Alcotest.float 1e-9) "one element" 0.0
+    (Bounds.latency_lower_bound model ~elements:1);
+  (* two elements: exactly one question in one round *)
+  Alcotest.check (Alcotest.float 1e-9) "two elements" 101.0
+    (Bounds.latency_lower_bound model ~elements:2)
+
+let test_lower_bound_below_optimum () =
+  let rng = Rng.create 3 in
+  for _ = 1 to 50 do
+    let c0 = 2 + Rng.int rng 50 in
+    let slack = Rng.int rng 300 in
+    let p = Problem.create ~elements:c0 ~budget:(c0 - 1 + slack) ~latency:model in
+    let sol = Tdp.solve p in
+    check_bool "bound <= optimum" true
+      (Bounds.latency_lower_bound model ~elements:c0 <= sol.Tdp.latency +. 1e-9)
+  done
+
+let test_lower_bound_tight_single_round () =
+  (* if the budget allows one complete tournament and overhead dominates,
+     the optimum achieves the bound *)
+  let heavy = Model.linear ~delta:1000.0 ~alpha:0.0001 in
+  let c0 = 10 in
+  let p = Problem.create ~elements:c0 ~budget:(Ints.choose2 c0) ~latency:heavy in
+  let sol = Tdp.solve p in
+  let bound = Bounds.latency_lower_bound heavy ~elements:c0 in
+  check_bool "tight within the single-round overhead" true
+    (sol.Tdp.latency -. bound < 0.01)
+
+let test_lower_bound_under_power_models () =
+  let rng = Rng.create 5 in
+  for _ = 1 to 20 do
+    let c0 = 2 + Rng.int rng 30 in
+    let pwr = Model.power ~delta:50.0 ~alpha:0.5 ~p:(1.0 +. Rng.float rng 1.0) in
+    let p = Problem.create ~elements:c0 ~budget:(10 * c0) ~latency:pwr in
+    let sol = Tdp.solve p in
+    check_bool "bound holds for convex L" true
+      (Bounds.latency_lower_bound pwr ~elements:c0 <= sol.Tdp.latency +. 1e-9)
+  done
+
+let test_max_rounds () =
+  check_int "c0=5" 4 (Bounds.max_rounds ~elements:5);
+  check_int "c0=1" 0 (Bounds.max_rounds ~elements:1)
+
+let test_min_rounds_infeasible () =
+  Alcotest.check Alcotest.(option int) "infeasible" None
+    (Bounds.min_rounds_within_budget ~elements:10 ~budget:8)
+
+let test_min_rounds_single_round () =
+  Alcotest.check Alcotest.(option int) "complete tournament" (Some 1)
+    (Bounds.min_rounds_within_budget ~elements:10 ~budget:(Ints.choose2 10));
+  Alcotest.check Alcotest.(option int) "one element" (Some 0)
+    (Bounds.min_rounds_within_budget ~elements:1 ~budget:0)
+
+let test_min_rounds_chain () =
+  (* minimal budget forces halving-style plans: ceil(log2 c0) rounds *)
+  Alcotest.check Alcotest.(option int) "c0=8 b=7" (Some 3)
+    (Bounds.min_rounds_within_budget ~elements:8 ~budget:7);
+  Alcotest.check Alcotest.(option int) "c0=9 b=8" (Some 4)
+    (Bounds.min_rounds_within_budget ~elements:9 ~budget:8)
+
+let test_min_rounds_monotone_in_budget () =
+  let prev = ref max_int in
+  List.iter
+    (fun b ->
+      match Bounds.min_rounds_within_budget ~elements:20 ~budget:b with
+      | Some r ->
+          check_bool "non-increasing in budget" true (r <= !prev);
+          prev := r
+      | None -> Alcotest.fail "feasible instance")
+    [ 19; 25; 40; 80; 190 ]
+
+let test_min_rounds_never_exceeds_tdp_rounds () =
+  let rng = Rng.create 7 in
+  for _ = 1 to 30 do
+    let c0 = 2 + Rng.int rng 40 in
+    let b = c0 - 1 + Rng.int rng 200 in
+    let sol = Tdp.solve (Problem.create ~elements:c0 ~budget:b ~latency:model) in
+    match Bounds.min_rounds_within_budget ~elements:c0 ~budget:b with
+    | Some r ->
+        check_bool "tDP cannot beat the round minimum" true
+          (Allocation.rounds sol.Tdp.allocation >= r)
+    | None -> Alcotest.fail "feasible instance"
+  done
+
+let suite =
+  [
+    ( "bounds",
+      [
+        tc "lower bound trivia" `Quick test_lower_bound_trivial;
+        tc "lower bound below optimum" `Quick test_lower_bound_below_optimum;
+        tc "lower bound tight (1 round)" `Quick test_lower_bound_tight_single_round;
+        tc "lower bound under power L" `Quick test_lower_bound_under_power_models;
+        tc "max rounds" `Quick test_max_rounds;
+        tc "min rounds infeasible" `Quick test_min_rounds_infeasible;
+        tc "min rounds single round" `Quick test_min_rounds_single_round;
+        tc "min rounds chain" `Quick test_min_rounds_chain;
+        tc "min rounds monotone" `Quick test_min_rounds_monotone_in_budget;
+        tc "min rounds <= tDP rounds" `Quick test_min_rounds_never_exceeds_tdp_rounds;
+      ] );
+  ]

@@ -1,0 +1,103 @@
+module Cost = Crowdmax_core.Cost
+module Allocation = Crowdmax_core.Allocation
+module Model = Crowdmax_latency.Model
+
+let tc = Alcotest.test_case
+let checkf = Alcotest.check (Alcotest.float 1e-9)
+let check_int = Alcotest.check Alcotest.int
+let check_bool = Alcotest.check Alcotest.bool
+
+let test_mturk_pricing () =
+  checkf "100 questions = $1" 1.0
+    (Cost.dollars_of_questions Cost.mturk_pricing 100);
+  check_int "a dollar buys 100" 100
+    (Cost.questions_for_dollars Cost.mturk_pricing 1.0)
+
+let test_votes_multiply_cost () =
+  let p = Cost.create_pricing ~per_question:0.02 ~votes_per_question:3 in
+  checkf "3 votes at 2 cents" 0.6 (Cost.dollars_of_questions p 10);
+  check_int "inverse respects votes" 10 (Cost.questions_for_dollars p 0.6)
+
+let test_pricing_validation () =
+  Alcotest.check_raises "negative price"
+    (Invalid_argument "Cost.create_pricing: negative price") (fun () ->
+      ignore (Cost.create_pricing ~per_question:(-0.01) ~votes_per_question:1));
+  Alcotest.check_raises "zero votes"
+    (Invalid_argument "Cost.create_pricing: votes < 1") (fun () ->
+      ignore (Cost.create_pricing ~per_question:0.01 ~votes_per_question:0))
+
+let test_zero_dollars () =
+  check_int "no money no questions" 0
+    (Cost.questions_for_dollars Cost.mturk_pricing 0.0)
+
+let test_allocation_cost () =
+  let a = Allocation.of_round_budgets [ 10; 20 ] in
+  checkf "30 cents" 0.3 (Cost.allocation_cost Cost.mturk_pricing a)
+
+let test_roundtrip_money_questions () =
+  let p = Cost.create_pricing ~per_question:0.01 ~votes_per_question:5 in
+  for q = 0 to 200 do
+    let d = Cost.dollars_of_questions p q in
+    check_bool "inverse recovers at least q" true
+      (Cost.questions_for_dollars p d >= q)
+  done
+
+let test_frontier_shape () =
+  let pts =
+    Cost.frontier ~latency:Model.paper_mturk ~elements:500
+      ~budgets:[ 499; 1000; 2000; 4000; 8000; 16000 ] ()
+  in
+  check_bool "non-empty" true (List.length pts > 1);
+  (* ascending dollars, strictly descending latency *)
+  let rec walk = function
+    | a :: (b :: _ as rest) ->
+        check_bool "dollars ascend" true (a.Cost.dollars <= b.Cost.dollars);
+        check_bool "latency strictly falls" true (a.Cost.latency > b.Cost.latency);
+        walk rest
+    | _ -> ()
+  in
+  walk pts;
+  (* the plateau beyond 4000 questions collapses to one point: tDP never
+     uses more than 3475 questions, so 8000 and 16000 add no new point *)
+  check_bool "plateau deduplicated" true
+    (List.for_all (fun pt -> pt.Cost.budget <= 8000) pts)
+
+let test_frontier_skips_infeasible () =
+  let pts =
+    Cost.frontier ~latency:Model.paper_mturk ~elements:100
+      ~budgets:[ 10; 50; 99; 200 ] ()
+  in
+  List.iter
+    (fun pt -> check_bool "feasible only" true (pt.Cost.budget >= 99))
+    pts;
+  check_bool "something survives" true (pts <> [])
+
+let test_frontier_respects_pricing () =
+  let expensive = Cost.create_pricing ~per_question:1.0 ~votes_per_question:1 in
+  let pts =
+    Cost.frontier ~pricing:expensive ~latency:Model.paper_mturk ~elements:50
+      ~budgets:[ 49; 100 ] ()
+  in
+  List.iter
+    (fun pt ->
+      checkf "dollars = questions at $1"
+        pt.Cost.dollars
+        (Cost.dollars_of_questions expensive
+           (Cost.questions_for_dollars expensive pt.Cost.dollars)))
+    pts
+
+let suite =
+  [
+    ( "cost",
+      [
+        tc "mturk pricing" `Quick test_mturk_pricing;
+        tc "votes multiply cost" `Quick test_votes_multiply_cost;
+        tc "pricing validation" `Quick test_pricing_validation;
+        tc "zero dollars" `Quick test_zero_dollars;
+        tc "allocation cost" `Quick test_allocation_cost;
+        tc "money/questions roundtrip" `Quick test_roundtrip_money_questions;
+        tc "frontier shape" `Quick test_frontier_shape;
+        tc "frontier skips infeasible" `Quick test_frontier_skips_infeasible;
+        tc "frontier pricing" `Quick test_frontier_respects_pricing;
+      ] );
+  ]

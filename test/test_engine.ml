@@ -1,0 +1,217 @@
+module E = Crowdmax_runtime.Engine
+module S = Crowdmax_selection.Selection
+module Model = Crowdmax_latency.Model
+module Problem = Crowdmax_core.Problem
+module Tdp = Crowdmax_core.Tdp
+module Allocation = Crowdmax_core.Allocation
+module Heuristics = Crowdmax_core.Heuristics
+module G = Crowdmax_crowd.Ground_truth
+module Platform = Crowdmax_crowd.Platform
+module Rwl = Crowdmax_crowd.Rwl
+module W = Crowdmax_crowd.Worker
+module Rng = Crowdmax_util.Rng
+
+let tc = Alcotest.test_case
+let check_int = Alcotest.check Alcotest.int
+let check_bool = Alcotest.check Alcotest.bool
+let checkf eps = Alcotest.check (Alcotest.float eps)
+
+let model = Model.linear ~delta:100.0 ~alpha:1.0
+
+let tdp_alloc c0 b =
+  (Tdp.solve (Problem.create ~elements:c0 ~budget:b ~latency:model)).Tdp.allocation
+
+let oracle_cfg ?(selection = S.tournament) ?pad alloc =
+  E.config ?pad_to_round_budget:pad ~allocation:alloc ~selection ~latency_model:model ()
+
+let test_finds_true_max () =
+  let rng = Rng.create 3 in
+  for _ = 1 to 25 do
+    let c0 = 2 + Rng.int rng 60 in
+    let alloc = tdp_alloc c0 (4 * c0) in
+    let truth = G.random rng c0 in
+    let r = E.run rng (oracle_cfg alloc) truth in
+    check_bool "correct" true r.E.correct;
+    check_bool "singleton" true r.E.singleton;
+    check_int "chosen is true max" (G.max_element truth) r.E.chosen
+  done
+
+let test_latency_matches_tdp_prediction () =
+  (* with oracle answers + tournament selection, the engine's latency
+     equals the tDP objective value *)
+  let rng = Rng.create 5 in
+  let c0 = 50 in
+  let sol = Tdp.solve (Problem.create ~elements:c0 ~budget:300 ~latency:model) in
+  let truth = G.random rng c0 in
+  let r = E.run rng (oracle_cfg sol.Tdp.allocation) truth in
+  checkf 1e-6 "engine = DP objective" sol.Tdp.latency r.E.total_latency;
+  check_int "questions" sol.Tdp.questions_used r.E.questions_posted
+
+let test_trace_is_consistent () =
+  let rng = Rng.create 7 in
+  let alloc = tdp_alloc 40 200 in
+  let truth = G.random rng 40 in
+  let r = E.run rng (oracle_cfg alloc) truth in
+  check_int "trace length" r.E.rounds_run (List.length r.E.trace);
+  let rec walk prev = function
+    | [] -> ()
+    | rr :: rest ->
+        check_int "candidates chain" prev rr.E.candidates_before;
+        check_bool "rounds shrink candidates" true
+          (rr.E.candidates_after <= rr.E.candidates_before);
+        check_bool "latency positive" true (rr.E.round_latency > 0.0);
+        walk rr.E.candidates_after rest
+  in
+  walk 40 r.E.trace;
+  (match List.rev r.E.trace with
+  | last :: _ -> check_int "ends at 1" 1 last.E.candidates_after
+  | [] -> Alcotest.fail "no trace");
+  checkf 1e-9 "latency adds up"
+    (List.fold_left (fun acc rr -> acc +. rr.E.round_latency) 0.0 r.E.trace)
+    r.E.total_latency
+
+let test_early_stop_on_singleton () =
+  (* generous allocation: extra rounds after reaching one candidate must
+     not run *)
+  let alloc = Allocation.of_round_budgets [ 45; 45; 45; 45; 45 ] in
+  let rng = Rng.create 9 in
+  let truth = G.random rng 10 in
+  let r = E.run rng (oracle_cfg alloc) truth in
+  (* round 1: G_T(10,1) fits in 45 questions -> finished in one round *)
+  check_int "one round" 1 r.E.rounds_run;
+  check_bool "singleton" true r.E.singleton
+
+let test_padding_charges_full_budget () =
+  (* 6 candidates, round budget 33: only 15 distinct pairs exist, so 18
+     redundant fillers are posted (HE's behaviour in the paper) *)
+  let alloc = Allocation.of_round_budgets [ 33 ] in
+  let rng = Rng.create 11 in
+  let truth = G.random rng 6 in
+  let r = E.run rng (oracle_cfg alloc) truth in
+  check_int "posted = budget" 33 r.E.questions_posted;
+  checkf 1e-9 "latency of the padded batch" (Model.eval model 33) r.E.total_latency;
+  match r.E.trace with
+  | [ rr ] ->
+      check_int "15 distinct" 15 rr.E.distinct_questions;
+      check_int "18 padded" 18 rr.E.padded_questions
+  | _ -> Alcotest.fail "expected one round"
+
+let test_padding_disabled () =
+  let alloc = Allocation.of_round_budgets [ 33 ] in
+  let rng = Rng.create 11 in
+  let truth = G.random rng 6 in
+  let r = E.run rng (oracle_cfg ~pad:false alloc) truth in
+  check_int "only distinct posted" 15 r.E.questions_posted;
+  checkf 1e-9 "cheaper round" (Model.eval model 15) r.E.total_latency
+
+let test_insufficient_allocation_no_singleton () =
+  (* one tiny round for many elements: the run must end non-singleton
+     with a scored best guess *)
+  let alloc = Allocation.of_round_budgets [ 2 ] in
+  let rng = Rng.create 13 in
+  let truth = G.random rng 10 in
+  let r = E.run rng (oracle_cfg alloc) truth in
+  check_bool "no singleton" false r.E.singleton;
+  check_bool "still picks something" true (r.E.chosen >= 0 && r.E.chosen < 10)
+
+let test_single_element_collection () =
+  let alloc = Allocation.of_round_budgets [] in
+  let rng = Rng.create 15 in
+  let truth = G.random rng 1 in
+  let r = E.run rng (oracle_cfg alloc) truth in
+  check_bool "trivially correct" true r.E.correct;
+  check_int "no rounds" 0 r.E.rounds_run;
+  checkf 1e-9 "no latency" 0.0 r.E.total_latency
+
+let test_heuristic_allocations_terminate () =
+  let rng = Rng.create 17 in
+  List.iter
+    (fun Heuristics.{ name; allocate } ->
+      let alloc = allocate ~elements:30 ~budget:120 in
+      let truth = G.random rng 30 in
+      let r = E.run rng (oracle_cfg alloc) truth in
+      check_bool (name ^ " singleton") true r.E.singleton;
+      check_bool (name ^ " correct") true r.E.correct)
+    Heuristics.all
+
+let test_simulated_source_with_rwl () =
+  let platform = Platform.create () in
+  let cfg =
+    E.config
+      ~source:(E.Simulated { platform; rwl = { Rwl.votes = 1; error = W.Perfect } })
+      ~allocation:(tdp_alloc 20 100) ~selection:S.tournament ~latency_model:model ()
+  in
+  let rng = Rng.create 19 in
+  let truth = G.random rng 20 in
+  let r = E.run rng cfg truth in
+  check_bool "correct with perfect simulated workers" true r.E.correct;
+  check_bool "platform latency dominates" true (r.E.total_latency > 100.0)
+
+let test_simulated_pool_source () =
+  let rng = Rng.create 21 in
+  let platform = Platform.create () in
+  let pool =
+    Crowdmax_crowd.Worker_pool.create rng ~workers:50 ~good_fraction:0.8
+      ~good_accuracy:0.97 ~bad_accuracy:0.6
+  in
+  let cfg =
+    E.config
+      ~source:(E.Simulated_pool { platform; pool; votes = 5 })
+      ~allocation:(tdp_alloc 30 200) ~selection:S.tournament
+      ~latency_model:model ()
+  in
+  let correct = ref 0 in
+  for _ = 1 to 10 do
+    let truth = G.random rng 30 in
+    let r = E.run rng cfg truth in
+    check_bool "always terminates with a pick" true (r.E.chosen >= 0);
+    if r.E.correct then incr correct
+  done;
+  (* mostly-good pool with 5 weighted votes: usually right *)
+  check_bool "mostly correct" true (!correct >= 6)
+
+let test_replicate_aggregates () =
+  let alloc = tdp_alloc 25 120 in
+  let agg = E.replicate ~runs:30 ~seed:7 (oracle_cfg alloc) ~elements:25 in
+  check_int "runs" 30 agg.E.runs;
+  checkf 1e-9 "all correct" 1.0 agg.E.correct_rate;
+  checkf 1e-9 "all singleton" 1.0 agg.E.singleton_rate;
+  check_bool "positive latency" true (agg.E.mean_latency > 0.0);
+  check_bool "median <= p95" true (agg.E.median_latency <= agg.E.p95_latency);
+  check_bool "p95 plausible" true
+    (agg.E.p95_latency >= agg.E.mean_latency -. (3.0 *. agg.E.stddev_latency))
+
+let test_replicate_rejects_zero_runs () =
+  let alloc = tdp_alloc 5 10 in
+  Alcotest.check_raises "runs" (Invalid_argument "Engine.replicate: runs < 1")
+    (fun () -> ignore (E.replicate ~runs:0 ~seed:1 (oracle_cfg alloc) ~elements:5))
+
+let test_deterministic_given_seed () =
+  let alloc = tdp_alloc 30 150 in
+  let run () =
+    let rng = Rng.create 12345 in
+    let truth = G.random rng 30 in
+    (E.run rng (oracle_cfg alloc) truth).E.total_latency
+  in
+  checkf 1e-12 "reproducible" (run ()) (run ())
+
+let suite =
+  [
+    ( "engine",
+      [
+        tc "finds the true max" `Quick test_finds_true_max;
+        tc "latency matches tDP objective" `Quick test_latency_matches_tdp_prediction;
+        tc "trace consistent" `Quick test_trace_is_consistent;
+        tc "early stop on singleton" `Quick test_early_stop_on_singleton;
+        tc "padding charges full budget" `Quick test_padding_charges_full_budget;
+        tc "padding disabled" `Quick test_padding_disabled;
+        tc "insufficient allocation" `Quick test_insufficient_allocation_no_singleton;
+        tc "single element" `Quick test_single_element_collection;
+        tc "heuristics terminate" `Quick test_heuristic_allocations_terminate;
+        tc "simulated source with RWL" `Quick test_simulated_source_with_rwl;
+        tc "simulated pool source" `Quick test_simulated_pool_source;
+        tc "replicate aggregates" `Quick test_replicate_aggregates;
+        tc "replicate rejects zero runs" `Quick test_replicate_rejects_zero_runs;
+        tc "deterministic given seed" `Quick test_deterministic_given_seed;
+      ] );
+  ]

@@ -1,0 +1,84 @@
+module U = Crowdmax_graph.Undirected
+module ERC = Crowdmax_graph.Expected_rc
+module Rng = Crowdmax_util.Rng
+
+let tc = Alcotest.test_case
+let checkf eps = Alcotest.check (Alcotest.float eps)
+
+let test_no_edges () =
+  let g = U.create 5 in
+  checkf 1e-9 "everyone remains" 5.0 (ERC.closed_form g)
+
+let test_single_edge () =
+  let g = U.of_edges 2 [ (0, 1) ] in
+  checkf 1e-9 "one of two remains" 1.0 (ERC.closed_form g)
+
+let test_paper_path_example () =
+  (* Appendix A, Fig. 16(a): path a-b-c gives E[R] = 1/2 + 1/3 + 1/2 = 4/3 *)
+  let g = U.of_edges 3 [ (0, 1); (1, 2) ] in
+  checkf 1e-9 "4/3" (4.0 /. 3.0) (ERC.closed_form g)
+
+let test_clique () =
+  (* complete graph on k nodes: E[R] = k * 1/k = 1 (exactly one winner) *)
+  List.iter
+    (fun k ->
+      let edges = ref [] in
+      for i = 0 to k - 1 do
+        for j = i + 1 to k - 1 do
+          edges := (i, j) :: !edges
+        done
+      done;
+      checkf 1e-9
+        (Printf.sprintf "clique %d" k)
+        1.0
+        (ERC.closed_form (U.of_edges k !edges)))
+    [ 2; 3; 5; 8 ]
+
+let test_lower_bound_on_regular () =
+  (* a near-regular graph attains the bound *)
+  let cycle = U.of_edges 4 [ (0, 1); (1, 2); (2, 3); (3, 0) ] in
+  checkf 1e-9 "cycle attains" (ERC.lower_bound ~nodes:4 ~edges:4)
+    (ERC.closed_form cycle)
+
+let test_lower_bound_below_star () =
+  (* Lemma 5: irregular graphs are strictly worse *)
+  let star = U.of_edges 4 [ (0, 1); (0, 2); (0, 3) ] in
+  Alcotest.check Alcotest.bool "star above bound" true
+    (ERC.closed_form star > ERC.lower_bound ~nodes:4 ~edges:3 +. 1e-9)
+
+let test_lower_bound_zero_nodes () =
+  checkf 1e-9 "empty" 0.0 (ERC.lower_bound ~nodes:0 ~edges:0)
+
+let test_monte_carlo_matches_closed_form () =
+  (* Lemma 4 cross-check: the uniform-history expectation matches
+     sampling over uniform ground truths *)
+  let rng = Rng.create 13 in
+  let graphs =
+    [
+      U.of_edges 3 [ (0, 1); (1, 2) ];
+      U.of_edges 6 [ (0, 1); (1, 2); (0, 2); (3, 4); (4, 5); (3, 5) ];
+      U.of_edges 5 [ (0, 1); (0, 2); (0, 3); (0, 4) ];
+      U.of_edges 7 [ (0, 1); (2, 3); (4, 5) ];
+    ]
+  in
+  List.iter
+    (fun g ->
+      let expected = ERC.closed_form g in
+      let sampled = ERC.monte_carlo ~runs:20000 rng g in
+      checkf 0.05 "MC near closed form" expected sampled)
+    graphs
+
+let suite =
+  [
+    ( "expected_rc",
+      [
+        tc "no edges" `Quick test_no_edges;
+        tc "single edge" `Quick test_single_edge;
+        tc "paper path example" `Quick test_paper_path_example;
+        tc "cliques leave one" `Quick test_clique;
+        tc "regular graph attains bound" `Quick test_lower_bound_on_regular;
+        tc "star strictly above bound" `Quick test_lower_bound_below_star;
+        tc "zero-node bound" `Quick test_lower_bound_zero_nodes;
+        tc "monte carlo matches Lemma 4" `Slow test_monte_carlo_matches_closed_form;
+      ] );
+  ]

@@ -1,0 +1,105 @@
+module X = Crowdmax_experiments
+module J = Crowdmax_util.Json
+
+let tc = Alcotest.test_case
+let check_bool = Alcotest.check Alcotest.bool
+
+let parses doc = J.equal doc (J.of_string (J.to_string doc))
+
+let test_series_encoding () =
+  let doc =
+    X.Export.series
+      [ { X.Common.name = "a"; points = [ (1.0, 2.0); (3.0, 4.5) ] } ]
+  in
+  check_bool "roundtrips" true (parses doc);
+  match doc with
+  | J.List [ J.Obj fields ] ->
+      check_bool "has name" true (List.mem_assoc "name" fields);
+      check_bool "has points" true (List.mem_assoc "points" fields)
+  | _ -> Alcotest.fail "unexpected shape"
+
+let test_fig14b_export () =
+  let f = X.Fig14.run_b ~elements:50 () in
+  let doc = X.Export.fig14b f in
+  check_bool "valid json" true (parses doc);
+  Alcotest.check
+    Alcotest.(option string)
+    "figure tag" (Some "14b")
+    (Option.bind (J.member "figure" doc) J.to_str);
+  (* others curve must be present and non-empty *)
+  match Option.bind (J.member "others" doc) J.to_list with
+  | Some (_ :: _) -> ()
+  | _ -> Alcotest.fail "missing others curve"
+
+let test_fig15_export () =
+  let f = X.Fig15.run ~repeats:1 ~sizes:[ 60 ] () in
+  let doc = X.Export.fig15 f in
+  check_bool "valid json" true (parses doc);
+  match Option.bind (J.member "points" doc) J.to_list with
+  | Some points ->
+      Alcotest.check Alcotest.int "4 budget multiples" 4 (List.length points)
+  | None -> Alcotest.fail "missing points"
+
+let test_fig11a_export () =
+  let f = X.Fig11a.run ~runs_per_size:3 ~seed:2 () in
+  let doc = X.Export.fig11a f in
+  check_bool "valid json" true (parses doc);
+  Alcotest.check
+    Alcotest.(option string)
+    "figure tag" (Some "11a")
+    (Option.bind (J.member "figure" doc) J.to_str);
+  check_bool "fit params present" true
+    (J.member "delta" doc <> None && J.member "alpha" doc <> None)
+
+let test_fig11b_export () =
+  let f = X.Fig11b.run ~runs:2 ~seed:3 ~elements:60 ~budget:400 () in
+  let doc = X.Export.fig11b f in
+  check_bool "valid json" true (parses doc);
+  match Option.bind (J.member "bars" doc) J.to_list with
+  | Some bars -> Alcotest.check Alcotest.int "five bars" 5 (List.length bars)
+  | None -> Alcotest.fail "missing bars"
+
+let test_fig12_and_fig13_exports () =
+  let f12 = X.Fig12.run ~runs:3 ~seed:5 ~elements:40 () in
+  check_bool "fig12 valid" true (parses (X.Export.fig12 f12));
+  let f13 = X.Fig13.run_b ~runs:2 ~seed:7 ~elements:60 () in
+  let doc = X.Export.fig13 f13 in
+  check_bool "fig13 valid" true (parses doc);
+  check_bool "keeps the x label" true
+    (Option.bind (J.member "x_label" doc) J.to_str = Some "budget")
+
+let test_fig14a_export () =
+  let doc =
+    X.Export.fig14a { X.Fig14.cells = [ ("tDP+Tournament", 1.5, 900.0) ] }
+  in
+  check_bool "valid json" true (parses doc)
+
+let test_write_reads_back () =
+  let f = X.Fig14.run_b ~elements:30 () in
+  let doc = X.Export.fig14b f in
+  let path = Filename.temp_file "crowdmax" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      X.Export.write ~path doc;
+      let ic = open_in path in
+      let len = in_channel_length ic in
+      let contents = really_input_string ic len in
+      close_in ic;
+      check_bool "file parses to same doc" true
+        (J.equal doc (J.of_string (String.trim contents))))
+
+let suite =
+  [
+    ( "export",
+      [
+        tc "series encoding" `Quick test_series_encoding;
+        tc "fig14b export" `Quick test_fig14b_export;
+        tc "fig15 export" `Quick test_fig15_export;
+        tc "fig11a export" `Slow test_fig11a_export;
+        tc "fig11b export" `Slow test_fig11b_export;
+        tc "fig12+fig13 exports" `Slow test_fig12_and_fig13_exports;
+        tc "fig14a export" `Quick test_fig14a_export;
+        tc "write + read back" `Quick test_write_reads_back;
+      ] );
+  ]

@@ -1,0 +1,95 @@
+(* Golden values: deterministic quantities pinned to what the paper
+   reports (or to first-run values of this implementation, where the
+   paper gives only curves). Any change to these is a behaviour change
+   to the reproduction and must be deliberate. *)
+
+module Model = Crowdmax_latency.Model
+module Problem = Crowdmax_core.Problem
+module Tdp = Crowdmax_core.Tdp
+module Allocation = Crowdmax_core.Allocation
+module Heuristics = Crowdmax_core.Heuristics
+module T = Crowdmax_tournament.Tournament
+
+let tc = Alcotest.test_case
+let check_int = Alcotest.check Alcotest.int
+let check_ints = Alcotest.check Alcotest.(list int)
+let mturk = Model.paper_mturk
+
+let tdp c0 b = Tdp.solve (Problem.create ~elements:c0 ~budget:b ~latency:mturk)
+
+(* Sec. 6.5: "tDP produces the same allocation, (2250, 1225), for any
+   budget available, after 4000 questions, i.e., tDP only uses 3475". *)
+let test_paper_654_allocation () =
+  List.iter
+    (fun b ->
+      let s = tdp 500 b in
+      check_ints
+        (Printf.sprintf "allocation at b=%d" b)
+        [ 2250; 1225 ]
+        (Allocation.round_budgets s.Tdp.allocation);
+      check_int "questions used" 3475 s.Tdp.questions_used)
+    [ 4000; 8000; 16000; 32000 ]
+
+(* Sec. 6.4: "for 250 elements, uHF generates allocation
+   (1000, 1000, 1000, 1000), while tDP generates allocation (884, 465)". *)
+let test_paper_644_allocations () =
+  check_ints "tDP at c0=250 b=4000" [ 884; 465 ]
+    (Allocation.round_budgets (tdp 250 4000).Tdp.allocation);
+  check_ints "uHF at c0=250 b=4000"
+    [ 1000; 1000; 1000; 1000 ]
+    (Allocation.round_budgets (Heuristics.uhf ~elements:250 ~budget:4000))
+
+(* Fig. 14(b) limit points under L = 239 + 0.06 q^p. *)
+let test_fig14b_limit_points () =
+  let used p b =
+    (Tdp.solve
+       (Problem.create ~elements:500 ~budget:b
+          ~latency:(Model.power ~delta:239.0 ~alpha:0.06 ~p)))
+      .Tdp.questions_used
+  in
+  check_int "p=1.4 limit" 797 (used 1.4 16000);
+  check_int "p=1.8 limit" 565 (used 1.8 16000)
+
+(* Fig. 2 / Fig. 3 / Fig. 5 tournament-graph arithmetic. *)
+let test_paper_graph_arithmetic () =
+  check_int "G_T(20,5)" 30 (T.questions 20 5);
+  check_int "G_T(24,5)" 46 (T.questions 24 5);
+  check_int "Q(100,25)" 150 (T.questions 100 25);
+  check_int "Q(50,25)" 25 (T.questions 50 25);
+  check_int "choose2 500" 124750 (Problem.max_useful_budget ~elements:500);
+  check_int "choose2 1000" 499500 (Problem.max_useful_budget ~elements:1000)
+
+(* Sec. 5.1 worked example, all four heuristics. *)
+let test_paper_51_heuristics () =
+  let budgets h = Allocation.round_budgets (h ~elements:24 ~budget:51) in
+  check_ints "HE" [ 12; 6; 33 ] (budgets Heuristics.he);
+  check_ints "HF" [ 44; 4; 2; 1 ] (budgets Heuristics.hf);
+  check_ints "uHE" [ 17; 17; 17 ] (budgets Heuristics.uhe);
+  check_ints "uHF" [ 13; 13; 13; 12 ] (budgets Heuristics.uhf)
+
+(* Sec. 2.2 example: with L = 100 + q, (40,8,1) costs 308 and
+   (40,20,5,1) costs 360; the optimum at b=108 is 305 via (40,10,1). *)
+let test_paper_22_example () =
+  let l = Model.linear ~delta:100.0 ~alpha:1.0 in
+  let s = Tdp.solve (Problem.create ~elements:40 ~budget:108 ~latency:l) in
+  Alcotest.check (Alcotest.float 1e-9) "optimal latency" 305.0 s.Tdp.latency;
+  check_ints "optimal sequence" [ 40; 10; 1 ] s.Tdp.sequence;
+  Alcotest.check (Alcotest.float 1e-9) "(40,8,1) = 308" 308.0
+    (Allocation.predicted_latency (Allocation.of_count_sequence [ 40; 8; 1 ]) l);
+  Alcotest.check (Alcotest.float 1e-9) "(40,20,5,1) = 360" 360.0
+    (Allocation.predicted_latency
+       (Allocation.of_count_sequence [ 40; 20; 5; 1 ])
+       l)
+
+let suite =
+  [
+    ( "golden",
+      [
+        tc "Sec 6.5 budget limiting" `Quick test_paper_654_allocation;
+        tc "Sec 6.4 allocations" `Quick test_paper_644_allocations;
+        tc "Fig 14(b) limit points" `Quick test_fig14b_limit_points;
+        tc "tournament arithmetic" `Quick test_paper_graph_arithmetic;
+        tc "Sec 5.1 heuristics" `Quick test_paper_51_heuristics;
+        tc "Sec 2.2 example" `Quick test_paper_22_example;
+      ] );
+  ]

@@ -1,0 +1,114 @@
+module G = Crowdmax_crowd.Ground_truth
+module Rng = Crowdmax_util.Rng
+
+let tc = Alcotest.test_case
+let check_int = Alcotest.check Alcotest.int
+let check_bool = Alcotest.check Alcotest.bool
+
+let test_random_is_permutation () =
+  let rng = Rng.create 3 in
+  let t = G.random rng 20 in
+  check_int "size" 20 (G.size t);
+  let seen = Array.make 20 false in
+  for e = 0 to 19 do
+    seen.(G.rank t e) <- true
+  done;
+  Array.iter (fun s -> check_bool "all ranks present" true s) seen
+
+let test_of_ranks_roundtrip () =
+  let t = G.of_ranks [| 2; 0; 1 |] in
+  check_int "rank of 0" 2 (G.rank t 0);
+  check_int "rank of 1" 0 (G.rank t 1);
+  check_int "max element" 0 (G.max_element t)
+
+let test_of_ranks_validation () =
+  Alcotest.check_raises "dup" (Invalid_argument "Ground_truth: ranks must form a permutation")
+    (fun () -> ignore (G.of_ranks [| 0; 0; 1 |]));
+  Alcotest.check_raises "range" (Invalid_argument "Ground_truth: ranks must form a permutation")
+    (fun () -> ignore (G.of_ranks [| 0; 3; 1 |]))
+
+let test_of_ranks_copies_input () =
+  let ranks = [| 0; 1; 2 |] in
+  let t = G.of_ranks ranks in
+  ranks.(0) <- 2;
+  check_int "not aliased" 0 (G.rank t 0)
+
+let test_better () =
+  let t = G.of_ranks [| 1; 0; 2 |] in
+  check_int "2 beats 0" 2 (G.better t 0 2);
+  check_int "0 beats 1" 0 (G.better t 0 1);
+  Alcotest.check_raises "same" (Invalid_argument "Ground_truth.better: same element")
+    (fun () -> ignore (G.better t 1 1))
+
+let test_better_consistent_with_compare () =
+  let rng = Rng.create 5 in
+  let t = G.random rng 15 in
+  for a = 0 to 14 do
+    for b = 0 to 14 do
+      if a <> b then begin
+        let w = G.better t a b in
+        check_bool "consistent" true
+          (if w = a then G.compare_elements t a b > 0
+           else G.compare_elements t a b < 0)
+      end
+    done
+  done
+
+let test_max_element () =
+  let rng = Rng.create 7 in
+  let t = G.random rng 30 in
+  let m = G.max_element t in
+  for e = 0 to 29 do
+    if e <> m then check_int "max beats all" m (G.better t m e)
+  done
+
+let test_sorted_desc () =
+  let rng = Rng.create 9 in
+  let t = G.random rng 25 in
+  let order = G.sorted_desc t in
+  check_int "starts at max" (G.max_element t) order.(0);
+  for i = 0 to 23 do
+    check_bool "descending ranks" true (G.rank t order.(i) > G.rank t order.(i + 1))
+  done
+
+let test_with_values_ranked_by_value () =
+  let rng = Rng.create 11 in
+  let t = G.with_values rng 50 ~lo:1000.0 ~hi:100000.0 in
+  for a = 0 to 49 do
+    for b = 0 to 49 do
+      if a <> b && G.rank t a > G.rank t b then
+        check_bool "higher rank >= value order" true (G.value t a >= G.value t b)
+    done
+  done;
+  for e = 0 to 49 do
+    let v = G.value t e in
+    check_bool "value in range" true (v >= 1000.0 && v <= 100000.0)
+  done
+
+let test_with_values_validation () =
+  let rng = Rng.create 1 in
+  Alcotest.check_raises "bad range" (Invalid_argument "Ground_truth.with_values: bad range")
+    (fun () -> ignore (G.with_values rng 5 ~lo:0.0 ~hi:10.0))
+
+let test_rank_out_of_range () =
+  let t = G.of_ranks [| 0; 1 |] in
+  Alcotest.check_raises "range" (Invalid_argument "Ground_truth.rank: out of range")
+    (fun () -> ignore (G.rank t 2))
+
+let suite =
+  [
+    ( "ground_truth",
+      [
+        tc "random is permutation" `Quick test_random_is_permutation;
+        tc "of_ranks roundtrip" `Quick test_of_ranks_roundtrip;
+        tc "of_ranks validation" `Quick test_of_ranks_validation;
+        tc "of_ranks copies" `Quick test_of_ranks_copies_input;
+        tc "better" `Quick test_better;
+        tc "better vs compare" `Quick test_better_consistent_with_compare;
+        tc "max element" `Quick test_max_element;
+        tc "sorted desc" `Quick test_sorted_desc;
+        tc "with_values ordering" `Quick test_with_values_ranked_by_value;
+        tc "with_values validation" `Quick test_with_values_validation;
+        tc "rank out of range" `Quick test_rank_out_of_range;
+      ] );
+  ]

@@ -1,0 +1,72 @@
+open Crowdmax_util
+
+let tc = Alcotest.test_case
+
+let test_empty () =
+  let h = Heap.create ~cmp:compare in
+  Alcotest.check Alcotest.bool "is_empty" true (Heap.is_empty h);
+  Alcotest.check Alcotest.int "length" 0 (Heap.length h);
+  Alcotest.check Alcotest.(option int) "peek" None (Heap.peek h);
+  Alcotest.check Alcotest.(option int) "pop" None (Heap.pop h)
+
+let test_pop_exn_empty () =
+  let h : int Heap.t = Heap.create ~cmp:compare in
+  Alcotest.check_raises "pop_exn" (Invalid_argument "Heap.pop_exn: empty")
+    (fun () -> ignore (Heap.pop_exn h))
+
+let test_ordering () =
+  let h = Heap.of_list ~cmp:compare [ 5; 1; 4; 2; 3 ] in
+  Alcotest.check Alcotest.(list int) "sorted" [ 1; 2; 3; 4; 5 ]
+    (Heap.to_sorted_list h)
+
+let test_duplicates () =
+  let h = Heap.of_list ~cmp:compare [ 2; 1; 2; 1 ] in
+  Alcotest.check Alcotest.(list int) "dups kept" [ 1; 1; 2; 2 ]
+    (Heap.to_sorted_list h)
+
+let test_peek_does_not_remove () =
+  let h = Heap.of_list ~cmp:compare [ 3; 1; 2 ] in
+  Alcotest.check Alcotest.(option int) "peek min" (Some 1) (Heap.peek h);
+  Alcotest.check Alcotest.int "length unchanged" 3 (Heap.length h)
+
+let test_interleaved () =
+  let h = Heap.create ~cmp:compare in
+  Heap.push h 10;
+  Heap.push h 5;
+  Alcotest.check Alcotest.(option int) "min so far" (Some 5) (Heap.pop h);
+  Heap.push h 1;
+  Heap.push h 7;
+  Alcotest.check Alcotest.(option int) "new min" (Some 1) (Heap.pop h);
+  Alcotest.check Alcotest.(option int) "then 7" (Some 7) (Heap.pop h);
+  Alcotest.check Alcotest.(option int) "then 10" (Some 10) (Heap.pop h);
+  Alcotest.check Alcotest.bool "empty again" true (Heap.is_empty h)
+
+let test_custom_cmp () =
+  (* max-heap via reversed comparison *)
+  let h = Heap.of_list ~cmp:(fun a b -> compare b a) [ 1; 3; 2 ] in
+  Alcotest.check Alcotest.(option int) "max first" (Some 3) (Heap.pop h)
+
+let test_random_matches_sort () =
+  let rng = Rng.create 61 in
+  for _ = 1 to 20 do
+    let n = 1 + Rng.int rng 200 in
+    let xs = List.init n (fun _ -> Rng.int rng 1000) in
+    let h = Heap.of_list ~cmp:compare xs in
+    Alcotest.check Alcotest.(list int) "heap sorts" (List.sort compare xs)
+      (Heap.to_sorted_list h)
+  done
+
+let suite =
+  [
+    ( "heap",
+      [
+        tc "empty" `Quick test_empty;
+        tc "pop_exn on empty" `Quick test_pop_exn_empty;
+        tc "ordering" `Quick test_ordering;
+        tc "duplicates" `Quick test_duplicates;
+        tc "peek does not remove" `Quick test_peek_does_not_remove;
+        tc "interleaved push/pop" `Quick test_interleaved;
+        tc "custom comparison" `Quick test_custom_cmp;
+        tc "random matches sort" `Quick test_random_matches_sort;
+      ] );
+  ]

@@ -1,0 +1,171 @@
+module H = Crowdmax_core.Heuristics
+module Allocation = Crowdmax_core.Allocation
+module Problem = Crowdmax_core.Problem
+module Ints = Crowdmax_util.Ints
+module Rng = Crowdmax_util.Rng
+
+let tc = Alcotest.test_case
+let check_int = Alcotest.check Alcotest.int
+let check_bool = Alcotest.check Alcotest.bool
+let budgets a = Allocation.round_budgets a
+
+(* Section 5.1 worked example: c0 = 24, b = 51. *)
+let test_he_paper_example () =
+  Alcotest.check Alcotest.(list int) "HE (Fig 10a)" [ 12; 6; 33 ]
+    (budgets (H.he ~elements:24 ~budget:51))
+
+let test_hf_paper_example () =
+  Alcotest.check Alcotest.(list int) "HF (Fig 10b)" [ 44; 4; 2; 1 ]
+    (budgets (H.hf ~elements:24 ~budget:51))
+
+let test_uhe_paper_example () =
+  Alcotest.check Alcotest.(list int) "uHE" [ 17; 17; 17 ]
+    (budgets (H.uhe ~elements:24 ~budget:51))
+
+let test_uhf_paper_example () =
+  Alcotest.check Alcotest.(list int) "uHF" [ 13; 13; 13; 12 ]
+    (budgets (H.uhf ~elements:24 ~budget:51))
+
+let test_uhf_fig13a_example () =
+  (* Sec. 6.4: for 250 elements and b = 4000, uHF generates
+     (1000, 1000, 1000, 1000) *)
+  Alcotest.check Alcotest.(list int) "paper example" [ 1000; 1000; 1000; 1000 ]
+    (budgets (H.uhf ~elements:250 ~budget:4000))
+
+let test_all_spend_full_budget () =
+  (* Sec. 6.5: the heuristics always use the whole budget *)
+  let rng = Rng.create 3 in
+  for _ = 1 to 100 do
+    let c0 = 2 + Rng.int rng 200 in
+    let b = c0 - 1 + Rng.int rng 2000 in
+    List.iter
+      (fun H.{ name; allocate } ->
+        let a = allocate ~elements:c0 ~budget:b in
+        check_int (name ^ " spends all") b (Allocation.questions_total a))
+      H.all
+  done
+
+let test_round_budgets_positive () =
+  let rng = Rng.create 5 in
+  for _ = 1 to 100 do
+    let c0 = 2 + Rng.int rng 100 in
+    let b = c0 - 1 + Rng.int rng 500 in
+    List.iter
+      (fun H.{ name = _; allocate } ->
+        let a = allocate ~elements:c0 ~budget:b in
+        List.iter
+          (fun q -> check_bool "positive round" true (q >= 1))
+          (Allocation.round_budgets a))
+      H.all
+  done
+
+let test_single_element () =
+  List.iter
+    (fun H.{ name; allocate } ->
+      check_int (name ^ " empty for c0=1") 0
+        (Allocation.rounds (allocate ~elements:1 ~budget:0)))
+    H.all
+
+let test_two_elements_min_budget () =
+  List.iter
+    (fun H.{ name; allocate } ->
+      let a = allocate ~elements:2 ~budget:1 in
+      check_int (name ^ " single question") 1 (Allocation.questions_total a))
+    H.all
+
+let test_exact_min_budget_is_halving () =
+  (* with b = c0 - 1, HE reduces to pure halving; HF does too when c0 is
+     a power of two, and otherwise bridges to the nearest power of two
+     first - either way spending exactly c0 - 1 questions *)
+  List.iter
+    (fun c0 ->
+      Alcotest.check Alcotest.(list int) "HE halving" (H.halving_rounds c0)
+        (budgets (H.he ~elements:c0 ~budget:(c0 - 1)));
+      check_int "HF minimal spend" (c0 - 1)
+        (Allocation.questions_total (H.hf ~elements:c0 ~budget:(c0 - 1))))
+    [ 2; 3; 7; 16; 33; 100 ];
+  List.iter
+    (fun c0 ->
+      Alcotest.check Alcotest.(list int) "HF halving (power of two)"
+        (H.halving_rounds c0)
+        (budgets (H.hf ~elements:c0 ~budget:(c0 - 1))))
+    [ 2; 4; 16; 64 ]
+
+let test_he_last_round_is_heavy () =
+  (* HE's final round gets at least as much as a complete tournament of
+     the remaining candidates would need *)
+  let a = H.he ~elements:100 ~budget:1000 in
+  let bs = budgets a in
+  let last = List.nth bs (List.length bs - 1) in
+  check_bool "last round dominant" true
+    (List.for_all (fun q -> q <= last) bs)
+
+let test_hf_first_round_is_heavy () =
+  let a = H.hf ~elements:100 ~budget:1000 in
+  match budgets a with
+  | first :: rest ->
+      check_bool "first round dominant" true (List.for_all (fun q -> q <= first) rest)
+  | [] -> Alcotest.fail "empty HF allocation"
+
+let test_uniform_variants_match_round_counts () =
+  let rng = Rng.create 7 in
+  for _ = 1 to 50 do
+    let c0 = 2 + Rng.int rng 100 in
+    let b = c0 - 1 + Rng.int rng 1000 in
+    check_int "uHE rounds = HE rounds"
+      (Allocation.rounds (H.he ~elements:c0 ~budget:b))
+      (Allocation.rounds (H.uhe ~elements:c0 ~budget:b));
+    check_int "uHF rounds = HF rounds"
+      (Allocation.rounds (H.hf ~elements:c0 ~budget:b))
+      (Allocation.rounds (H.uhf ~elements:c0 ~budget:b))
+  done
+
+let test_infeasible_rejected () =
+  List.iter
+    (fun H.{ name = _; allocate } ->
+      Alcotest.check_raises "Thm 1"
+        (Invalid_argument "Heuristics: infeasible instance (Theorem 1)")
+        (fun () -> ignore (allocate ~elements:10 ~budget:8)))
+    H.all
+
+let test_halving_rounds () =
+  Alcotest.check Alcotest.(list int) "c=8" [ 4; 2; 1 ] (H.halving_rounds 8);
+  Alcotest.check Alcotest.(list int) "c=7 (byes)" [ 3; 2; 1 ] (H.halving_rounds 7);
+  Alcotest.check Alcotest.(list int) "c=1" [] (H.halving_rounds 1);
+  (* pure halving always spends exactly c - 1 questions *)
+  for c = 1 to 60 do
+    check_int "sum = c-1" (c - 1) (Ints.sum (H.halving_rounds c))
+  done
+
+let test_feasible_for_engine () =
+  (* every heuristic allocation, when played with tournament selection,
+     can reach a single candidate: total budget >= c0 - 1 by
+     construction, and prefix budgets never strand the run. Here we just
+     assert the budget arithmetic of HE/HF prefixes. *)
+  let a = H.he ~elements:24 ~budget:51 in
+  check_bool "within budget" true (Allocation.within_budget a 51);
+  check_bool "covers eliminations" true
+    (Allocation.questions_total a >= 23)
+
+let suite =
+  [
+    ( "heuristics",
+      [
+        tc "HE paper example" `Quick test_he_paper_example;
+        tc "HF paper example" `Quick test_hf_paper_example;
+        tc "uHE paper example" `Quick test_uhe_paper_example;
+        tc "uHF paper example" `Quick test_uhf_paper_example;
+        tc "uHF Fig 13(a) example" `Quick test_uhf_fig13a_example;
+        tc "full budget spent" `Quick test_all_spend_full_budget;
+        tc "round budgets positive" `Quick test_round_budgets_positive;
+        tc "single element" `Quick test_single_element;
+        tc "two elements" `Quick test_two_elements_min_budget;
+        tc "min budget = halving" `Quick test_exact_min_budget_is_halving;
+        tc "HE heavy end" `Quick test_he_last_round_is_heavy;
+        tc "HF heavy front" `Quick test_hf_first_round_is_heavy;
+        tc "uniform round counts" `Quick test_uniform_variants_match_round_counts;
+        tc "infeasible rejected" `Quick test_infeasible_rejected;
+        tc "halving rounds" `Quick test_halving_rounds;
+        tc "engine feasibility" `Quick test_feasible_for_engine;
+      ] );
+  ]

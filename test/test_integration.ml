@@ -1,0 +1,169 @@
+(* Cross-cutting integration tests: whole-pipeline runs through
+   combinations not covered by the per-module suites. *)
+
+module E = Crowdmax_runtime.Engine
+module A = Crowdmax_runtime.Adaptive
+module S = Crowdmax_selection.Selection
+module Model = Crowdmax_latency.Model
+module Problem = Crowdmax_core.Problem
+module Tdp = Crowdmax_core.Tdp
+module Heuristics = Crowdmax_core.Heuristics
+module Allocation = Crowdmax_core.Allocation
+module Bounds = Crowdmax_core.Bounds
+module G = Crowdmax_crowd.Ground_truth
+module Platform = Crowdmax_crowd.Platform
+module Rwl = Crowdmax_crowd.Rwl
+module W = Crowdmax_crowd.Worker
+module Rng = Crowdmax_util.Rng
+
+let tc = Alcotest.test_case
+let check_bool = Alcotest.check Alcotest.bool
+let check_int = Alcotest.check Alcotest.int
+
+let model = Model.paper_mturk
+
+let tdp_alloc c0 b =
+  (Tdp.solve (Problem.create ~elements:c0 ~budget:b ~latency:model)).Tdp.allocation
+
+(* Every selector, oracle mode: the run must terminate, stay within its
+   round budgets, and produce a valid element. *)
+let test_every_selector_terminates () =
+  let rng = Rng.create 3 in
+  List.iter
+    (fun sel ->
+      for _ = 1 to 5 do
+        let c0 = 10 + Rng.int rng 60 in
+        let b = (2 * c0) + Rng.int rng (4 * c0) in
+        let alloc = tdp_alloc c0 b in
+        let cfg =
+          E.config ~allocation:alloc ~selection:sel ~latency_model:model ()
+        in
+        let truth = G.random rng c0 in
+        let r = E.run rng cfg truth in
+        check_bool (sel.S.name ^ " picks an element") true
+          (r.E.chosen >= 0 && r.E.chosen < c0);
+        check_bool (sel.S.name ^ " posts within plan") true
+          (r.E.questions_posted <= Allocation.questions_total alloc);
+        check_bool (sel.S.name ^ " positive latency") true
+          (r.E.total_latency > 0.0)
+      done)
+    S.all
+
+(* Every selector through the adaptive runner. *)
+let test_adaptive_with_every_selector () =
+  let rng = Rng.create 5 in
+  List.iter
+    (fun sel ->
+      let c0 = 30 in
+      let problem = Problem.create ~elements:c0 ~budget:200 ~latency:model in
+      let truth = G.random rng c0 in
+      let r = A.run rng ~problem ~selection:sel truth in
+      check_bool (sel.S.name ^ " within budget") true
+        (r.A.engine_result.E.questions_posted <= 200))
+    S.all
+
+(* Every allocator against the simulated platform end to end. *)
+let test_all_allocators_on_platform () =
+  let platform = Platform.create () in
+  let rng = Rng.create 7 in
+  let c0 = 40 and b = 250 in
+  List.iter
+    (fun (name, alloc) ->
+      let cfg =
+        E.config
+          ~source:
+            (E.Simulated { platform; rwl = { Rwl.votes = 1; error = W.Perfect } })
+          ~allocation:alloc ~selection:S.tournament ~latency_model:model ()
+      in
+      let truth = G.random rng c0 in
+      let r = E.run rng cfg truth in
+      check_bool (name ^ " correct on platform") true r.E.correct)
+    (("tDP", tdp_alloc c0 b)
+    :: List.map
+         (fun Heuristics.{ name; allocate } -> (name, allocate ~elements:c0 ~budget:b))
+         Heuristics.all)
+
+(* Distance-sensitive errors: near-ties are harder; the pipeline should
+   still be mostly correct with repetition because the decisive
+   comparisons involving the true max are usually easy. *)
+let test_distance_sensitive_errors () =
+  let platform = Platform.create () in
+  let rng = Rng.create 9 in
+  let c0 = 50 in
+  let alloc = tdp_alloc c0 300 in
+  let error = W.Distance_sensitive { base = 0.4; halfwidth = 3.0 } in
+  let cfg =
+    E.config
+      ~source:(E.Simulated { platform; rwl = { Rwl.votes = 3; error } })
+      ~allocation:alloc ~selection:S.tournament ~latency_model:model ()
+  in
+  let correct = ref 0 in
+  for _ = 1 to 20 do
+    let truth = G.random rng c0 in
+    if (E.run rng cfg truth).E.correct then incr correct
+  done;
+  check_bool
+    (Printf.sprintf "mostly correct under near-tie errors (%d/20)" !correct)
+    true (!correct >= 12)
+
+(* The analytic lower bound, the DP optimum, and the engine's realized
+   latency are consistently ordered. *)
+let test_bound_dp_engine_ordering () =
+  let rng = Rng.create 11 in
+  for _ = 1 to 15 do
+    let c0 = 5 + Rng.int rng 80 in
+    let b = c0 - 1 + Rng.int rng 600 in
+    let sol = Tdp.solve (Problem.create ~elements:c0 ~budget:b ~latency:model) in
+    let bound = Bounds.latency_lower_bound model ~elements:c0 in
+    let cfg =
+      E.config ~allocation:sol.Tdp.allocation ~selection:S.tournament
+        ~latency_model:model ()
+    in
+    let truth = G.random rng c0 in
+    let r = E.run rng cfg truth in
+    check_bool "bound <= DP" true (bound <= sol.Tdp.latency +. 1e-9);
+    check_bool "engine = DP (oracle + tournament)" true
+      (Float.abs (r.E.total_latency -. sol.Tdp.latency) < 1e-6)
+  done
+
+(* Round counts: the engine under tDP never beats the exact minimum
+   round count for the instance. *)
+let test_round_count_consistency () =
+  let rng = Rng.create 13 in
+  for _ = 1 to 10 do
+    let c0 = 5 + Rng.int rng 60 in
+    let b = c0 - 1 + Rng.int rng 400 in
+    let sol = Tdp.solve (Problem.create ~elements:c0 ~budget:b ~latency:model) in
+    let cfg =
+      E.config ~allocation:sol.Tdp.allocation ~selection:S.tournament
+        ~latency_model:model ()
+    in
+    let truth = G.random rng c0 in
+    let r = E.run rng cfg truth in
+    match Bounds.min_rounds_within_budget ~elements:c0 ~budget:b with
+    | Some mr -> check_bool "rounds >= minimum" true (r.E.rounds_run >= mr)
+    | None -> Alcotest.fail "feasible"
+  done
+
+(* Performance regression guard: the canonical paper instance must solve
+   fast (it is inside every figure sweep). *)
+let test_tdp_performance_guard () =
+  let t0 = Unix.gettimeofday () in
+  let sol = Tdp.solve (Problem.create ~elements:500 ~budget:4000 ~latency:model) in
+  let dt = Unix.gettimeofday () -. t0 in
+  check_int "expected questions" 3475 sol.Tdp.questions_used;
+  check_bool (Printf.sprintf "solved in %.3fs (< 2s)" dt) true (dt < 2.0)
+
+let suite =
+  [
+    ( "integration",
+      [
+        tc "every selector terminates" `Slow test_every_selector_terminates;
+        tc "adaptive with every selector" `Quick test_adaptive_with_every_selector;
+        tc "all allocators on platform" `Quick test_all_allocators_on_platform;
+        tc "distance-sensitive errors" `Slow test_distance_sensitive_errors;
+        tc "bound <= DP = engine" `Quick test_bound_dp_engine_ordering;
+        tc "round count consistency" `Quick test_round_count_consistency;
+        tc "tDP performance guard" `Quick test_tdp_performance_guard;
+      ] );
+  ]

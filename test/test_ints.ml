@@ -1,0 +1,46 @@
+open Crowdmax_util
+
+let tc = Alcotest.test_case
+let check_int = Alcotest.check Alcotest.int
+
+let test_choose2 () =
+  check_int "n=0" 0 (Ints.choose2 0);
+  check_int "n=1" 0 (Ints.choose2 1);
+  check_int "n=2" 1 (Ints.choose2 2);
+  check_int "n=5" 10 (Ints.choose2 5);
+  check_int "n=500 (paper)" 124750 (Ints.choose2 500);
+  check_int "n=1000 (paper intro)" 499500 (Ints.choose2 1000)
+
+let test_ceil_div () =
+  check_int "exact" 4 (Ints.ceil_div 12 3);
+  check_int "round up" 5 (Ints.ceil_div 13 3);
+  check_int "one" 1 (Ints.ceil_div 1 5)
+
+let test_sum () =
+  check_int "empty" 0 (Ints.sum []);
+  check_int "values" 10 (Ints.sum [ 1; 2; 3; 4 ])
+
+let test_range () =
+  Alcotest.check Alcotest.(list int) "basic" [ 2; 3; 4 ] (Ints.range 2 4);
+  Alcotest.check Alcotest.(list int) "empty" [] (Ints.range 3 2);
+  Alcotest.check Alcotest.(list int) "single" [ 5 ] (Ints.range 5 5)
+
+let test_log2_ceil () =
+  check_int "n=1" 0 (Ints.log2_ceil 1);
+  check_int "n=2" 1 (Ints.log2_ceil 2);
+  check_int "n=3" 2 (Ints.log2_ceil 3);
+  check_int "n=8" 3 (Ints.log2_ceil 8);
+  check_int "n=9" 4 (Ints.log2_ceil 9);
+  check_int "n=0" 0 (Ints.log2_ceil 0)
+
+let suite =
+  [
+    ( "ints",
+      [
+        tc "choose2" `Quick test_choose2;
+        tc "ceil_div" `Quick test_ceil_div;
+        tc "sum" `Quick test_sum;
+        tc "range" `Quick test_range;
+        tc "log2_ceil" `Quick test_log2_ceil;
+      ] );
+  ]

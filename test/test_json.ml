@@ -1,0 +1,140 @@
+module J = Crowdmax_util.Json
+module Rng = Crowdmax_util.Rng
+
+let tc = Alcotest.test_case
+let check_str = Alcotest.check Alcotest.string
+let check_bool = Alcotest.check Alcotest.bool
+
+let roundtrip v = J.equal v (J.of_string (J.to_string v))
+
+let test_encode_scalars () =
+  check_str "null" "null" (J.to_string J.Null);
+  check_str "true" "true" (J.to_string (J.Bool true));
+  check_str "false" "false" (J.to_string (J.Bool false));
+  check_str "int-like" "42" (J.to_string (J.int 42));
+  check_str "negative" "-7" (J.to_string (J.int (-7)));
+  check_str "float" "2.5" (J.to_string (J.Float 2.5));
+  check_str "string" "\"hi\"" (J.to_string (J.String "hi"))
+
+let test_encode_containers () =
+  check_str "empty list" "[]" (J.to_string (J.List []));
+  check_str "empty obj" "{}" (J.to_string (J.Obj []));
+  check_str "list" "[1,2,3]" (J.to_string (J.List [ J.int 1; J.int 2; J.int 3 ]));
+  check_str "obj" "{\"a\":1,\"b\":[true,null]}"
+    (J.to_string
+       (J.Obj [ ("a", J.int 1); ("b", J.List [ J.Bool true; J.Null ]) ]))
+
+let test_escaping () =
+  check_str "quotes and newline" "\"a\\\"b\\nc\\\\d\""
+    (J.to_string (J.String "a\"b\nc\\d"));
+  (* control character *)
+  check_str "control" "\"\\u0001\"" (J.to_string (J.String "\001"));
+  check_bool "escaped roundtrip" true (roundtrip (J.String "tab\there\n\"x\"\\"))
+
+let test_rejects_non_finite () =
+  Alcotest.check_raises "nan" (Invalid_argument "Json.to_string: non-finite float")
+    (fun () -> ignore (J.to_string (J.Float Float.nan)));
+  Alcotest.check_raises "inf" (Invalid_argument "Json.to_string: non-finite float")
+    (fun () -> ignore (J.to_string (J.Float Float.infinity)))
+
+let test_pretty () =
+  let v = J.Obj [ ("a", J.List [ J.int 1 ]) ] in
+  let out = J.to_string ~pretty:true v in
+  check_bool "multi-line" true (String.contains out '\n');
+  check_bool "pretty parses back" true (J.equal v (J.of_string out))
+
+let test_decode_basic () =
+  check_bool "null" true (J.equal J.Null (J.of_string "null"));
+  check_bool "num" true (J.equal (J.Float 3.5) (J.of_string "3.5"));
+  check_bool "exp" true (J.equal (J.Float 1500.0) (J.of_string "1.5e3"));
+  check_bool "neg" true (J.equal (J.Float (-2.0)) (J.of_string "-2"));
+  check_bool "ws" true (J.equal (J.Bool true) (J.of_string "  true  "));
+  check_bool "nested" true
+    (J.equal
+       (J.Obj [ ("xs", J.List [ J.int 1; J.Obj [ ("y", J.Null) ] ]) ])
+       (J.of_string "{\"xs\": [1, {\"y\": null}]}"))
+
+let test_decode_unicode_escape () =
+  check_bool "ascii" true (J.equal (J.String "A") (J.of_string "\"\\u0041\""));
+  (* two-byte UTF-8 *)
+  check_bool "latin" true
+    (J.equal (J.String "\xc3\xa9") (J.of_string "\"\\u00e9\""))
+
+let test_decode_errors () =
+  let fails s =
+    match J.of_string s with
+    | exception J.Parse_error _ -> true
+    | _ -> false
+  in
+  check_bool "empty" true (fails "");
+  check_bool "garbage" true (fails "xyz");
+  check_bool "trailing" true (fails "1 2");
+  check_bool "unterminated string" true (fails "\"abc");
+  check_bool "bad escape" true (fails "\"\\q\"");
+  check_bool "unclosed array" true (fails "[1, 2");
+  check_bool "unclosed object" true (fails "{\"a\": 1");
+  check_bool "missing colon" true (fails "{\"a\" 1}")
+
+let test_accessors () =
+  let v = J.of_string "{\"a\": 1, \"b\": \"x\", \"c\": [true]}" in
+  Alcotest.check Alcotest.(option int) "int member" (Some 1)
+    (Option.bind (J.member "a" v) J.to_int);
+  Alcotest.check Alcotest.(option string) "string member" (Some "x")
+    (Option.bind (J.member "b" v) J.to_str);
+  Alcotest.check Alcotest.(option bool) "list member" (Some true)
+    (Option.bind
+       (Option.bind (J.member "c" v) J.to_list)
+       (function [ x ] -> J.to_bool x | _ -> None));
+  Alcotest.check Alcotest.bool "missing member" true (J.member "zzz" v = None);
+  Alcotest.check Alcotest.bool "non-integral to_int" true
+    (J.to_int (J.Float 1.5) = None)
+
+let test_random_roundtrips () =
+  let rng = Rng.create 71 in
+  let rec gen depth =
+    match if depth > 3 then Rng.int rng 4 else Rng.int rng 6 with
+    | 0 -> J.Null
+    | 1 -> J.Bool (Rng.bool rng)
+    | 2 -> J.int (Rng.int_in rng (-1000000) 1000000)
+    | 3 ->
+        J.String
+          (String.init (Rng.int rng 12) (fun _ ->
+               Char.chr (Rng.int_in rng 32 126)))
+    | 4 -> J.List (List.init (Rng.int rng 5) (fun _ -> gen (depth + 1)))
+    | _ ->
+        J.Obj
+          (List.init (Rng.int rng 5) (fun i ->
+               (Printf.sprintf "k%d" i, gen (depth + 1))))
+  in
+  for _ = 1 to 200 do
+    let v = gen 0 in
+    check_bool "roundtrip" true (roundtrip v)
+  done
+
+let test_float_roundtrip_precision () =
+  let rng = Rng.create 73 in
+  for _ = 1 to 100 do
+    let f = Rng.gaussian rng ~mu:0.0 ~sigma:1e6 in
+    match J.of_string (J.to_string (J.Float f)) with
+    | J.Float g ->
+        check_bool "precision preserved" true (Float.abs (f -. g) < 1e-9 *. Float.abs f +. 1e-12)
+    | _ -> Alcotest.fail "not a float"
+  done
+
+let suite =
+  [
+    ( "json",
+      [
+        tc "encode scalars" `Quick test_encode_scalars;
+        tc "encode containers" `Quick test_encode_containers;
+        tc "escaping" `Quick test_escaping;
+        tc "rejects non-finite" `Quick test_rejects_non_finite;
+        tc "pretty printing" `Quick test_pretty;
+        tc "decode basic" `Quick test_decode_basic;
+        tc "decode unicode escapes" `Quick test_decode_unicode_escape;
+        tc "decode errors" `Quick test_decode_errors;
+        tc "accessors" `Quick test_accessors;
+        tc "random roundtrips" `Quick test_random_roundtrips;
+        tc "float precision" `Quick test_float_roundtrip_precision;
+      ] );
+  ]

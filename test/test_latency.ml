@@ -1,0 +1,174 @@
+module Model = Crowdmax_latency.Model
+module Estimate = Crowdmax_latency.Estimate
+
+let tc = Alcotest.test_case
+let checkf eps = Alcotest.check (Alcotest.float eps)
+
+let test_linear_eval () =
+  let m = Model.linear ~delta:100.0 ~alpha:2.0 in
+  checkf 1e-9 "q=0" 100.0 (Model.eval m 0);
+  checkf 1e-9 "q=10" 120.0 (Model.eval m 10)
+
+let test_paper_mturk () =
+  checkf 1e-9 "L(0)" 239.0 (Model.eval Model.paper_mturk 0);
+  checkf 1e-9 "L(1000)" 299.0 (Model.eval Model.paper_mturk 1000)
+
+let test_power_eval () =
+  let m = Model.power ~delta:239.0 ~alpha:0.06 ~p:2.0 in
+  checkf 1e-6 "q=100" (239.0 +. 600.0) (Model.eval m 100);
+  checkf 1e-9 "q=0" 239.0 (Model.eval m 0)
+
+let test_negative_q_rejected () =
+  Alcotest.check_raises "negative" (Invalid_argument "Latency.Model.eval: negative batch size")
+    (fun () -> ignore (Model.eval Model.paper_mturk (-1)))
+
+let test_piecewise_interpolation () =
+  let m = Model.Piecewise [| (10, 100.0); (20, 200.0); (40, 260.0) |] in
+  checkf 1e-9 "below first knot: flat" 100.0 (Model.eval m 5);
+  checkf 1e-9 "at knot" 200.0 (Model.eval m 20);
+  checkf 1e-9 "interpolated" 150.0 (Model.eval m 15);
+  checkf 1e-9 "interpolated upper" 230.0 (Model.eval m 30);
+  (* beyond last knot: extrapolate with last segment slope (3 per q) *)
+  checkf 1e-9 "extrapolated" 290.0 (Model.eval m 50)
+
+let test_piecewise_single_knot () =
+  let m = Model.Piecewise [| (10, 42.0) |] in
+  checkf 1e-9 "flat everywhere" 42.0 (Model.eval m 0);
+  checkf 1e-9 "flat everywhere" 42.0 (Model.eval m 100)
+
+let test_piecewise_empty_rejected () =
+  Alcotest.check_raises "empty" (Invalid_argument "Latency.Model.eval: empty piecewise model")
+    (fun () -> ignore (Model.eval (Model.Piecewise [||]) 1))
+
+let test_custom () =
+  let m = Model.Custom (fun q -> float_of_int (q * q)) in
+  checkf 1e-9 "q=7" 49.0 (Model.eval m 7)
+
+let test_per_round_overhead () =
+  checkf 1e-9 "linear overhead" 239.0 (Model.per_round_overhead Model.paper_mturk)
+
+let test_is_increasing () =
+  Alcotest.check Alcotest.bool "linear increasing" true
+    (Model.is_increasing_on Model.paper_mturk 1000);
+  Alcotest.check Alcotest.bool "decreasing custom flagged" false
+    (Model.is_increasing_on (Model.Custom (fun q -> -.float_of_int q)) 10)
+
+let obs_of_model m sizes =
+  List.concat_map
+    (fun q -> [ { Estimate.batch_size = q; seconds = Model.eval m q } ])
+    sizes
+
+let test_fit_linear_recovers () =
+  let truth = Model.linear ~delta:239.0 ~alpha:0.06 in
+  let obs = obs_of_model truth [ 10; 20; 40; 80; 160; 320; 640; 1280 ] in
+  match Estimate.fit_linear obs with
+  | Model.Linear { delta; alpha } ->
+      checkf 1e-6 "delta" 239.0 delta;
+      checkf 1e-9 "alpha" 0.06 alpha
+  | _ -> Alcotest.fail "expected Linear"
+
+let test_fit_power_recovers () =
+  let truth = Model.power ~delta:239.0 ~alpha:0.06 ~p:1.5 in
+  let obs = obs_of_model truth [ 10; 20; 40; 80; 160; 320 ] in
+  match Estimate.fit_power ~delta:239.0 obs with
+  | Model.Power { delta; alpha; p } ->
+      checkf 1e-9 "delta" 239.0 delta;
+      checkf 1e-6 "alpha" 0.06 alpha;
+      checkf 1e-6 "p" 1.5 p
+  | _ -> Alcotest.fail "expected Power"
+
+let test_average_by_size () =
+  let obs =
+    [
+      { Estimate.batch_size = 10; seconds = 100.0 };
+      { Estimate.batch_size = 10; seconds = 200.0 };
+      { Estimate.batch_size = 5; seconds = 50.0 };
+    ]
+  in
+  let avg = Estimate.average_by_size obs in
+  Alcotest.check Alcotest.int "two sizes" 2 (Array.length avg);
+  Alcotest.check Alcotest.int "sorted ascending" 5 (fst avg.(0));
+  checkf 1e-9 "mean of 10s" 150.0 (snd avg.(1))
+
+let test_fit_piecewise () =
+  let obs =
+    [
+      { Estimate.batch_size = 10; seconds = 100.0 };
+      { Estimate.batch_size = 20; seconds = 200.0 };
+    ]
+  in
+  let m = Estimate.fit_piecewise obs in
+  checkf 1e-9 "knot value" 100.0 (Model.eval m 10);
+  checkf 1e-9 "interpolates" 150.0 (Model.eval m 15)
+
+let test_residual_rms () =
+  let m = Model.linear ~delta:0.0 ~alpha:1.0 in
+  let obs =
+    [
+      { Estimate.batch_size = 1; seconds = 2.0 };
+      { Estimate.batch_size = 2; seconds = 2.0 };
+    ]
+  in
+  (* residuals: 1-2 = -1, 2-2 = 0 -> rms = sqrt(0.5) *)
+  checkf 1e-9 "rms" (sqrt 0.5) (Estimate.residual_rms m obs);
+  checkf 1e-9 "empty" 0.0 (Estimate.residual_rms m [])
+
+let test_bootstrap_brackets_truth () =
+  let module Rng = Crowdmax_util.Rng in
+  let rng = Rng.create 51 in
+  (* noisy observations around 200 + 0.1 q *)
+  let obs =
+    List.concat_map
+      (fun q ->
+        List.init 15 (fun _ ->
+            {
+              Estimate.batch_size = q;
+              seconds =
+                200.0 +. (0.1 *. float_of_int q)
+                +. Rng.gaussian rng ~mu:0.0 ~sigma:8.0;
+            }))
+      [ 10; 20; 40; 80; 160; 320 ]
+  in
+  let ci = Estimate.bootstrap_linear ~resamples:400 rng obs in
+  Alcotest.check Alcotest.bool "delta bracketed" true
+    (ci.Estimate.delta_low < 200.0 && 200.0 < ci.Estimate.delta_high);
+  Alcotest.check Alcotest.bool "alpha bracketed" true
+    (ci.Estimate.alpha_low < 0.1 && 0.1 < ci.Estimate.alpha_high);
+  Alcotest.check Alcotest.bool "intervals ordered" true
+    (ci.Estimate.delta_low <= ci.Estimate.delta_high
+    && ci.Estimate.alpha_low <= ci.Estimate.alpha_high)
+
+let test_bootstrap_validation () =
+  let module Rng = Crowdmax_util.Rng in
+  let rng = Rng.create 1 in
+  let obs =
+    [ { Estimate.batch_size = 1; seconds = 1.0 };
+      { Estimate.batch_size = 2; seconds = 2.0 } ]
+  in
+  Alcotest.check_raises "bad confidence"
+    (Invalid_argument "Estimate.bootstrap_linear: confidence outside (0,1)")
+    (fun () -> ignore (Estimate.bootstrap_linear ~confidence:1.0 rng obs))
+
+let suite =
+  [
+    ( "latency",
+      [
+        tc "bootstrap brackets truth" `Slow test_bootstrap_brackets_truth;
+        tc "bootstrap validation" `Quick test_bootstrap_validation;
+        tc "linear eval" `Quick test_linear_eval;
+        tc "paper mturk constants" `Quick test_paper_mturk;
+        tc "power eval" `Quick test_power_eval;
+        tc "negative q rejected" `Quick test_negative_q_rejected;
+        tc "piecewise interpolation" `Quick test_piecewise_interpolation;
+        tc "piecewise single knot" `Quick test_piecewise_single_knot;
+        tc "piecewise empty rejected" `Quick test_piecewise_empty_rejected;
+        tc "custom" `Quick test_custom;
+        tc "per-round overhead" `Quick test_per_round_overhead;
+        tc "is_increasing_on" `Quick test_is_increasing;
+        tc "linear fit recovers" `Quick test_fit_linear_recovers;
+        tc "power fit recovers" `Quick test_fit_power_recovers;
+        tc "average by size" `Quick test_average_by_size;
+        tc "piecewise fit" `Quick test_fit_piecewise;
+        tc "residual rms" `Quick test_residual_rms;
+      ] );
+  ]

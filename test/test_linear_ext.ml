@@ -1,0 +1,144 @@
+module Dag = Crowdmax_graph.Answer_dag
+module LE = Crowdmax_graph.Linear_ext
+
+let tc = Alcotest.test_case
+let check_int = Alcotest.check Alcotest.int
+let checkf = Alcotest.check (Alcotest.float 1e-9)
+
+let rec factorial n = if n <= 1 then 1 else n * factorial (n - 1)
+
+let test_empty_dag () =
+  let d = Dag.create 4 in
+  check_int "no constraints: n!" (factorial 4) (LE.count d);
+  let p = LE.p_max_all d in
+  Array.iter (fun x -> checkf "uniform prior" 0.25 x) p
+
+let test_zero_elements () =
+  let d = Dag.create 0 in
+  check_int "empty poset has 1 extension" 1 (LE.count d)
+
+let test_total_order () =
+  let d = Dag.create 4 in
+  Dag.add_answer d ~winner:3 ~loser:2;
+  Dag.add_answer d ~winner:2 ~loser:1;
+  Dag.add_answer d ~winner:1 ~loser:0;
+  check_int "chain has 1 extension" 1 (LE.count d);
+  checkf "top is max" 1.0 (LE.p_max d 3);
+  checkf "others zero" 0.0 (LE.p_max d 0)
+
+let test_paper_appendix_example () =
+  (* Appendix A, Fig. 16: 3 elements, answers unknown; the undirected
+     path a-b-c has 4 DAGs. Take the empty DAG over {a,b,c} after asking
+     nothing: p_max uniform = 1/3 each. Then record (a>b): consistent
+     permutations = 3, p_max(a) = 2/3, p_max(c) = 1/3. *)
+  let d = Dag.create 3 in
+  Dag.add_answer d ~winner:0 ~loser:1;
+  check_int "3 extensions" 3 (LE.count d);
+  checkf "p(a)" (2.0 /. 3.0) (LE.p_max d 0);
+  checkf "p(b) lost" 0.0 (LE.p_max d 1);
+  checkf "p(c)" (1.0 /. 3.0) (LE.p_max d 2)
+
+let test_v_shape () =
+  (* b beats a and c: permutations with b on top of {a,b,c}: 2 *)
+  let d = Dag.create 3 in
+  Dag.add_answer d ~winner:1 ~loser:0;
+  Dag.add_answer d ~winner:1 ~loser:2;
+  check_int "2 extensions" 2 (LE.count d);
+  checkf "b certain max" 1.0 (LE.p_max d 1)
+
+let test_p_max_sums_to_one () =
+  let d = Dag.create 6 in
+  Dag.add_answer d ~winner:0 ~loser:1;
+  Dag.add_answer d ~winner:2 ~loser:3;
+  Dag.add_answer d ~winner:0 ~loser:4;
+  let total = Array.fold_left ( +. ) 0.0 (LE.p_max_all d) in
+  checkf "sums to 1" 1.0 total
+
+let test_p_max_monotone_in_wins () =
+  (* an element with more wins is likelier to be the max (symmetric
+     layout) *)
+  let d = Dag.create 5 in
+  Dag.add_answer d ~winner:0 ~loser:1;
+  Dag.add_answer d ~winner:0 ~loser:2;
+  Dag.add_answer d ~winner:3 ~loser:4;
+  let p = LE.p_max_all d in
+  Alcotest.check Alcotest.bool "2-win beats 1-win" true (p.(0) > p.(3))
+
+let test_count_antichain_pairs () =
+  (* two independent ordered pairs: 4!/(2*2) = 6 extensions *)
+  let d = Dag.create 4 in
+  Dag.add_answer d ~winner:0 ~loser:1;
+  Dag.add_answer d ~winner:2 ~loser:3;
+  check_int "6 extensions" 6 (LE.count d)
+
+let test_rejects_large () =
+  let d = Dag.create 21 in
+  Alcotest.check_raises "21 elements" (Invalid_argument "Linear_ext: more than 20 elements")
+    (fun () -> ignore (LE.count d))
+
+let test_rejects_out_of_range () =
+  let d = Dag.create 3 in
+  Alcotest.check_raises "bad i" (Invalid_argument "Linear_ext.p_max: out of range")
+    (fun () -> ignore (LE.p_max d 3))
+
+(* Cross-check against explicit permutation enumeration. *)
+let brute_force_count n answers =
+  let perms = ref 0 in
+  let a = Array.init n (fun i -> i) in
+  let respects rank =
+    List.for_all (fun (w, l) -> rank.(w) > rank.(l)) answers
+  in
+  let rec permute k =
+    if k = 1 then begin
+      let rank = Array.make n 0 in
+      Array.iteri (fun pos v -> rank.(v) <- pos) a;
+      if respects rank then incr perms
+    end
+    else
+      for i = 0 to k - 1 do
+        permute (k - 1);
+        let j = if k mod 2 = 0 then i else 0 in
+        let tmp = a.(j) in
+        a.(j) <- a.(k - 1);
+        a.(k - 1) <- tmp
+      done
+  in
+  permute n;
+  !perms
+
+let test_matches_brute_force () =
+  let rng = Crowdmax_util.Rng.create 11 in
+  for _ = 1 to 20 do
+    let n = 2 + Crowdmax_util.Rng.int rng 5 in
+    let truth = Crowdmax_util.Rng.permutation rng n in
+    let d = Dag.create n in
+    let answers = ref [] in
+    for i = 0 to n - 1 do
+      for j = i + 1 to n - 1 do
+        if Crowdmax_util.Rng.bernoulli rng 0.4 then begin
+          let w, l = if truth.(i) > truth.(j) then (i, j) else (j, i) in
+          Dag.add_answer d ~winner:w ~loser:l;
+          answers := (w, l) :: !answers
+        end
+      done
+    done;
+    check_int "DP = brute force" (brute_force_count n !answers) (LE.count d)
+  done
+
+let suite =
+  [
+    ( "linear_ext",
+      [
+        tc "empty dag" `Quick test_empty_dag;
+        tc "zero elements" `Quick test_zero_elements;
+        tc "total order" `Quick test_total_order;
+        tc "appendix example" `Quick test_paper_appendix_example;
+        tc "v shape" `Quick test_v_shape;
+        tc "p_max sums to 1" `Quick test_p_max_sums_to_one;
+        tc "p_max monotone in wins" `Quick test_p_max_monotone_in_wins;
+        tc "antichain pairs" `Quick test_count_antichain_pairs;
+        tc "rejects > 20 elements" `Quick test_rejects_large;
+        tc "rejects out of range" `Quick test_rejects_out_of_range;
+        tc "matches brute force" `Slow test_matches_brute_force;
+      ] );
+  ]

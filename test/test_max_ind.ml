@@ -1,0 +1,110 @@
+module U = Crowdmax_graph.Undirected
+module MI = Crowdmax_graph.Max_ind
+module Rng = Crowdmax_util.Rng
+
+let tc = Alcotest.test_case
+let check_int = Alcotest.check Alcotest.int
+let check_bool = Alcotest.check Alcotest.bool
+
+let test_empty_graph () =
+  let g = U.create 4 in
+  Alcotest.check Alcotest.(list int) "all nodes" [ 0; 1; 2; 3 ] (MI.exact g)
+
+let test_complete_graph () =
+  let g = U.create 4 in
+  for i = 0 to 3 do
+    for j = i + 1 to 3 do
+      U.add_edge g i j
+    done
+  done;
+  check_int "clique -> 1" 1 (List.length (MI.exact g))
+
+let test_path () =
+  (* path 0-1-2-3-4: maxIND = {0,2,4} *)
+  let g = U.of_edges 5 [ (0, 1); (1, 2); (2, 3); (3, 4) ] in
+  Alcotest.check Alcotest.(list int) "alternating" [ 0; 2; 4 ] (MI.exact g)
+
+let test_cycle4 () =
+  (* paper Fig. 8(a): a 4-cycle has two maxRC sets of size 2 *)
+  let g = U.of_edges 4 [ (0, 1); (1, 2); (2, 3); (3, 0) ] in
+  let s = MI.exact g in
+  check_int "size 2" 2 (List.length s);
+  check_bool "valid" true (U.is_independent g s)
+
+let test_star () =
+  let g = U.of_edges 5 [ (0, 1); (0, 2); (0, 3); (0, 4) ] in
+  Alcotest.check Alcotest.(list int) "leaves" [ 1; 2; 3; 4 ] (MI.exact g)
+
+let test_two_triangles () =
+  (* paper Fig. 1-style: disjoint cliques contribute one node each *)
+  let g = U.of_edges 6 [ (0, 1); (1, 2); (0, 2); (3, 4); (4, 5); (3, 5) ] in
+  check_int "one per clique" 2 (List.length (MI.exact g))
+
+let test_exact_is_independent () =
+  let rng = Rng.create 3 in
+  for _ = 1 to 30 do
+    let n = 3 + Rng.int rng 10 in
+    let edges = ref [] in
+    for i = 0 to n - 1 do
+      for j = i + 1 to n - 1 do
+        if Rng.bernoulli rng 0.4 then edges := (i, j) :: !edges
+      done
+    done;
+    let g = U.of_edges n !edges in
+    let s = MI.exact g in
+    check_bool "independent" true (U.is_independent g s)
+  done
+
+let test_greedy_is_independent_and_maximal () =
+  let rng = Rng.create 5 in
+  for _ = 1 to 30 do
+    let n = 3 + Rng.int rng 20 in
+    let edges = ref [] in
+    for i = 0 to n - 1 do
+      for j = i + 1 to n - 1 do
+        if Rng.bernoulli rng 0.3 then edges := (i, j) :: !edges
+      done
+    done;
+    let g = U.of_edges n !edges in
+    let s = MI.greedy g in
+    check_bool "independent" true (U.is_independent g s);
+    check_bool "not beatable by exact - sanity" true
+      (List.length s <= List.length (MI.exact g))
+  done
+
+let test_max_rc_matches_max_ind () =
+  (* Theorem 2: |maxRC| = |maxIND| on every graph (small exhaustive check) *)
+  let rng = Rng.create 7 in
+  for _ = 1 to 25 do
+    let n = 2 + Rng.int rng 5 in
+    let edges = ref [] in
+    for i = 0 to n - 1 do
+      for j = i + 1 to n - 1 do
+        if Rng.bernoulli rng 0.5 then edges := (i, j) :: !edges
+      done
+    done;
+    let g = U.of_edges n !edges in
+    check_int "Thm 2" (List.length (MI.exact g)) (List.length (MI.max_rc_brute g))
+  done
+
+let test_max_rc_brute_rejects_large () =
+  let g = U.create 10 in
+  Alcotest.check_raises "too big" (Invalid_argument "Max_ind.max_rc_brute: too many nodes")
+    (fun () -> ignore (MI.max_rc_brute g))
+
+let suite =
+  [
+    ( "max_ind",
+      [
+        tc "empty graph" `Quick test_empty_graph;
+        tc "complete graph" `Quick test_complete_graph;
+        tc "path" `Quick test_path;
+        tc "4-cycle (paper Fig 8)" `Quick test_cycle4;
+        tc "star" `Quick test_star;
+        tc "two triangles" `Quick test_two_triangles;
+        tc "exact is independent" `Quick test_exact_is_independent;
+        tc "greedy independent+bounded" `Quick test_greedy_is_independent_and_maximal;
+        tc "maxRC = maxIND (Thm 2)" `Slow test_max_rc_matches_max_ind;
+        tc "brute force size guard" `Quick test_max_rc_brute_rejects_large;
+      ] );
+  ]

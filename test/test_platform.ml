@@ -1,0 +1,149 @@
+module P = Crowdmax_crowd.Platform
+module W = Crowdmax_crowd.Worker
+module G = Crowdmax_crowd.Ground_truth
+module Rng = Crowdmax_util.Rng
+module Stats = Crowdmax_util.Stats
+
+let tc = Alcotest.test_case
+let check_bool = Alcotest.check Alcotest.bool
+let check_int = Alcotest.check Alcotest.int
+
+let test_zero_batch_costs_overhead () =
+  let p = P.create () in
+  let rng = Rng.create 3 in
+  Alcotest.check (Alcotest.float 1e-9) "overhead only"
+    (P.config p).P.post_overhead
+    (P.batch_latency p rng 0)
+
+let test_negative_rejected () =
+  let p = P.create () in
+  let rng = Rng.create 3 in
+  Alcotest.check_raises "negative" (Invalid_argument "Platform: negative batch size")
+    (fun () -> ignore (P.batch_latency p rng (-1)))
+
+let test_bad_tail_rate_rejected () =
+  let cfg = { P.default_config with P.tail_rate = 0.0 } in
+  let p = P.create ~config:cfg () in
+  let rng = Rng.create 3 in
+  Alcotest.check_raises "tail" (Invalid_argument "Platform: tail_rate must be > 0")
+    (fun () -> ignore (P.batch_latency p rng 5))
+
+let test_latency_exceeds_overhead () =
+  let p = P.create () in
+  let rng = Rng.create 5 in
+  for _ = 1 to 20 do
+    check_bool "above overhead" true
+      (P.batch_latency p rng 10 > (P.config p).P.post_overhead)
+  done
+
+let mean_latency p rng q runs =
+  Stats.mean (Array.init runs (fun _ -> P.batch_latency p rng q))
+
+let test_fig11a_shape () =
+  (* small batches fast; mid-size slower; very large slightly cheaper
+     than the peak (the Fig. 11(a) dip) *)
+  let p = P.create () in
+  let rng = Rng.create 7 in
+  let t40 = mean_latency p rng 40 30 in
+  let t320 = mean_latency p rng 320 30 in
+  let t1280 = mean_latency p rng 1280 30 in
+  check_bool "40 < 320" true (t40 < t320);
+  check_bool "1280 <= 320 (dip)" true (t1280 <= t320 +. 5.0)
+
+let test_calibration_near_paper () =
+  (* the fitted linear estimate must land near the paper's 239 + 0.06q *)
+  let f = Crowdmax_experiments.Fig11a.run ~runs_per_size:10 ~seed:42 () in
+  check_bool "delta in range" true
+    (f.Crowdmax_experiments.Fig11a.delta > 150.0
+    && f.Crowdmax_experiments.Fig11a.delta < 330.0);
+  check_bool "alpha in range" true
+    (f.Crowdmax_experiments.Fig11a.alpha > 0.0
+    && f.Crowdmax_experiments.Fig11a.alpha < 0.2)
+
+let test_answer_batch_answers_everything () =
+  let p = P.create () in
+  let rng = Rng.create 11 in
+  let truth = G.random rng 10 in
+  let questions = [ (0, 1); (2, 3); (4, 5); (6, 7); (8, 9) ] in
+  let answers, latency = P.answer_batch p rng ~error:W.Perfect ~truth questions in
+  check_int "one answer per question" 5 (List.length answers);
+  check_bool "positive latency" true (latency > 0.0);
+  List.iter
+    (fun a ->
+      let x, y = a.P.question in
+      Alcotest.check Alcotest.int "truthful" (G.better truth x y) a.P.winner;
+      check_bool "completed after posting" true (a.P.completed_at > 0.0);
+      check_bool "completed before batch end" true (a.P.completed_at <= latency))
+    answers
+
+let test_answer_batch_empty () =
+  let p = P.create () in
+  let rng = Rng.create 13 in
+  let truth = G.random rng 4 in
+  let answers, latency = P.answer_batch p rng ~error:W.Perfect ~truth [] in
+  check_int "no answers" 0 (List.length answers);
+  check_bool "just overhead" true (latency > 0.0)
+
+let test_deterministic_given_seed () =
+  let p = P.create () in
+  let a = P.batch_latency p (Rng.create 99) 64 in
+  let b = P.batch_latency p (Rng.create 99) 64 in
+  Alcotest.check (Alcotest.float 1e-12) "reproducible" a b
+
+let diurnal_cfg phase =
+  {
+    P.default_config with
+    P.diurnal_amplitude = 0.95;
+    diurnal_period = 4000.0;
+    diurnal_phase = phase;
+    (* lean on the tail so day/night dominates the timing *)
+    base_rate = 0.01;
+    attract_per_question = 0.0001;
+  }
+
+let test_diurnal_peak_beats_trough () =
+  (* posting at peak availability (phase period/4) must be faster on
+     average than posting at the trough (3*period/4) *)
+  let peak = P.create ~config:(diurnal_cfg 1000.0) () in
+  let trough = P.create ~config:(diurnal_cfg 3000.0) () in
+  let rng = Rng.create 31 in
+  let mean p = Stats.mean (Array.init 40 (fun _ -> P.batch_latency p rng 60)) in
+  let tp = mean peak and tt = mean trough in
+  check_bool
+    (Printf.sprintf "peak %.0f < trough %.0f" tp tt)
+    true (tp < tt)
+
+let test_diurnal_zero_amplitude_matches_steady_stats () =
+  (* amplitude 0 takes the direct-draw path; a tiny amplitude must give
+     statistically similar latencies (same underlying process) *)
+  let steady = P.create () in
+  let nearly =
+    P.create
+      ~config:{ P.default_config with P.diurnal_amplitude = 0.01 }
+      ()
+  in
+  let rng = Rng.create 37 in
+  let mean p = Stats.mean (Array.init 60 (fun _ -> P.batch_latency p rng 80)) in
+  let a = mean steady and b = mean nearly in
+  check_bool
+    (Printf.sprintf "means close: %.1f vs %.1f" a b)
+    true
+    (Float.abs (a -. b) /. a < 0.1)
+
+let suite =
+  [
+    ( "platform",
+      [
+        tc "diurnal peak beats trough" `Slow test_diurnal_peak_beats_trough;
+        tc "tiny amplitude ~ steady" `Slow test_diurnal_zero_amplitude_matches_steady_stats;
+        tc "zero batch = overhead" `Quick test_zero_batch_costs_overhead;
+        tc "negative rejected" `Quick test_negative_rejected;
+        tc "bad tail rate rejected" `Quick test_bad_tail_rate_rejected;
+        tc "latency above overhead" `Quick test_latency_exceeds_overhead;
+        tc "Fig 11(a) shape" `Slow test_fig11a_shape;
+        tc "calibration near paper" `Slow test_calibration_near_paper;
+        tc "answer_batch complete" `Quick test_answer_batch_answers_everything;
+        tc "answer_batch empty" `Quick test_answer_batch_empty;
+        tc "deterministic given seed" `Quick test_deterministic_given_seed;
+      ] );
+  ]

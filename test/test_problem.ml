@@ -1,0 +1,61 @@
+module Problem = Crowdmax_core.Problem
+module Model = Crowdmax_latency.Model
+
+let tc = Alcotest.test_case
+let check_int = Alcotest.check Alcotest.int
+let check_bool = Alcotest.check Alcotest.bool
+let model = Model.paper_mturk
+
+let test_create_valid () =
+  let p = Problem.create ~elements:10 ~budget:9 ~latency:model in
+  check_int "elements" 10 p.Problem.elements;
+  check_int "budget" 9 p.Problem.budget
+
+let test_theorem1_feasibility () =
+  (* feasible iff b >= c0 - 1 *)
+  check_bool "exact minimum" true (Problem.is_feasible ~elements:10 ~budget:9);
+  check_bool "below minimum" false (Problem.is_feasible ~elements:10 ~budget:8);
+  check_bool "single element needs nothing" true
+    (Problem.is_feasible ~elements:1 ~budget:0)
+
+let test_create_rejects_infeasible () =
+  Alcotest.check_raises "Thm 1"
+    (Invalid_argument "Problem.create: infeasible (budget < elements - 1, Theorem 1)")
+    (fun () -> ignore (Problem.create ~elements:10 ~budget:8 ~latency:model))
+
+let test_create_rejects_degenerate () =
+  Alcotest.check_raises "no elements"
+    (Invalid_argument "Problem.create: need at least one element") (fun () ->
+      ignore (Problem.create ~elements:0 ~budget:5 ~latency:model));
+  Alcotest.check_raises "negative budget"
+    (Invalid_argument "Problem.create: negative budget") (fun () ->
+      ignore (Problem.create ~elements:1 ~budget:(-1) ~latency:model))
+
+let test_budget_bounds () =
+  check_int "min budget" 499 (Problem.min_budget ~elements:500);
+  check_int "max useful (paper: 124750)" 124750
+    (Problem.max_useful_budget ~elements:500)
+
+let contains hay needle =
+  let n = String.length needle and h = String.length hay in
+  let rec loop i = i + n <= h && (String.sub hay i n = needle || loop (i + 1)) in
+  loop 0
+
+let test_pp () =
+  let p = Problem.create ~elements:5 ~budget:10 ~latency:model in
+  let s = Format.asprintf "%a" Problem.pp p in
+  check_bool "mentions c0" true (contains s "c0 = 5");
+  check_bool "mentions b" true (contains s "b = 10")
+
+let suite =
+  [
+    ( "problem",
+      [
+        tc "create valid" `Quick test_create_valid;
+        tc "Theorem 1 feasibility" `Quick test_theorem1_feasibility;
+        tc "create rejects infeasible" `Quick test_create_rejects_infeasible;
+        tc "create rejects degenerate" `Quick test_create_rejects_degenerate;
+        tc "budget bounds" `Quick test_budget_bounds;
+        tc "pretty printer" `Quick test_pp;
+      ] );
+  ]

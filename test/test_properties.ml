@@ -1,0 +1,407 @@
+(* Property-based tests (qcheck) for the core invariants:
+
+   - Q-function identities and bounds (Defs. 1-2)
+   - tDP optimality vs brute force, budget safety, sequence shape
+   - Theorem 2 (maxRC = maxIND) on random graphs
+   - Lemma 4 (E[R] formula) vs direct enumeration over orientations
+   - tournament selection -> singleton termination with the true MAX
+   - RWL conflict-freedom under adversarial error rates
+   - scoring conservation on random answer DAGs *)
+
+module Q = QCheck
+module T = Crowdmax_tournament.Tournament
+module U = Crowdmax_graph.Undirected
+module MI = Crowdmax_graph.Max_ind
+module Dag = Crowdmax_graph.Answer_dag
+module Scoring = Crowdmax_graph.Scoring
+module ERC = Crowdmax_graph.Expected_rc
+module Model = Crowdmax_latency.Model
+module Problem = Crowdmax_core.Problem
+module Tdp = Crowdmax_core.Tdp
+module Allocation = Crowdmax_core.Allocation
+module S = Crowdmax_selection.Selection
+module E = Crowdmax_runtime.Engine
+module G = Crowdmax_crowd.Ground_truth
+module Rwl = Crowdmax_crowd.Rwl
+module W = Crowdmax_crowd.Worker
+module Ints = Crowdmax_util.Ints
+module Rng = Crowdmax_util.Rng
+
+let count = 100
+
+(* --- generators --------------------------------------------------------- *)
+
+let pair_c_cnext =
+  Q.make
+    ~print:(fun (c, c') -> Printf.sprintf "(c=%d, c'=%d)" c c')
+    Q.Gen.(
+      int_range 1 200 >>= fun c ->
+      int_range 1 c >>= fun c' -> return (c, c'))
+
+let instance =
+  (* (c0, slack): budget = c0 - 1 + slack *)
+  Q.make
+    ~print:(fun (c0, s) -> Printf.sprintf "(c0=%d, slack=%d)" c0 s)
+    Q.Gen.(
+      int_range 2 40 >>= fun c0 ->
+      int_range 0 300 >>= fun s -> return (c0, s))
+
+let small_instance =
+  Q.make
+    ~print:(fun (c0, s) -> Printf.sprintf "(c0=%d, slack=%d)" c0 s)
+    Q.Gen.(
+      int_range 2 9 >>= fun c0 ->
+      int_range 0 40 >>= fun s -> return (c0, s))
+
+let random_graph_gen nmax density =
+  Q.Gen.(
+    int_range 2 nmax >>= fun n ->
+    int_range 0 1000 >>= fun seed ->
+    return
+      (let rng = Rng.create (seed * 7919) in
+       let g = U.create n in
+       for i = 0 to n - 1 do
+         for j = i + 1 to n - 1 do
+           if Rng.bernoulli rng density then U.add_edge g i j
+         done
+       done;
+       g))
+
+let graph_print g =
+  Printf.sprintf "graph(n=%d, edges=%s)" (U.size g)
+    (String.concat ";"
+       (List.map (fun (a, b) -> Printf.sprintf "%d-%d" a b) (U.edges g)))
+
+let small_graph = Q.make ~print:graph_print (random_graph_gen 7 0.5)
+let medium_graph = Q.make ~print:graph_print (random_graph_gen 20 0.3)
+
+let model = Model.linear ~delta:100.0 ~alpha:1.0
+
+(* --- properties --------------------------------------------------------- *)
+
+let prop_q_function_bounds =
+  Q.Test.make ~name:"Q(c,c') within [c-c', choose2 c] and consistent" ~count
+    pair_c_cnext (fun (c, c') ->
+      let q = T.questions c c' in
+      (* every tournament eliminates its clique size - 1 elements *)
+      q >= c - c' && q <= Ints.choose2 c)
+
+let prop_q_decreasing =
+  Q.Test.make ~name:"Q(c, .) weakly decreasing in group count" ~count
+    pair_c_cnext (fun (c, c') ->
+      c' >= c || T.questions c c' >= T.questions c (c' + 1))
+
+let prop_sizes_partition =
+  Q.Test.make ~name:"tournament sizes partition the candidates" ~count
+    pair_c_cnext (fun (c, c') ->
+      let sizes = T.sizes c c' in
+      Ints.sum sizes = c
+      && List.length sizes = c'
+      && List.for_all (fun s -> s >= 1) sizes)
+
+let prop_tdp_beats_brute_force =
+  Q.Test.make ~name:"tDP matches brute-force optimum" ~count:60 small_instance
+    (fun (c0, s) ->
+      let p = Problem.create ~elements:c0 ~budget:(c0 - 1 + s) ~latency:model in
+      let dp = Tdp.solve p and bf = Tdp.brute_force p in
+      Float.abs (dp.Tdp.latency -. bf.Tdp.latency) < 1e-9)
+
+let prop_tdp_within_budget =
+  Q.Test.make ~name:"tDP stays within budget and ends at 1" ~count instance
+    (fun (c0, s) ->
+      let b = c0 - 1 + s in
+      let sol = Tdp.solve (Problem.create ~elements:c0 ~budget:b ~latency:model) in
+      sol.Tdp.questions_used <= b
+      && List.nth sol.Tdp.sequence (List.length sol.Tdp.sequence - 1) = 1
+      && List.hd sol.Tdp.sequence = c0)
+
+let prop_tdp_beats_heuristics =
+  Q.Test.make ~name:"tDP latency <= every heuristic's predicted latency"
+    ~count instance (fun (c0, s) ->
+      let b = c0 - 1 + s in
+      let sol = Tdp.solve (Problem.create ~elements:c0 ~budget:b ~latency:model) in
+      List.for_all
+        (fun Crowdmax_core.Heuristics.{ allocate; _ } ->
+          let a = allocate ~elements:c0 ~budget:b in
+          (* heuristic vectors are question counts, not tournament
+             sequences; their predicted latency assumes all rounds run,
+             which is what the paper plots *)
+          Allocation.predicted_latency a model >= sol.Tdp.latency -. 1e-9)
+        Crowdmax_core.Heuristics.all)
+
+let prop_theorem3_edge_bound =
+  (* Theorem 3 (via Berge/Turán): any graph on c nodes whose maximum
+     independent set has size k needs at least Q(c, k) edges - the
+     tournament graph is edge-minimal for its worst case *)
+  Q.Test.make ~name:"Theorem 3: |E| >= Q(|V|, |maxIND|)" ~count:60 medium_graph
+    (fun g ->
+      let k = List.length (MI.exact g) in
+      U.edge_count g >= T.questions (U.size g) k)
+
+let prop_adaptive_matches_static_on_tournaments =
+  (* With pure tournament rounds (which never over-eliminate when the
+     plan's budgets are hit exactly), re-planning after each round must
+     reproduce the static tDP latency: the DP's suffixes are optimal. *)
+  Q.Test.make ~name:"adaptive tDP = static tDP under exact tournaments"
+    ~count:40 instance (fun (c0, s) ->
+      let b = c0 - 1 + s in
+      let problem = Problem.create ~elements:c0 ~budget:b ~latency:model in
+      let static = Tdp.solve problem in
+      let rng = Rng.create ((c0 * 31) + s) in
+      let truth = G.random rng c0 in
+      let r =
+        Crowdmax_runtime.Adaptive.run rng ~problem ~selection:S.tournament truth
+      in
+      r.Crowdmax_runtime.Adaptive.engine_result.E.correct
+      && r.Crowdmax_runtime.Adaptive.engine_result.E.total_latency
+         <= static.Tdp.latency +. 1e-6)
+
+let prop_maxrc_equals_maxind =
+  Q.Test.make ~name:"Theorem 2: |maxRC| = |maxIND|" ~count:40 small_graph
+    (fun g ->
+      List.length (MI.exact g) = List.length (MI.max_rc_brute g))
+
+let prop_greedy_below_exact =
+  Q.Test.make ~name:"greedy IND set never beats exact" ~count medium_graph
+    (fun g -> List.length (MI.greedy g) <= List.length (MI.exact g))
+
+let prop_expected_rc_formula =
+  (* Lemma 4 over exhaustive orientations: average |RC| over all n!
+     ground truths equals sum 1/(d_v + 1) *)
+  Q.Test.make ~name:"Lemma 4: E[R] = sum 1/(d_v+1)" ~count:30 small_graph
+    (fun g ->
+      let n = U.size g in
+      let total = ref 0 in
+      let perms = ref 0 in
+      let a = Array.init n (fun i -> i) in
+      let rec permute k =
+        if k = 1 then begin
+          let rank = Array.make n 0 in
+          Array.iteri (fun pos v -> rank.(v) <- pos) a;
+          total := !total + List.length (U.remaining_after g rank);
+          incr perms
+        end
+        else
+          for i = 0 to k - 1 do
+            permute (k - 1);
+            let j = if k mod 2 = 0 then i else 0 in
+            let tmp = a.(j) in
+            a.(j) <- a.(k - 1);
+            a.(k - 1) <- tmp
+          done
+      in
+      permute n;
+      let avg = float_of_int !total /. float_of_int !perms in
+      Float.abs (avg -. ERC.closed_form g) < 1e-9)
+
+let prop_tournament_minimizes_expected_rc =
+  (* Theorem 5: among equal-edge-count graphs, the tournament graph's
+     E[R] attains the near-regular lower bound *)
+  Q.Test.make ~name:"Theorem 5: tournament graph attains E[R] bound" ~count:50
+    pair_c_cnext (fun (c, c') ->
+      let rng = Rng.create (c * 131 + c') in
+      let a = T.assign rng (Array.init c (fun i -> i)) c' in
+      let g = T.to_undirected c a in
+      ERC.closed_form g
+      <= ERC.lower_bound ~nodes:c ~edges:(U.edge_count g) +. 1e-9)
+
+let prop_scoring_conserves_energy =
+  Q.Test.make ~name:"Algorithm 2 conserves energy onto candidates" ~count
+    (Q.make ~print:(fun s -> Printf.sprintf "seed=%d" s) Q.Gen.(int_range 0 100000))
+    (fun seed ->
+      let rng = Rng.create seed in
+      let n = 2 + Rng.int rng 30 in
+      let truth = Rng.permutation rng n in
+      let dag = Dag.create n in
+      for _ = 1 to Rng.int rng (3 * n) do
+        let a = Rng.int rng n and b = Rng.int rng n in
+        if a <> b then begin
+          let w, l = if truth.(a) > truth.(b) then (a, b) else (b, a) in
+          Dag.add_answer dag ~winner:w ~loser:l
+        end
+      done;
+      let s = Scoring.scores_array dag in
+      let candidates = Dag.remaining_candidates dag in
+      let total = Array.fold_left ( +. ) 0.0 s in
+      let on_candidates =
+        List.fold_left (fun acc c -> acc +. s.(c)) 0.0 candidates
+      in
+      Float.abs (total -. 1.0) < 1e-9 && Float.abs (on_candidates -. 1.0) < 1e-9)
+
+let prop_tournament_selection_singleton =
+  (* tDP + tournament formation always reaches the true MAX with
+     singleton termination under error-free workers *)
+  Q.Test.make ~name:"tDP+Tournament: singleton + correct (error-free)"
+    ~count:60 instance (fun (c0, s) ->
+      let b = c0 - 1 + s in
+      let sol = Tdp.solve (Problem.create ~elements:c0 ~budget:b ~latency:model) in
+      let rng = Rng.create ((c0 * 7919) + s) in
+      let truth = G.random rng c0 in
+      let cfg =
+        E.config ~allocation:sol.Tdp.allocation ~selection:S.tournament
+          ~latency_model:model ()
+      in
+      let r = E.run rng cfg truth in
+      r.E.singleton && r.E.correct)
+
+let prop_heuristics_singleton_under_tournament =
+  (* HE and HF schedule at least a halving round's worth of questions
+     against the worst-case candidate count of every round, so under
+     tournament selection they always reach a singleton. The uniform
+     variants do NOT guarantee this at tight budgets (paper Sec. 6.8,
+     finding 4) - for them we only require a correct result whenever a
+     singleton was reached. *)
+  Q.Test.make ~name:"heuristics+Tournament termination contract" ~count:40
+    instance (fun (c0, s) ->
+      let b = c0 - 1 + s in
+      let rng = Rng.create ((c0 * 104729) + s) in
+      let run allocate =
+        let truth = G.random rng c0 in
+        let cfg =
+          E.config ~allocation:(allocate ~elements:c0 ~budget:b)
+            ~selection:S.tournament ~latency_model:model ()
+        in
+        (E.run rng cfg truth, truth)
+      in
+      let guaranteed =
+        List.for_all
+          (fun allocate ->
+            let r, _ = run allocate in
+            r.E.singleton && r.E.correct)
+          [ Crowdmax_core.Heuristics.he; Crowdmax_core.Heuristics.hf ]
+      in
+      let best_effort =
+        List.for_all
+          (fun allocate ->
+            let r, truth = run allocate in
+            (not r.E.singleton) || r.E.chosen = G.max_element truth)
+          [ Crowdmax_core.Heuristics.uhe; Crowdmax_core.Heuristics.uhf ]
+      in
+      guaranteed && best_effort)
+
+let prop_rwl_always_conflict_free =
+  Q.Test.make ~name:"RWL output acyclic for any error rate" ~count:60
+    (Q.make
+       ~print:(fun (s, e) -> Printf.sprintf "seed=%d err=%.2f" s e)
+       Q.Gen.(
+         int_range 0 10000 >>= fun s ->
+         float_range 0.0 1.0 >>= fun e -> return (s, e)))
+    (fun (seed, err) ->
+      let rng = Rng.create seed in
+      let n = 3 + Rng.int rng 10 in
+      let truth = G.random rng n in
+      let questions = ref [] in
+      for i = 0 to n - 1 do
+        for j = i + 1 to n - 1 do
+          if Rng.bernoulli rng 0.7 then questions := (i, j) :: !questions
+        done
+      done;
+      let o =
+        Rwl.resolve rng { Rwl.votes = 1; error = W.Uniform err } ~truth !questions
+      in
+      Rwl.is_conflict_free ~n o.Rwl.answers
+      && List.length o.Rwl.answers = List.length !questions)
+
+let prop_topk_prefix_consistency =
+  (* exact top-k runs agree on prefixes: the first k1 entries of an
+     exact top-k2 ranking (k2 > k1) equal the exact top-k1 ranking -
+     both are the true order's head *)
+  Q.Test.make ~name:"top-k prefix consistency" ~count:30
+    (Q.make
+       ~print:(fun (s, n) -> Printf.sprintf "seed=%d n=%d" s n)
+       Q.Gen.(
+         int_range 0 10000 >>= fun s ->
+         int_range 6 40 >>= fun n -> return (s, n)))
+    (fun (seed, n) ->
+      let budget = 10 * n in
+      let problem = Problem.create ~elements:n ~budget ~latency:model in
+      let truth = G.random (Rng.create seed) n in
+      let run k =
+        Crowdmax_topk.Topk.run (Rng.create (seed + k)) ~k ~problem
+          ~selection:S.tournament truth
+      in
+      let r2 = run 2 and r5 = run 5 in
+      (not (r2.Crowdmax_topk.Topk.exact && r5.Crowdmax_topk.Topk.exact))
+      || (let rec prefix a b =
+            match (a, b) with
+            | [], _ -> true
+            | x :: xs, y :: ys -> x = y && prefix xs ys
+            | _ -> false
+          in
+          prefix r2.Crowdmax_topk.Topk.ranking r5.Crowdmax_topk.Topk.ranking))
+
+let prop_cost_frontier_pareto =
+  (* no frontier point dominates another *)
+  Q.Test.make ~name:"cost frontier is Pareto-optimal" ~count:30
+    (Q.make
+       ~print:(fun n -> Printf.sprintf "c0=%d" n)
+       Q.Gen.(int_range 5 80))
+    (fun c0 ->
+      let budgets = [ c0 - 1; 2 * c0; 4 * c0; 8 * c0; 16 * c0 ] in
+      let pts =
+        Crowdmax_core.Cost.frontier ~latency:model ~elements:c0 ~budgets ()
+      in
+      List.for_all
+        (fun a ->
+          List.for_all
+            (fun b ->
+              a == b
+              || not
+                   (b.Crowdmax_core.Cost.dollars <= a.Crowdmax_core.Cost.dollars
+                   && b.Crowdmax_core.Cost.latency < a.Crowdmax_core.Cost.latency
+                   ))
+            pts)
+        pts)
+
+let prop_selection_rounds_valid =
+  Q.Test.make ~name:"every selector emits valid rounds" ~count:60
+    (Q.make
+       ~print:(fun (s, n, b) -> Printf.sprintf "seed=%d n=%d b=%d" s n b)
+       Q.Gen.(
+         int_range 0 10000 >>= fun s ->
+         int_range 2 40 >>= fun n ->
+         int_range 1 120 >>= fun b -> return (s, n, b)))
+    (fun (seed, n, b) ->
+      let rng = Rng.create seed in
+      let input =
+        {
+          S.budget = b;
+          candidates = Array.init n (fun i -> i);
+          history = Dag.create n;
+          round_index = 0;
+          total_rounds = 2;
+        }
+      in
+      List.for_all
+        (fun sel ->
+          match S.validate_round input (sel.S.select rng input) with
+          | Ok _ -> true
+          | Error _ -> false)
+        S.all)
+
+let suite =
+  [
+    ( "properties",
+      List.map QCheck_alcotest.to_alcotest
+        [
+          prop_q_function_bounds;
+          prop_q_decreasing;
+          prop_sizes_partition;
+          prop_tdp_beats_brute_force;
+          prop_tdp_within_budget;
+          prop_tdp_beats_heuristics;
+          prop_theorem3_edge_bound;
+          prop_adaptive_matches_static_on_tournaments;
+          prop_maxrc_equals_maxind;
+          prop_greedy_below_exact;
+          prop_expected_rc_formula;
+          prop_tournament_minimizes_expected_rc;
+          prop_scoring_conserves_energy;
+          prop_tournament_selection_singleton;
+          prop_heuristics_singleton_under_tournament;
+          prop_rwl_always_conflict_free;
+          prop_topk_prefix_consistency;
+          prop_cost_frontier_pareto;
+          prop_selection_rounds_valid;
+        ] );
+  ]

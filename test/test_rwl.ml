@@ -1,0 +1,200 @@
+module Rwl = Crowdmax_crowd.Rwl
+module W = Crowdmax_crowd.Worker
+module G = Crowdmax_crowd.Ground_truth
+module Rng = Crowdmax_util.Rng
+
+let tc = Alcotest.test_case
+let check_int = Alcotest.check Alcotest.int
+let check_bool = Alcotest.check Alcotest.bool
+
+let all_pairs n =
+  List.concat
+    (List.init n (fun i -> List.init (n - 1 - i) (fun k -> (i, i + 1 + k))))
+
+let test_perfect_workers_exact () =
+  let rng = Rng.create 3 in
+  let truth = G.random rng 12 in
+  let qs = all_pairs 12 in
+  let o = Rwl.resolve rng { Rwl.votes = 1; error = W.Perfect } ~truth qs in
+  Alcotest.check (Alcotest.float 1e-9) "accuracy 1" 1.0 o.Rwl.accuracy;
+  check_int "no flips" 0 o.Rwl.vote_flips;
+  check_int "no cycle repairs" 0 o.Rwl.cycle_edges_flipped;
+  check_int "raw = asked" (List.length qs) o.Rwl.raw_questions
+
+let test_output_one_answer_per_question () =
+  let rng = Rng.create 5 in
+  let truth = G.random rng 8 in
+  let qs = all_pairs 8 in
+  let o = Rwl.resolve rng { Rwl.votes = 3; error = W.Uniform 0.3 } ~truth qs in
+  check_int "same count" (List.length qs) (List.length o.Rwl.answers);
+  (* each output answer orients exactly its input question *)
+  let normalize (a, b) = if a < b then (a, b) else (b, a) in
+  let asked = List.sort compare (List.map normalize qs) in
+  let answered = List.sort compare (List.map normalize o.Rwl.answers) in
+  Alcotest.check Alcotest.(list (pair int int)) "same pairs" asked answered
+
+let test_conflict_free_under_heavy_errors () =
+  (* the central contract: output is acyclic no matter how bad the
+     raw answers are *)
+  let rng = Rng.create 7 in
+  for trial = 1 to 30 do
+    let n = 4 + Rng.int rng 10 in
+    let truth = G.random rng n in
+    let o =
+      Rwl.resolve rng
+        { Rwl.votes = 1; error = W.Uniform 0.5 }
+        ~truth (all_pairs n)
+    in
+    check_bool
+      (Printf.sprintf "trial %d acyclic" trial)
+      true
+      (Rwl.is_conflict_free ~n o.Rwl.answers)
+  done
+
+let test_raw_question_accounting () =
+  let rng = Rng.create 9 in
+  let truth = G.random rng 6 in
+  let o = Rwl.resolve rng { Rwl.votes = 5; error = W.Perfect } ~truth (all_pairs 6) in
+  check_int "votes x questions" (5 * 15) o.Rwl.raw_questions
+
+let test_majority_vote_improves_accuracy () =
+  let rng = Rng.create 11 in
+  let truth = G.random rng 10 in
+  let qs = all_pairs 10 in
+  let acc votes =
+    let total = ref 0.0 in
+    for _ = 1 to 30 do
+      let o = Rwl.resolve rng { Rwl.votes; error = W.Uniform 0.25 } ~truth qs in
+      total := !total +. o.Rwl.accuracy
+    done;
+    !total /. 30.0
+  in
+  check_bool "5 votes beat 1" true (acc 5 > acc 1)
+
+let test_empty_input () =
+  let rng = Rng.create 13 in
+  let truth = G.random rng 4 in
+  let o = Rwl.resolve rng Rwl.default_config ~truth [] in
+  check_int "no answers" 0 (List.length o.Rwl.answers);
+  Alcotest.check (Alcotest.float 1e-9) "vacuous accuracy" 1.0 o.Rwl.accuracy
+
+let test_votes_validation () =
+  let rng = Rng.create 15 in
+  let truth = G.random rng 4 in
+  Alcotest.check_raises "votes < 1" (Invalid_argument "Rwl.resolve: votes < 1")
+    (fun () ->
+      ignore (Rwl.resolve rng { Rwl.votes = 0; error = W.Perfect } ~truth []))
+
+let test_self_comparison_rejected () =
+  let rng = Rng.create 17 in
+  let truth = G.random rng 4 in
+  Alcotest.check_raises "self" (Invalid_argument "Rwl.resolve: self-comparison")
+    (fun () ->
+      ignore (Rwl.resolve rng Rwl.default_config ~truth [ (2, 2) ]))
+
+let test_is_conflict_free () =
+  check_bool "chain ok" true (Rwl.is_conflict_free ~n:3 [ (0, 1); (1, 2) ]);
+  check_bool "triangle cycle" false
+    (Rwl.is_conflict_free ~n:3 [ (0, 1); (1, 2); (2, 0) ])
+
+let test_cycle_resolution_flips_some_edge () =
+  (* force a cyclic vote pattern often enough that resolution must act:
+     50% error on a triangle, many trials *)
+  let rng = Rng.create 19 in
+  let truth = G.random rng 3 in
+  let saw_flip = ref false in
+  for _ = 1 to 200 do
+    let o =
+      Rwl.resolve rng
+        { Rwl.votes = 1; error = W.Uniform 0.5 }
+        ~truth
+        [ (0, 1); (1, 2); (0, 2) ]
+    in
+    if o.Rwl.cycle_edges_flipped > 0 then saw_flip := true;
+    check_bool "always acyclic" true (Rwl.is_conflict_free ~n:3 o.Rwl.answers)
+  done;
+  check_bool "resolution exercised" true !saw_flip
+
+module WP = Crowdmax_crowd.Worker_pool
+
+let mk_pool ?(workers = 40) ?(good_fraction = 0.5) ?(good = 0.95) ?(bad = 0.55)
+    rng =
+  WP.create rng ~workers ~good_fraction ~good_accuracy:good ~bad_accuracy:bad
+
+let test_pool_conflict_free () =
+  let rng = Rng.create 21 in
+  for _ = 1 to 15 do
+    let n = 4 + Rng.int rng 8 in
+    let truth = G.random rng n in
+    let pool = mk_pool ~good_fraction:0.3 ~bad:0.5 rng in
+    let o = Rwl.resolve_pool rng ~pool ~votes:3 ~truth (all_pairs n) in
+    check_bool "acyclic" true (Rwl.is_conflict_free ~n o.Rwl.answers);
+    check_int "one per question" (List.length (all_pairs n))
+      (List.length o.Rwl.answers)
+  done
+
+let test_pool_weighting_beats_majority () =
+  (* a pool that's mostly spammers: weighted consensus should recover
+     at least as many true answers as anonymous majority voting *)
+  let rng = Rng.create 23 in
+  let weighted_acc = ref 0.0 and majority_acc = ref 0.0 in
+  for _ = 1 to 10 do
+    let n = 10 in
+    let truth = G.random rng n in
+    let pool = mk_pool ~good_fraction:0.35 ~good:0.97 ~bad:0.5 rng in
+    let qs = all_pairs n in
+    let ow = Rwl.resolve_pool rng ~pool ~votes:9 ~truth qs in
+    let om =
+      Rwl.resolve rng { Rwl.votes = 9; error = W.Uniform 0.33 } ~truth qs
+    in
+    weighted_acc := !weighted_acc +. ow.Rwl.accuracy;
+    majority_acc := !majority_acc +. om.Rwl.accuracy
+  done;
+  check_bool "weighting helps against spam" true
+    (!weighted_acc >= !majority_acc -. 0.2)
+
+let test_pool_empty_questions () =
+  let rng = Rng.create 25 in
+  let truth = G.random rng 4 in
+  let pool = mk_pool rng in
+  let o = Rwl.resolve_pool rng ~pool ~votes:3 ~truth [] in
+  check_int "no answers" 0 (List.length o.Rwl.answers);
+  Alcotest.check (Alcotest.float 1e-9) "vacuous" 1.0 o.Rwl.accuracy
+
+let test_pool_validation () =
+  let rng = Rng.create 27 in
+  let truth = G.random rng 4 in
+  let pool = mk_pool rng in
+  Alcotest.check_raises "votes" (Invalid_argument "Rwl.resolve_pool: votes < 1")
+    (fun () -> ignore (Rwl.resolve_pool rng ~pool ~votes:0 ~truth []));
+  Alcotest.check_raises "self" (Invalid_argument "Rwl.resolve_pool: self-comparison")
+    (fun () -> ignore (Rwl.resolve_pool rng ~pool ~votes:3 ~truth [ (1, 1) ]))
+
+let test_pool_raw_accounting () =
+  let rng = Rng.create 29 in
+  let truth = G.random rng 5 in
+  let pool = mk_pool rng in
+  let o = Rwl.resolve_pool rng ~pool ~votes:5 ~truth (all_pairs 5) in
+  check_int "votes x questions" (5 * 10) o.Rwl.raw_questions
+
+let suite =
+  [
+    ( "rwl",
+      [
+        tc "pool: conflict-free" `Quick test_pool_conflict_free;
+        tc "pool: weighting vs majority" `Slow test_pool_weighting_beats_majority;
+        tc "pool: empty questions" `Quick test_pool_empty_questions;
+        tc "pool: validation" `Quick test_pool_validation;
+        tc "pool: raw accounting" `Quick test_pool_raw_accounting;
+        tc "perfect workers exact" `Quick test_perfect_workers_exact;
+        tc "one answer per question" `Quick test_output_one_answer_per_question;
+        tc "conflict-free under heavy errors" `Quick test_conflict_free_under_heavy_errors;
+        tc "raw question accounting" `Quick test_raw_question_accounting;
+        tc "majority vote improves accuracy" `Slow test_majority_vote_improves_accuracy;
+        tc "empty input" `Quick test_empty_input;
+        tc "votes validation" `Quick test_votes_validation;
+        tc "self comparison rejected" `Quick test_self_comparison_rejected;
+        tc "is_conflict_free" `Quick test_is_conflict_free;
+        tc "cycle resolution exercised" `Quick test_cycle_resolution_flips_some_edge;
+      ] );
+  ]

@@ -1,0 +1,136 @@
+module Dag = Crowdmax_graph.Answer_dag
+module Scoring = Crowdmax_graph.Scoring
+
+let tc = Alcotest.test_case
+let checkf = Alcotest.check (Alcotest.float 1e-9)
+let check_int = Alcotest.check Alcotest.int
+
+let test_no_answers_uniform () =
+  let d = Dag.create 4 in
+  let s = Scoring.scores_array d in
+  Array.iter (fun e -> checkf "uniform" 0.25 e) s
+
+let test_energy_conservation () =
+  let d = Dag.create 6 in
+  Dag.add_answer d ~winner:0 ~loser:1;
+  Dag.add_answer d ~winner:0 ~loser:2;
+  Dag.add_answer d ~winner:3 ~loser:4;
+  let total = Array.fold_left ( +. ) 0.0 (Scoring.scores_array d) in
+  checkf "energy sums to 1" 1.0 total
+
+let test_losers_drained () =
+  let d = Dag.create 3 in
+  Dag.add_answer d ~winner:0 ~loser:1;
+  Dag.add_answer d ~winner:1 ~loser:2;
+  let s = Scoring.scores_array d in
+  checkf "loser 1 drained" 0.0 s.(1);
+  checkf "loser 2 drained" 0.0 s.(2);
+  checkf "winner holds all" 1.0 s.(0)
+
+let test_paper_figure17 () =
+  (* Appendix B.2, Figs. 17(a)-(c): elements a=0 b=1 c=2 d=3 e=4 with
+     answers: c>a (energy a/2), d>a, d>b, e>d. Edges: a->c, a->d, b->d,
+     d->e. Final energies: c = 3/10, e = 7/10. *)
+  let d = Dag.create 5 in
+  Dag.add_answer d ~winner:2 ~loser:0;
+  Dag.add_answer d ~winner:3 ~loser:0;
+  Dag.add_answer d ~winner:3 ~loser:1;
+  Dag.add_answer d ~winner:4 ~loser:3;
+  let s = Scoring.scores_array d in
+  checkf "a drained" 0.0 s.(0);
+  checkf "b drained" 0.0 s.(1);
+  checkf "c = 3/10" 0.3 s.(2);
+  checkf "d drained" 0.0 s.(3);
+  checkf "e = 7/10" 0.7 s.(4)
+
+let test_scores_only_candidates () =
+  let d = Dag.create 4 in
+  Dag.add_answer d ~winner:0 ~loser:1;
+  Dag.add_answer d ~winner:2 ~loser:3;
+  let cs = Scoring.scores d in
+  Alcotest.check
+    Alcotest.(list int)
+    "candidates only" [ 0; 2 ]
+    (List.map fst cs);
+  List.iter (fun (_, e) -> Alcotest.check Alcotest.bool "positive" true (e > 0.0)) cs
+
+let test_ranked_candidates_order () =
+  let d = Dag.create 5 in
+  (* 0 beats three elements, 4 beats none but never lost *)
+  Dag.add_answer d ~winner:0 ~loser:1;
+  Dag.add_answer d ~winner:0 ~loser:2;
+  Dag.add_answer d ~winner:0 ~loser:3;
+  let ranked = Scoring.ranked_candidates d in
+  check_int "two candidates" 2 (List.length ranked);
+  check_int "strongest first" 0 (List.hd ranked)
+
+let test_tie_broken_by_id () =
+  let d = Dag.create 4 in
+  Dag.add_answer d ~winner:1 ~loser:0;
+  Dag.add_answer d ~winner:3 ~loser:2;
+  Alcotest.check Alcotest.(list int) "equal scores: ascending id" [ 1; 3 ]
+    (Scoring.ranked_candidates d)
+
+let test_empty_dag () =
+  let d = Dag.create 0 in
+  Alcotest.check Alcotest.(list int) "no candidates" []
+    (Scoring.ranked_candidates d)
+
+let test_energy_flows_through_chains () =
+  (* chain: 3 beats 2 beats 1 beats 0; all energy must reach 3 *)
+  let d = Dag.create 4 in
+  Dag.add_answer d ~winner:3 ~loser:2;
+  Dag.add_answer d ~winner:2 ~loser:1;
+  Dag.add_answer d ~winner:1 ~loser:0;
+  let s = Scoring.scores_array d in
+  checkf "all energy at the top" 1.0 s.(3)
+
+(* Appendix B link: the PageRank-like score is a cheap stand-in for the
+   #P-hard P-Max. On small random DAGs the candidate with the highest
+   score should usually be the candidate with the highest exact
+   probability of being the MAX. *)
+let test_score_tracks_p_max () =
+  let module LE = Crowdmax_graph.Linear_ext in
+  let module Rng = Crowdmax_util.Rng in
+  let rng = Rng.create 91 in
+  let agree = ref 0 in
+  let trials = 120 in
+  for _ = 1 to trials do
+    let n = 4 + Rng.int rng 6 in
+    let truth = Rng.permutation rng n in
+    let d = Dag.create n in
+    for _ = 1 to n + Rng.int rng n do
+      let a = Rng.int rng n and b = Rng.int rng n in
+      if a <> b then begin
+        let w, l = if truth.(a) > truth.(b) then (a, b) else (b, a) in
+        Dag.add_answer d ~winner:w ~loser:l
+      end
+    done;
+    let p = LE.p_max_all d in
+    let best_p = ref 0 in
+    Array.iteri (fun i x -> if x > p.(!best_p) then best_p := i) p;
+    match Scoring.ranked_candidates d with
+    | top :: _ -> if top = !best_p then incr agree
+    | [] -> ()
+  done;
+  Alcotest.check Alcotest.bool
+    (Printf.sprintf "top score = top P-Max in %d/%d trials" !agree trials)
+    true
+    (float_of_int !agree /. float_of_int trials > 0.6)
+
+let suite =
+  [
+    ( "scoring",
+      [
+        tc "score tracks P-Max (Appendix B)" `Slow test_score_tracks_p_max;
+        tc "no answers -> uniform" `Quick test_no_answers_uniform;
+        tc "energy conserved" `Quick test_energy_conservation;
+        tc "losers drained" `Quick test_losers_drained;
+        tc "paper Fig 17 example" `Quick test_paper_figure17;
+        tc "scores only candidates" `Quick test_scores_only_candidates;
+        tc "ranked order" `Quick test_ranked_candidates_order;
+        tc "ties by id" `Quick test_tie_broken_by_id;
+        tc "empty dag" `Quick test_empty_dag;
+        tc "chains drain fully" `Quick test_energy_flows_through_chains;
+      ] );
+  ]

@@ -1,0 +1,95 @@
+module Ser = Crowdmax_runtime.Serialize
+module E = Crowdmax_runtime.Engine
+module S = Crowdmax_selection.Selection
+module J = Crowdmax_util.Json
+module Model = Crowdmax_latency.Model
+module Problem = Crowdmax_core.Problem
+module Tdp = Crowdmax_core.Tdp
+module G = Crowdmax_crowd.Ground_truth
+module Rng = Crowdmax_util.Rng
+
+let tc = Alcotest.test_case
+let check_bool = Alcotest.check Alcotest.bool
+
+let model = Model.paper_mturk
+
+let sample_result seed =
+  let rng = Rng.create seed in
+  let c0 = 10 + Rng.int rng 60 in
+  let sol =
+    Tdp.solve (Problem.create ~elements:c0 ~budget:(4 * c0) ~latency:model)
+  in
+  let cfg =
+    E.config ~allocation:sol.Tdp.allocation ~selection:S.tournament
+      ~latency_model:model ()
+  in
+  let truth = G.random rng c0 in
+  E.run rng cfg truth
+
+let test_result_roundtrip () =
+  for seed = 1 to 20 do
+    let r = sample_result seed in
+    match Ser.result_of_json (Ser.result_to_json r) with
+    | Ok r' -> check_bool "roundtrip" true (r = r')
+    | Error e -> Alcotest.fail e
+  done
+
+let test_result_roundtrip_through_text () =
+  let r = sample_result 99 in
+  let text = J.to_string ~pretty:true (Ser.result_to_json r) in
+  match Ser.result_of_json (J.of_string text) with
+  | Ok r' -> check_bool "text roundtrip" true (r = r')
+  | Error e -> Alcotest.fail e
+
+let test_aggregate_roundtrip () =
+  let r = sample_result 7 in
+  ignore r;
+  let agg =
+    {
+      E.runs = 30;
+      mean_latency = 123.5;
+      stddev_latency = 4.25;
+      median_latency = 120.0;
+      p95_latency = 180.25;
+      singleton_rate = 1.0;
+      correct_rate = 0.96875;
+      mean_questions = 321.0;
+      mean_rounds = 2.5;
+    }
+  in
+  match Ser.aggregate_of_json (Ser.aggregate_to_json agg) with
+  | Ok agg' -> check_bool "roundtrip" true (agg = agg')
+  | Error e -> Alcotest.fail e
+
+let test_missing_field_reported () =
+  match Ser.result_of_json (J.Obj [ ("chosen", J.int 1) ]) with
+  | Error e -> check_bool "names the field" true (String.length e > 0)
+  | Ok _ -> Alcotest.fail "accepted incomplete document"
+
+let test_ill_typed_field_reported () =
+  let r = sample_result 3 in
+  let doc = Ser.result_to_json r in
+  let broken =
+    match doc with
+    | J.Obj fields ->
+        J.Obj
+          (List.map
+             (fun (k, v) -> if k = "correct" then (k, J.int 5) else (k, v))
+             fields)
+    | _ -> assert false
+  in
+  match Ser.result_of_json broken with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted ill-typed field"
+
+let suite =
+  [
+    ( "serialize",
+      [
+        tc "result roundtrip" `Quick test_result_roundtrip;
+        tc "result through text" `Quick test_result_roundtrip_through_text;
+        tc "aggregate roundtrip" `Quick test_aggregate_roundtrip;
+        tc "missing field" `Quick test_missing_field_reported;
+        tc "ill-typed field" `Quick test_ill_typed_field_reported;
+      ] );
+  ]

@@ -1,0 +1,143 @@
+module Sort = Crowdmax_sort.Sort
+module Model = Crowdmax_latency.Model
+module G = Crowdmax_crowd.Ground_truth
+module Ints = Crowdmax_util.Ints
+module Rng = Crowdmax_util.Rng
+
+let tc = Alcotest.test_case
+let check_int = Alcotest.check Alcotest.int
+let check_bool = Alcotest.check Alcotest.bool
+
+let model = Model.linear ~delta:30.0 ~alpha:0.5
+
+let run ?(seed = 3) strategy n =
+  let rng = Rng.create seed in
+  let truth = G.random rng n in
+  (Sort.run rng ~strategy ~latency:model truth, truth)
+
+let test_all_strategies_sort_correctly () =
+  let rng = Rng.create 5 in
+  List.iter
+    (fun strategy ->
+      for _ = 1 to 15 do
+        let n = 1 + Rng.int rng 40 in
+        let seed = Rng.int rng 100000 in
+        let r, truth = run ~seed strategy n in
+        check_bool (Sort.strategy_name strategy ^ " sorts") true r.Sort.correct;
+        Alcotest.check
+          Alcotest.(array int)
+          "order matches truth" (G.sorted_desc truth) r.Sort.order
+      done)
+    [ Sort.All_pairs; Sort.Odd_even; Sort.Odd_even_skip ]
+
+let test_all_pairs_single_round () =
+  let r, _ = run Sort.All_pairs 20 in
+  check_int "one round" 1 r.Sort.rounds_run;
+  check_int "choose2 questions" (Ints.choose2 20) r.Sort.questions_posted
+
+let test_odd_even_round_structure () =
+  let r, _ = run Sort.Odd_even 16 in
+  check_bool "multiple rounds" true (r.Sort.rounds_run > 1);
+  check_bool "at most n+2 rounds" true (r.Sort.rounds_run <= 18);
+  (* each round's comparisons are disjoint adjacent pairs: at most n/2 *)
+  List.iter
+    (fun q -> check_bool "round size bounded" true (q >= 1 && q <= 8))
+    r.Sort.round_questions;
+  check_int "rounds consistent" r.Sort.rounds_run
+    (List.length r.Sort.round_questions)
+
+let test_skip_same_final_order () =
+  (* implied answers equal real answers (error-free), so skipping never
+     changes the swap decisions - identical final orders *)
+  let rng = Rng.create 17 in
+  for _ = 1 to 15 do
+    let n = 2 + Rng.int rng 30 in
+    let seed = Rng.int rng 100000 in
+    let plain, _ = run ~seed Sort.Odd_even n in
+    let skip, _ = run ~seed Sort.Odd_even_skip n in
+    Alcotest.check Alcotest.(array int) "same order" plain.Sort.order
+      skip.Sort.order
+  done
+
+let test_skip_never_asks_more () =
+  let rng = Rng.create 7 in
+  for _ = 1 to 20 do
+    let n = 2 + Rng.int rng 35 in
+    let seed = Rng.int rng 100000 in
+    let plain, _ = run ~seed Sort.Odd_even n in
+    let skip, _ = run ~seed Sort.Odd_even_skip n in
+    check_bool "skip asks no more questions" true
+      (skip.Sort.questions_posted <= plain.Sort.questions_posted);
+    check_bool "both correct" true (plain.Sort.correct && skip.Sort.correct)
+  done
+
+let test_presorted_exits_fast () =
+  let truth = G.of_ranks (Array.init 30 (fun i -> 29 - i)) in
+  (* element 0 is the best: the initial order [0..29] is already sorted *)
+  let rng = Rng.create 9 in
+  let r = Sort.run rng ~strategy:Sort.Odd_even ~latency:model truth in
+  check_bool "two swapless passes" true (r.Sort.rounds_run <= 2);
+  check_bool "correct" true r.Sort.correct
+
+let test_single_element () =
+  let r, _ = run Sort.Odd_even 1 in
+  check_bool "correct" true r.Sort.correct;
+  check_int "no questions" 0 r.Sort.questions_posted;
+  Alcotest.check (Alcotest.float 1e-9) "no latency" 0.0 r.Sort.total_latency
+
+let test_cost_latency_tradeoff () =
+  (* the paper's tradeoff, on SORT: all-pairs posts far more questions
+     than skipping odd-even, but needs far fewer rounds *)
+  let ap, _ = run Sort.All_pairs 30 in
+  let oe, _ = run Sort.Odd_even 30 in
+  let sk, _ = run Sort.Odd_even_skip 30 in
+  check_bool "all-pairs more questions than skipping" true
+    (ap.Sort.questions_posted > sk.Sort.questions_posted);
+  check_bool "all-pairs fewer rounds" true (ap.Sort.rounds_run < oe.Sort.rounds_run);
+  (* under an overhead-heavy latency model all-pairs wins; under a
+     per-question-heavy one the skipping odd-even wins *)
+  let overhead_heavy = Model.linear ~delta:500.0 ~alpha:0.01 in
+  let question_heavy = Model.linear ~delta:1.0 ~alpha:10.0 in
+  let latency_of m strategy =
+    let rng = Rng.create 11 in
+    let truth = G.random rng 30 in
+    (Sort.run rng ~strategy ~latency:m truth).Sort.total_latency
+  in
+  check_bool "overhead-heavy favours all-pairs" true
+    (latency_of overhead_heavy Sort.All_pairs
+    < latency_of overhead_heavy Sort.Odd_even);
+  check_bool "question-heavy favours skipping odd-even" true
+    (latency_of question_heavy Sort.Odd_even_skip
+    < latency_of question_heavy Sort.All_pairs)
+
+let test_max_questions () =
+  check_int "skip bound is choose2" (Ints.choose2 12)
+    (Sort.max_questions Sort.Odd_even_skip 12);
+  check_int "plain odd-even bound" (13 * 6) (Sort.max_questions Sort.Odd_even 12);
+  let rng = Rng.create 13 in
+  for _ = 1 to 10 do
+    let n = 2 + Rng.int rng 30 in
+    let seed = Rng.int rng 100000 in
+    List.iter
+      (fun strategy ->
+        let r, _ = run ~seed strategy n in
+        check_bool "within bound" true
+          (r.Sort.questions_posted <= Sort.max_questions strategy n))
+      [ Sort.All_pairs; Sort.Odd_even; Sort.Odd_even_skip ]
+  done
+
+let suite =
+  [
+    ( "sort",
+      [
+        tc "all strategies sort" `Quick test_all_strategies_sort_correctly;
+        tc "all-pairs single round" `Quick test_all_pairs_single_round;
+        tc "odd-even round structure" `Quick test_odd_even_round_structure;
+        tc "skip same final order" `Quick test_skip_same_final_order;
+        tc "skip never asks more" `Quick test_skip_never_asks_more;
+        tc "pre-sorted exits fast" `Quick test_presorted_exits_fast;
+        tc "single element" `Quick test_single_element;
+        tc "cost-latency tradeoff" `Quick test_cost_latency_tradeoff;
+        tc "max questions bound" `Quick test_max_questions;
+      ] );
+  ]

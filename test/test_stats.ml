@@ -1,0 +1,122 @@
+open Crowdmax_util
+
+let tc = Alcotest.test_case
+let checkf msg expected actual = Alcotest.check (Alcotest.float 1e-9) msg expected actual
+let checkf_eps eps msg expected actual = Alcotest.check (Alcotest.float eps) msg expected actual
+
+let test_mean () =
+  checkf "mean" 2.0 (Stats.mean [| 1.0; 2.0; 3.0 |]);
+  checkf "singleton" 7.5 (Stats.mean [| 7.5 |])
+
+let test_mean_empty () =
+  Alcotest.check_raises "empty" (Invalid_argument "Stats.mean: empty") (fun () ->
+      ignore (Stats.mean [||]))
+
+let test_stddev () =
+  checkf "constant data" 0.0 (Stats.stddev [| 4.0; 4.0; 4.0 |]);
+  (* sample stddev of 2,4,4,4,5,5,7,9 is sqrt(32/7) *)
+  checkf_eps 1e-9 "known value"
+    (sqrt (32.0 /. 7.0))
+    (Stats.stddev [| 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. |]);
+  checkf "n<2 is 0" 0.0 (Stats.stddev [| 3.0 |])
+
+let test_percentile () =
+  let xs = [| 1.0; 2.0; 3.0; 4.0; 5.0 |] in
+  checkf "p0 = min" 1.0 (Stats.percentile xs 0.0);
+  checkf "p100 = max" 5.0 (Stats.percentile xs 100.0);
+  checkf "p50 = median" 3.0 (Stats.percentile xs 50.0);
+  checkf "p25 interpolates" 2.0 (Stats.percentile xs 25.0);
+  (* unsorted input is handled *)
+  checkf "unsorted" 3.0 (Stats.percentile [| 5.0; 1.0; 3.0; 2.0; 4.0 |] 50.0)
+
+let test_percentile_rejects () =
+  Alcotest.check_raises "empty" (Invalid_argument "Stats.percentile: empty")
+    (fun () -> ignore (Stats.percentile [||] 50.0));
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Stats.percentile: p out of range") (fun () ->
+      ignore (Stats.percentile [| 1.0 |] 101.0))
+
+let test_summarize () =
+  let s = Stats.summarize [| 3.0; 1.0; 2.0 |] in
+  Alcotest.check Alcotest.int "n" 3 s.Stats.n;
+  checkf "mean" 2.0 s.Stats.mean;
+  checkf "min" 1.0 s.Stats.min;
+  checkf "max" 3.0 s.Stats.max;
+  checkf "median" 2.0 s.Stats.median
+
+let test_linear_regression_exact () =
+  (* y = 3 + 2x exactly *)
+  let pts = Array.init 10 (fun i -> (float_of_int i, 3.0 +. (2.0 *. float_of_int i))) in
+  let fit = Stats.linear_regression pts in
+  checkf_eps 1e-9 "intercept" 3.0 fit.Stats.intercept;
+  checkf_eps 1e-9 "slope" 2.0 fit.Stats.slope;
+  checkf_eps 1e-9 "r2 = 1" 1.0 fit.Stats.r_squared
+
+let test_linear_regression_noise () =
+  let rng = Rng.create 5 in
+  let pts =
+    Array.init 500 (fun i ->
+        let x = float_of_int i in
+        (x, 10.0 +. (0.5 *. x) +. Rng.gaussian rng ~mu:0.0 ~sigma:3.0))
+  in
+  let fit = Stats.linear_regression pts in
+  checkf_eps 1.0 "intercept near 10" 10.0 fit.Stats.intercept;
+  checkf_eps 0.01 "slope near 0.5" 0.5 fit.Stats.slope
+
+let test_linear_regression_rejects () =
+  Alcotest.check_raises "too few"
+    (Invalid_argument "Stats.linear_regression: need >= 2 points") (fun () ->
+      ignore (Stats.linear_regression [| (1.0, 1.0) |]));
+  Alcotest.check_raises "no x variance"
+    (Invalid_argument "Stats.linear_regression: zero x-variance") (fun () ->
+      ignore (Stats.linear_regression [| (1.0, 1.0); (1.0, 2.0) |]))
+
+let test_power_regression_exact () =
+  (* y = 100 + 2 x^1.5 *)
+  let pts =
+    Array.init 20 (fun i ->
+        let x = float_of_int (i + 1) in
+        (x, 100.0 +. (2.0 *. (x ** 1.5))))
+  in
+  let fit = Stats.power_regression ~delta:100.0 pts in
+  checkf_eps 1e-6 "alpha" 2.0 fit.Stats.alpha;
+  checkf_eps 1e-6 "p" 1.5 fit.Stats.p;
+  checkf "delta preserved" 100.0 fit.Stats.delta
+
+let test_power_regression_filters () =
+  (* points at or below delta are unusable and must be skipped *)
+  let pts = [| (0.0, 50.0); (1.0, 90.0); (2.0, 108.0); (4.0, 132.0) |] in
+  let fit = Stats.power_regression ~delta:100.0 pts in
+  Alcotest.check Alcotest.bool "fit produced" true (fit.Stats.alpha > 0.0)
+
+let test_power_regression_rejects () =
+  Alcotest.check_raises "nothing usable"
+    (Invalid_argument "Stats.power_regression: need >= 2 usable points")
+    (fun () ->
+      ignore (Stats.power_regression ~delta:100.0 [| (1.0, 50.0); (2.0, 60.0) |]))
+
+let test_weighted_mean () =
+  checkf "weighted" 2.5 (Stats.weighted_mean [| (1.0, 1.0); (3.0, 3.0) |]);
+  Alcotest.check_raises "zero weight"
+    (Invalid_argument "Stats.weighted_mean: non-positive weight") (fun () ->
+      ignore (Stats.weighted_mean [| (1.0, 0.0) |]))
+
+let suite =
+  [
+    ( "stats",
+      [
+        tc "mean" `Quick test_mean;
+        tc "mean empty" `Quick test_mean_empty;
+        tc "stddev" `Quick test_stddev;
+        tc "percentile" `Quick test_percentile;
+        tc "percentile rejects" `Quick test_percentile_rejects;
+        tc "summarize" `Quick test_summarize;
+        tc "linear regression exact" `Quick test_linear_regression_exact;
+        tc "linear regression noise" `Quick test_linear_regression_noise;
+        tc "linear regression rejects" `Quick test_linear_regression_rejects;
+        tc "power regression exact" `Quick test_power_regression_exact;
+        tc "power regression filters" `Quick test_power_regression_filters;
+        tc "power regression rejects" `Quick test_power_regression_rejects;
+        tc "weighted mean" `Quick test_weighted_mean;
+      ] );
+  ]

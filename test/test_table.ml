@@ -1,0 +1,57 @@
+open Crowdmax_util
+
+let tc = Alcotest.test_case
+
+let test_render_basic () =
+  let t = Table.create [ ("name", Table.Left); ("value", Table.Right) ] in
+  Table.add_row t [ "a"; "1" ];
+  Table.add_row t [ "bb"; "22" ];
+  let out = Table.render t in
+  Alcotest.check Alcotest.bool "has header" true
+    (String.length out > 0 && String.sub out 0 4 = "name");
+  (* rows appear in insertion order *)
+  let lines = String.split_on_char '\n' out in
+  Alcotest.check Alcotest.int "line count (header + sep + 2 rows + trailing)" 5
+    (List.length lines)
+
+let test_title () =
+  let t = Table.create ~title:"My Title" [ ("c", Table.Left) ] in
+  Table.add_row t [ "x" ];
+  let out = Table.render t in
+  Alcotest.check Alcotest.bool "title first" true
+    (String.sub out 0 8 = "My Title")
+
+let test_alignment () =
+  let t = Table.create [ ("l", Table.Left); ("r", Table.Right) ] in
+  Table.add_row t [ "a"; "b" ];
+  Table.add_row t [ "xxx"; "yyy" ];
+  let lines = String.split_on_char '\n' (Table.render t) in
+  let row1 = List.nth lines 2 in
+  Alcotest.check Alcotest.string "left padded right, right padded left"
+    "a      b" row1
+
+let test_arity_mismatch () =
+  let t = Table.create [ ("a", Table.Left) ] in
+  Alcotest.check_raises "arity" (Invalid_argument "Table.add_row: arity mismatch")
+    (fun () -> Table.add_row t [ "1"; "2" ])
+
+let test_float_row () =
+  let t = Table.create [ ("x", Table.Left); ("v", Table.Right) ] in
+  Table.add_float_row t ~decimals:1 "row" [ 3.14159 ];
+  let out = Table.render t in
+  Alcotest.check Alcotest.bool "rounded" true
+    (String.length out > 0
+    && String.split_on_char '\n' out |> fun ls ->
+       List.exists (fun l -> l = "row  3.1") ls)
+
+let suite =
+  [
+    ( "table",
+      [
+        tc "render basic" `Quick test_render_basic;
+        tc "title" `Quick test_title;
+        tc "alignment" `Quick test_alignment;
+        tc "arity mismatch" `Quick test_arity_mismatch;
+        tc "float row" `Quick test_float_row;
+      ] );
+  ]

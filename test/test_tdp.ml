@@ -1,0 +1,181 @@
+module Problem = Crowdmax_core.Problem
+module Tdp = Crowdmax_core.Tdp
+module Allocation = Crowdmax_core.Allocation
+module Model = Crowdmax_latency.Model
+module Ints = Crowdmax_util.Ints
+module Rng = Crowdmax_util.Rng
+
+let tc = Alcotest.test_case
+let check_int = Alcotest.check Alcotest.int
+let check_bool = Alcotest.check Alcotest.bool
+let checkf = Alcotest.check (Alcotest.float 1e-6)
+
+let linear d a = Model.linear ~delta:d ~alpha:a
+
+let solve ?(model = linear 100.0 1.0) elements budget =
+  Tdp.solve (Problem.create ~elements ~budget ~latency:model)
+
+let test_single_element () =
+  let s = solve 1 0 in
+  Alcotest.check Alcotest.(list int) "sequence [1]" [ 1 ] s.Tdp.sequence;
+  checkf "zero latency" 0.0 s.Tdp.latency;
+  check_int "zero questions" 0 s.Tdp.questions_used
+
+let test_two_elements () =
+  let s = solve 2 1 in
+  Alcotest.check Alcotest.(list int) "one comparison" [ 2; 1 ] s.Tdp.sequence;
+  checkf "L(1)" 101.0 s.Tdp.latency
+
+let test_paper_intro_example () =
+  (* Sec. 2.2: c0 = 40, b = 108, L = 100 + q: (40,8,1) costs 308, so the
+     optimum is at most 308 and beats the 360 of (40,20,5,1). *)
+  let s = solve 40 108 in
+  check_bool "budget respected" true (s.Tdp.questions_used <= 108);
+  check_bool "beats (40,20,5,1)" true (s.Tdp.latency < 360.0);
+  check_bool "at least as good as (40,8,1)" true (s.Tdp.latency <= 308.0)
+
+let test_sequence_well_formed () =
+  let rng = Rng.create 3 in
+  for _ = 1 to 50 do
+    let c0 = 2 + Rng.int rng 60 in
+    let b = c0 - 1 + Rng.int rng 200 in
+    let s = solve c0 b in
+    (match s.Tdp.sequence with
+    | first :: _ -> check_int "starts at c0" c0 first
+    | [] -> Alcotest.fail "empty sequence");
+    check_int "ends at 1" 1 (List.nth s.Tdp.sequence (List.length s.Tdp.sequence - 1));
+    check_bool "strictly decreasing" true
+      (let rec dec = function
+         | a :: (b :: _ as r) -> a > b && dec r
+         | _ -> true
+       in
+       dec s.Tdp.sequence);
+    check_bool "within budget" true (s.Tdp.questions_used <= b);
+    checkf "latency consistent with allocation"
+      (Allocation.predicted_latency s.Tdp.allocation (linear 100.0 1.0))
+      s.Tdp.latency
+  done
+
+let test_matches_brute_force () =
+  let rng = Rng.create 7 in
+  for _ = 1 to 40 do
+    let c0 = 2 + Rng.int rng 9 in
+    let b = c0 - 1 + Rng.int rng 40 in
+    let delta = float_of_int (10 + Rng.int rng 200) in
+    let alpha = 0.1 +. Rng.float rng 3.0 in
+    let model = linear delta alpha in
+    let p = Problem.create ~elements:c0 ~budget:b ~latency:model in
+    let bf = Tdp.brute_force p and dp = Tdp.solve p in
+    Alcotest.check (Alcotest.float 1e-9) "optimal latency" bf.Tdp.latency dp.Tdp.latency
+  done
+
+let test_matches_brute_force_power () =
+  let rng = Rng.create 11 in
+  for _ = 1 to 20 do
+    let c0 = 2 + Rng.int rng 8 in
+    let b = c0 - 1 + Rng.int rng 30 in
+    let model = Model.power ~delta:50.0 ~alpha:1.0 ~p:(1.0 +. Rng.float rng 1.5) in
+    let p = Problem.create ~elements:c0 ~budget:b ~latency:model in
+    let bf = Tdp.brute_force p and dp = Tdp.solve p in
+    Alcotest.check (Alcotest.float 1e-9) "optimal under power L" bf.Tdp.latency dp.Tdp.latency
+  done
+
+let test_bottom_up_agrees () =
+  let rng = Rng.create 13 in
+  for _ = 1 to 20 do
+    let c0 = 2 + Rng.int rng 25 in
+    let b = c0 - 1 + Rng.int rng 120 in
+    let p = Problem.create ~elements:c0 ~budget:b ~latency:(linear 60.0 0.8) in
+    let bu = Tdp.solve_bottom_up p and td = Tdp.solve p in
+    Alcotest.check (Alcotest.float 1e-9) "same optimum" bu.Tdp.latency td.Tdp.latency
+  done
+
+let test_monotone_in_budget () =
+  (* more budget can never hurt the optimal latency *)
+  let prev = ref infinity in
+  List.iter
+    (fun b ->
+      let s = solve 30 b in
+      check_bool "non-increasing" true (s.Tdp.latency <= !prev +. 1e-9);
+      prev := s.Tdp.latency)
+    [ 29; 40; 60; 100; 200; 435 ]
+
+let test_min_budget_forces_chain () =
+  (* b = c0 - 1 admits only question-minimal plans: every question
+     eliminates exactly one element *)
+  let s = solve 10 9 in
+  check_int "uses exactly b" 9 s.Tdp.questions_used
+
+let test_budget_limiting () =
+  (* Sec. 6.5: with the MTurk estimate and c0 = 500, tDP settles on
+     allocation (2250, 1225) = 3475 questions for every b >= 4000 *)
+  let model = Model.paper_mturk in
+  let s4000 = solve ~model 500 4000 in
+  Alcotest.check Alcotest.(list int) "paper allocation" [ 2250; 1225 ]
+    (Allocation.round_budgets s4000.Tdp.allocation);
+  check_int "3475 used" 3475 s4000.Tdp.questions_used;
+  List.iter
+    (fun b ->
+      let s = solve ~model 500 b in
+      check_int "same plan at any larger budget" 3475 s.Tdp.questions_used)
+    [ 8000; 16000; 32000; 124750 ]
+
+let test_convex_latency_limits_harder () =
+  (* Fig. 14(b): the steeper the latency exponent, the fewer questions
+     tDP spends *)
+  let used p =
+    let model = Model.power ~delta:239.0 ~alpha:0.06 ~p in
+    (solve ~model 500 4000).Tdp.questions_used
+  in
+  check_bool "p=1.4 uses less than p=1.0" true (used 1.4 < used 1.0);
+  check_bool "p=1.8 uses less than p=1.4" true (used 1.8 < used 1.4)
+
+let test_high_overhead_prefers_one_round () =
+  (* enormous per-round overhead: the complete tournament in one round
+     is optimal when the budget allows it *)
+  let model = linear 1_000_000.0 0.001 in
+  let s = solve ~model 12 (Ints.choose2 12) in
+  Alcotest.check Alcotest.(list int) "single round" [ 12; 1 ] s.Tdp.sequence
+
+let test_zero_overhead_prefers_many_rounds () =
+  (* free rounds: the question-minimal chain is optimal and spends
+     c0 - 1 questions *)
+  let model = linear 0.0 1.0 in
+  let s = solve ~model 12 66 in
+  check_int "c0 - 1 questions" 11 s.Tdp.questions_used
+
+let test_optimal_latency_helper () =
+  let p = Problem.create ~elements:10 ~budget:20 ~latency:(linear 10.0 1.0) in
+  checkf "same as solve" (Tdp.solve p).Tdp.latency (Tdp.optimal_latency p)
+
+let test_brute_force_guard () =
+  let p = Problem.create ~elements:15 ~budget:200 ~latency:(linear 1.0 1.0) in
+  Alcotest.check_raises "too large" (Invalid_argument "Tdp.brute_force: instance too large")
+    (fun () -> ignore (Tdp.brute_force p))
+
+let test_states_visited_positive () =
+  let s = solve 30 100 in
+  check_bool "some states" true (s.Tdp.states_visited >= 0)
+
+let suite =
+  [
+    ( "tdp",
+      [
+        tc "single element" `Quick test_single_element;
+        tc "two elements" `Quick test_two_elements;
+        tc "paper Sec 2.2 example" `Quick test_paper_intro_example;
+        tc "sequence well-formed" `Quick test_sequence_well_formed;
+        tc "matches brute force (linear L)" `Slow test_matches_brute_force;
+        tc "matches brute force (power L)" `Slow test_matches_brute_force_power;
+        tc "bottom-up agrees" `Slow test_bottom_up_agrees;
+        tc "monotone in budget" `Quick test_monotone_in_budget;
+        tc "min budget chain" `Quick test_min_budget_forces_chain;
+        tc "budget limiting (paper 6.5)" `Quick test_budget_limiting;
+        tc "convex L limits harder (Fig 14b)" `Quick test_convex_latency_limits_harder;
+        tc "huge overhead -> one round" `Quick test_high_overhead_prefers_one_round;
+        tc "zero overhead -> chain" `Quick test_zero_overhead_prefers_many_rounds;
+        tc "optimal_latency" `Quick test_optimal_latency_helper;
+        tc "brute force guard" `Quick test_brute_force_guard;
+        tc "states visited" `Quick test_states_visited_positive;
+      ] );
+  ]

@@ -1,0 +1,144 @@
+module Topk = Crowdmax_topk.Topk
+module Problem = Crowdmax_core.Problem
+module Model = Crowdmax_latency.Model
+module S = Crowdmax_selection.Selection
+module G = Crowdmax_crowd.Ground_truth
+module Rng = Crowdmax_util.Rng
+module Ints = Crowdmax_util.Ints
+
+let tc = Alcotest.test_case
+let check_int = Alcotest.check Alcotest.int
+let check_bool = Alcotest.check Alcotest.bool
+
+let model = Model.linear ~delta:50.0 ~alpha:0.5
+
+let run ?(seed = 3) ~k ~elements ~budget () =
+  let rng = Rng.create seed in
+  let truth = G.random rng elements in
+  let problem = Problem.create ~elements ~budget ~latency:model in
+  (Topk.run rng ~k ~problem ~selection:S.tournament truth, truth)
+
+let test_exact_top_k () =
+  let rng = Rng.create 5 in
+  for _ = 1 to 25 do
+    let n = 3 + Rng.int rng 60 in
+    let k = 1 + Rng.int rng (min 6 n) in
+    let b = (5 * n) + (20 * k) in
+    let seed = Rng.int rng 100000 in
+    let r, truth = run ~seed ~k ~elements:n ~budget:b () in
+    check_bool "exact" true r.Topk.exact;
+    Alcotest.check Alcotest.(list int) "true top-k" (Topk.true_top_k truth k)
+      r.Topk.ranking
+  done
+
+let test_k1_is_max () =
+  let r, truth = run ~k:1 ~elements:40 ~budget:300 () in
+  check_int "one element" 1 (List.length r.Topk.ranking);
+  check_int "it is the max" (G.max_element truth) (List.hd r.Topk.ranking)
+
+let test_k_equals_n_is_full_sort () =
+  let n = 12 in
+  let r, truth = run ~k:n ~elements:n ~budget:(Ints.choose2 n * 2) () in
+  Alcotest.check Alcotest.(list int) "total order" (Topk.true_top_k truth n)
+    r.Topk.ranking
+
+let test_k_larger_than_n_clamped () =
+  let n = 8 in
+  let r, _ = run ~k:20 ~elements:n ~budget:100 () in
+  check_int "clamped to n" n (List.length r.Topk.ranking)
+
+let test_budget_respected () =
+  let rng = Rng.create 7 in
+  for _ = 1 to 20 do
+    let n = 5 + Rng.int rng 50 in
+    let k = 1 + Rng.int rng 5 in
+    let b = Topk.min_budget ~elements:n ~k + Rng.int rng 300 in
+    let seed = Rng.int rng 100000 in
+    let r, _ = run ~seed ~k ~elements:n ~budget:b () in
+    check_bool "within budget" true (r.Topk.questions_posted <= b)
+  done
+
+let test_later_passes_cheaper () =
+  (* answer reuse: pass 2's candidate set is tiny compared to c0 *)
+  let r, _ = run ~k:3 ~elements:100 ~budget:1000 () in
+  match r.Topk.passes with
+  | p1 :: p2 :: _ ->
+      check_int "pass 1 sees everyone" 100 p1.Topk.candidates;
+      check_bool "pass 2 candidate set is small" true (p2.Topk.candidates <= 20);
+      check_bool "pass 2 cheaper" true (p2.Topk.questions < p1.Topk.questions)
+  | _ -> Alcotest.fail "expected >= 2 passes"
+
+let test_pass_records_consistent () =
+  let r, _ = run ~k:4 ~elements:30 ~budget:400 () in
+  check_int "k passes" 4 (List.length r.Topk.passes);
+  let q = List.fold_left (fun acc p -> acc + p.Topk.questions) 0 r.Topk.passes in
+  check_int "questions add up" r.Topk.questions_posted q;
+  let l =
+    List.fold_left (fun acc p -> acc +. p.Topk.latency) 0.0 r.Topk.passes
+  in
+  check_bool "latency adds up" true
+    (Float.abs (l -. r.Topk.total_latency) < 1e-9);
+  List.iteri
+    (fun i p -> check_int "pass indices" i p.Topk.pass_index)
+    r.Topk.passes
+
+let test_ranking_distinct () =
+  let r, _ = run ~k:6 ~elements:25 ~budget:400 () in
+  let sorted = List.sort_uniq compare r.Topk.ranking in
+  check_int "no duplicates" (List.length r.Topk.ranking) (List.length sorted)
+
+let test_validation () =
+  let rng = Rng.create 11 in
+  let truth = G.random rng 10 in
+  let problem = Problem.create ~elements:10 ~budget:100 ~latency:model in
+  Alcotest.check_raises "k < 1" (Invalid_argument "Topk.run: k < 1") (fun () ->
+      ignore (Topk.run rng ~k:0 ~problem ~selection:S.tournament truth));
+  let truth11 = G.random rng 11 in
+  Alcotest.check_raises "mismatch"
+    (Invalid_argument "Topk.run: ground truth size mismatch") (fun () ->
+      ignore (Topk.run rng ~k:2 ~problem ~selection:S.tournament truth11));
+  let tight = Problem.create ~elements:10 ~budget:9 ~latency:model in
+  Alcotest.check_raises "budget too small"
+    (Invalid_argument "Topk.run: budget below the top-k minimum") (fun () ->
+      ignore (Topk.run rng ~k:3 ~problem:tight ~selection:S.tournament truth))
+
+let test_min_budget () =
+  check_int "k=1" 9 (Topk.min_budget ~elements:10 ~k:1);
+  check_int "k=3" 11 (Topk.min_budget ~elements:10 ~k:3);
+  check_int "k clamped" 18 (Topk.min_budget ~elements:10 ~k:99)
+
+let test_true_top_k () =
+  let truth = G.of_ranks [| 2; 0; 3; 1 |] in
+  Alcotest.check Alcotest.(list int) "oracle" [ 2; 0; 3 ] (Topk.true_top_k truth 3)
+
+let test_minimal_budget_degrades_gracefully () =
+  (* at the bare validation floor later passes may not afford their
+     candidate sets; the run must still produce k distinct elements with
+     a correct head (pass 1 is fully funded) and flag itself inexact
+     rather than fail *)
+  let n = 12 and k = 3 in
+  let b = Topk.min_budget ~elements:n ~k in
+  let r, truth = run ~k ~elements:n ~budget:b () in
+  check_int "k results" k (List.length r.Topk.ranking);
+  check_int "head is the max" (G.max_element truth) (List.hd r.Topk.ranking);
+  check_int "distinct" k (List.length (List.sort_uniq compare r.Topk.ranking));
+  check_bool "within budget" true (r.Topk.questions_posted <= b)
+
+let suite =
+  [
+    ( "topk",
+      [
+        tc "exact top-k" `Quick test_exact_top_k;
+        tc "k=1 is max" `Quick test_k1_is_max;
+        tc "k=n is full sort" `Quick test_k_equals_n_is_full_sort;
+        tc "k>n clamped" `Quick test_k_larger_than_n_clamped;
+        tc "budget respected" `Quick test_budget_respected;
+        tc "later passes cheaper" `Quick test_later_passes_cheaper;
+        tc "pass records consistent" `Quick test_pass_records_consistent;
+        tc "ranking distinct" `Quick test_ranking_distinct;
+        tc "validation" `Quick test_validation;
+        tc "min budget" `Quick test_min_budget;
+        tc "true top-k oracle" `Quick test_true_top_k;
+        tc "minimal budget degrades gracefully" `Quick test_minimal_budget_degrades_gracefully;
+      ] );
+  ]

@@ -1,0 +1,96 @@
+module U = Crowdmax_graph.Undirected
+module Dag = Crowdmax_graph.Answer_dag
+
+let tc = Alcotest.test_case
+let check_int = Alcotest.check Alcotest.int
+let check_bool = Alcotest.check Alcotest.bool
+let sorted l = List.sort compare l
+
+let test_empty () =
+  let g = U.create 5 in
+  check_int "size" 5 (U.size g);
+  check_int "edges" 0 (U.edge_count g);
+  check_bool "near regular" true (U.is_near_regular g)
+
+let test_add_edge_symmetric () =
+  let g = U.create 3 in
+  U.add_edge g 0 2;
+  check_bool "has 0-2" true (U.has_edge g 0 2);
+  check_bool "has 2-0" true (U.has_edge g 2 0);
+  check_int "count" 1 (U.edge_count g)
+
+let test_duplicate_edges_collapse () =
+  let g = U.of_edges 3 [ (0, 1); (1, 0); (0, 1) ] in
+  check_int "one edge" 1 (U.edge_count g)
+
+let test_self_loop_rejected () =
+  let g = U.create 3 in
+  Alcotest.check_raises "loop" (Invalid_argument "Undirected.add_edge: self-loop")
+    (fun () -> U.add_edge g 1 1)
+
+let test_degrees () =
+  let g = U.of_edges 4 [ (0, 1); (0, 2); (0, 3) ] in
+  check_int "hub" 3 (U.degree g 0);
+  check_int "leaf" 1 (U.degree g 1);
+  Alcotest.check Alcotest.(array int) "degrees" [| 3; 1; 1; 1 |] (U.degrees g)
+
+let test_edges_normalized () =
+  let g = U.of_edges 3 [ (2, 0); (1, 2) ] in
+  Alcotest.check
+    Alcotest.(list (pair int int))
+    "fst < snd" (sorted [ (0, 2); (1, 2) ]) (sorted (U.edges g))
+
+let test_is_independent () =
+  let g = U.of_edges 4 [ (0, 1); (2, 3) ] in
+  check_bool "independent" true (U.is_independent g [ 0; 2 ]);
+  check_bool "not independent" false (U.is_independent g [ 0; 1 ]);
+  check_bool "empty set" true (U.is_independent g []);
+  check_bool "singleton" true (U.is_independent g [ 3 ])
+
+let test_near_regular () =
+  let star = U.of_edges 4 [ (0, 1); (0, 2); (0, 3) ] in
+  check_bool "star not near-regular" false (U.is_near_regular star);
+  let cycle = U.of_edges 4 [ (0, 1); (1, 2); (2, 3); (3, 0) ] in
+  check_bool "cycle regular" true (U.is_near_regular cycle);
+  let path = U.of_edges 3 [ (0, 1); (1, 2) ] in
+  check_bool "path near-regular" true (U.is_near_regular path)
+
+let test_orient_by_permutation () =
+  let g = U.of_edges 3 [ (0, 1); (1, 2) ] in
+  (* ranks: 2 best, then 0, then 1 *)
+  let rank = [| 1; 0; 2 |] in
+  let dag = U.orient_by_permutation g rank in
+  check_bool "0 beats 1" true (Dag.beats_directly dag 0 1);
+  check_bool "2 beats 1" true (Dag.beats_directly dag 2 1);
+  Alcotest.check Alcotest.(list int) "RC" [ 0; 2 ]
+    (Dag.remaining_candidates dag)
+
+let test_orient_rejects_mismatch () =
+  let g = U.create 3 in
+  Alcotest.check_raises "size"
+    (Invalid_argument "Undirected.orient_by_permutation: rank size mismatch")
+    (fun () -> ignore (U.orient_by_permutation g [| 0; 1 |]))
+
+let test_remaining_after_isolated_nodes () =
+  (* isolated nodes never lose and must remain candidates *)
+  let g = U.of_edges 4 [ (0, 1) ] in
+  let rc = U.remaining_after g [| 1; 0; 2; 3 |] in
+  Alcotest.check Alcotest.(list int) "winner + isolated" [ 0; 2; 3 ] (sorted rc)
+
+let suite =
+  [
+    ( "undirected",
+      [
+        tc "empty" `Quick test_empty;
+        tc "symmetric edges" `Quick test_add_edge_symmetric;
+        tc "duplicates collapse" `Quick test_duplicate_edges_collapse;
+        tc "self-loop rejected" `Quick test_self_loop_rejected;
+        tc "degrees" `Quick test_degrees;
+        tc "edges normalized" `Quick test_edges_normalized;
+        tc "independent sets" `Quick test_is_independent;
+        tc "near-regularity" `Quick test_near_regular;
+        tc "orientation by permutation" `Quick test_orient_by_permutation;
+        tc "orientation size mismatch" `Quick test_orient_rejects_mismatch;
+        tc "isolated nodes stay candidates" `Quick test_remaining_after_isolated_nodes;
+      ] );
+  ]

@@ -1,0 +1,89 @@
+module W = Crowdmax_crowd.Worker
+module G = Crowdmax_crowd.Ground_truth
+module Rng = Crowdmax_util.Rng
+
+let tc = Alcotest.test_case
+let check_bool = Alcotest.check Alcotest.bool
+let checkf eps = Alcotest.check (Alcotest.float eps)
+
+let truth = G.of_ranks [| 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 |]
+
+let test_perfect_never_errs () =
+  let rng = Rng.create 3 in
+  for _ = 1 to 500 do
+    let a = Rng.int rng 10 in
+    let b = (a + 1 + Rng.int rng 9) mod 10 in
+    Alcotest.check Alcotest.int "true winner"
+      (G.better truth a b)
+      (W.answer rng W.Perfect truth a b)
+  done
+
+let test_error_probability_values () =
+  checkf 1e-9 "perfect" 0.0 (W.error_probability W.Perfect truth 0 1);
+  checkf 1e-9 "uniform" 0.25 (W.error_probability (W.Uniform 0.25) truth 0 1);
+  checkf 1e-9 "uniform clamped" 1.0 (W.error_probability (W.Uniform 1.5) truth 0 1)
+
+let test_distance_sensitive_decays () =
+  let m = W.Distance_sensitive { base = 0.5; halfwidth = 2.0 } in
+  let near = W.error_probability m truth 4 5 in
+  let far = W.error_probability m truth 0 9 in
+  check_bool "near pairs are harder" true (near > far);
+  checkf 1e-9 "gap-1 value" (0.5 *. exp (-0.5)) near
+
+let test_uniform_error_rate () =
+  let rng = Rng.create 5 in
+  let errors = ref 0 in
+  let n = 20000 in
+  for _ = 1 to n do
+    if W.answer rng (W.Uniform 0.2) truth 2 7 <> 7 then incr errors
+  done;
+  let rate = float_of_int !errors /. float_of_int n in
+  checkf 0.02 "empirical rate" 0.2 rate
+
+let test_answer_self_rejected () =
+  let rng = Rng.create 7 in
+  Alcotest.check_raises "self" (Invalid_argument "Ground_truth.better: same element")
+    (fun () -> ignore (W.answer rng W.Perfect truth 3 3))
+
+let test_answer_returns_one_of_pair () =
+  let rng = Rng.create 9 in
+  for _ = 1 to 200 do
+    let w = W.answer rng (W.Uniform 0.5) truth 1 8 in
+    check_bool "member of pair" true (w = 1 || w = 8)
+  done
+
+let test_service_time_positive () =
+  let rng = Rng.create 11 in
+  for _ = 1 to 500 do
+    check_bool "positive" true (W.service_time rng W.default_service > 0.0)
+  done
+
+let test_service_deterministic_when_sigma_zero () =
+  let rng = Rng.create 13 in
+  let m = { W.median_seconds = 4.0; sigma = 0.0 } in
+  for _ = 1 to 10 do
+    checkf 1e-9 "constant" 4.0 (W.service_time rng m)
+  done
+
+let test_service_median () =
+  let rng = Rng.create 17 in
+  let xs = Array.init 20001 (fun _ -> W.service_time rng W.default_service) in
+  Array.sort compare xs;
+  let median = xs.(10000) in
+  checkf 0.2 "median near 3" 3.0 median
+
+let suite =
+  [
+    ( "worker",
+      [
+        tc "perfect never errs" `Quick test_perfect_never_errs;
+        tc "error probability values" `Quick test_error_probability_values;
+        tc "distance-sensitive decays" `Quick test_distance_sensitive_decays;
+        tc "uniform error rate" `Quick test_uniform_error_rate;
+        tc "self comparison rejected" `Quick test_answer_self_rejected;
+        tc "answer in pair" `Quick test_answer_returns_one_of_pair;
+        tc "service positive" `Quick test_service_time_positive;
+        tc "service sigma=0" `Quick test_service_deterministic_when_sigma_zero;
+        tc "service median" `Quick test_service_median;
+      ] );
+  ]

@@ -1,0 +1,167 @@
+module WP = Crowdmax_crowd.Worker_pool
+module G = Crowdmax_crowd.Ground_truth
+module Rng = Crowdmax_util.Rng
+
+let tc = Alcotest.test_case
+let check_int = Alcotest.check Alcotest.int
+let check_bool = Alcotest.check Alcotest.bool
+
+let mk_pool ?(workers = 30) ?(good_fraction = 0.6) ?(good = 0.95) ?(bad = 0.55)
+    seed =
+  let rng = Rng.create seed in
+  ( WP.create rng ~workers ~good_fraction ~good_accuracy:good ~bad_accuracy:bad,
+    rng )
+
+let all_pairs n =
+  Array.of_list
+    (List.concat
+       (List.init n (fun i -> List.init (n - 1 - i) (fun j -> (i, i + 1 + j)))))
+
+let test_create_populations () =
+  let pool, _ = mk_pool 3 in
+  check_int "size" 30 (WP.size pool);
+  for w = 0 to 29 do
+    let a = WP.true_accuracy pool w in
+    check_bool "one of two accuracies" true (a = 0.95 || a = 0.55)
+  done
+
+let test_create_validation () =
+  let rng = Rng.create 1 in
+  Alcotest.check_raises "no workers" (Invalid_argument "Worker_pool.create: workers < 1")
+    (fun () ->
+      ignore
+        (WP.create rng ~workers:0 ~good_fraction:0.5 ~good_accuracy:0.9
+           ~bad_accuracy:0.5));
+  Alcotest.check_raises "bad probability"
+    (Invalid_argument "Worker_pool.create: good_accuracy out of [0,1]") (fun () ->
+      ignore
+        (WP.create rng ~workers:5 ~good_fraction:0.5 ~good_accuracy:1.5
+           ~bad_accuracy:0.5))
+
+let test_answer_rates_track_accuracy () =
+  let pool, rng = mk_pool ~workers:2 ~good_fraction:1.0 ~good:0.9 5 in
+  let truth = G.of_ranks [| 0; 1 |] in
+  let correct = ref 0 in
+  let n = 5000 in
+  for _ = 1 to n do
+    if WP.answer pool rng truth 0 1 ~worker:0 = 1 then incr correct
+  done;
+  let rate = float_of_int !correct /. float_of_int n in
+  check_bool "near latent accuracy" true (rate > 0.87 && rate < 0.93)
+
+let test_collect_votes_shape () =
+  let pool, rng = mk_pool 7 in
+  let truth = G.random rng 8 in
+  let questions = all_pairs 8 in
+  let votes = WP.collect_votes pool rng ~truth ~votes_per_question:3 questions in
+  check_int "3 votes per question" (3 * Array.length questions)
+    (List.length votes);
+  (* per question: distinct workers *)
+  let tbl = Hashtbl.create 32 in
+  List.iter
+    (fun v ->
+      let seen = Option.value ~default:[] (Hashtbl.find_opt tbl v.WP.question) in
+      check_bool "distinct workers" true (not (List.mem v.WP.worker seen));
+      Hashtbl.replace tbl v.WP.question (v.WP.worker :: seen);
+      let a, b = questions.(v.WP.question) in
+      check_bool "choice in pair" true (v.WP.choice = a || v.WP.choice = b))
+    votes
+
+let test_collect_votes_validation () =
+  let pool, rng = mk_pool ~workers:2 11 in
+  let truth = G.random rng 4 in
+  Alcotest.check_raises "pool too small"
+    (Invalid_argument "Worker_pool.collect_votes: pool smaller than votes_per_question")
+    (fun () ->
+      ignore (WP.collect_votes pool rng ~truth ~votes_per_question:3 (all_pairs 4)))
+
+let test_estimator_separates_populations () =
+  let pool, rng = mk_pool ~workers:40 ~good_fraction:0.5 ~good:0.95 ~bad:0.55 13 in
+  let truth = G.random rng 12 in
+  let questions = all_pairs 12 in
+  let votes = WP.collect_votes pool rng ~truth ~votes_per_question:7 questions in
+  let est = WP.estimate_accuracies ~questions ~workers:40 votes in
+  (* estimated accuracy must correlate with the latent populations *)
+  let good_est = ref [] and bad_est = ref [] in
+  for w = 0 to 39 do
+    if est.WP.worker_accuracy.(w) > 0.0 then begin
+      if WP.true_accuracy pool w > 0.9 then
+        good_est := est.WP.worker_accuracy.(w) :: !good_est
+      else bad_est := est.WP.worker_accuracy.(w) :: !bad_est
+    end
+  done;
+  let mean xs =
+    List.fold_left ( +. ) 0.0 xs /. float_of_int (max 1 (List.length xs))
+  in
+  check_bool "good workers score higher" true (mean !good_est > mean !bad_est +. 0.1)
+
+let test_estimator_consensus_beats_majority () =
+  (* weighted consensus must recover more true answers than unweighted
+     majority when the pool is half spammers *)
+  let pool, rng = mk_pool ~workers:40 ~good_fraction:0.4 ~good:0.97 ~bad:0.5 17 in
+  let truth = G.random rng 14 in
+  let questions = all_pairs 14 in
+  let votes = WP.collect_votes pool rng ~truth ~votes_per_question:9 questions in
+  let est = WP.estimate_accuracies ~questions ~workers:40 votes in
+  let majority = Array.make (Array.length questions) 0 in
+  Array.iteri
+    (fun qi (a, _) ->
+      let for_a =
+        List.length
+          (List.filter (fun v -> v.WP.question = qi && v.WP.choice = a) votes)
+      in
+      let against = 9 - for_a in
+      majority.(qi) <- (if for_a > against then a else snd questions.(qi)))
+    questions;
+  let correct answers =
+    let c = ref 0 in
+    Array.iteri
+      (fun qi (a, b) ->
+        if answers.(qi) = G.better truth a b then incr c;
+        ignore (a, b))
+      questions;
+    !c
+  in
+  check_bool "weighted >= majority" true
+    (correct est.WP.consensus >= correct majority)
+
+let test_estimator_validation () =
+  Alcotest.check_raises "no questions"
+    (Invalid_argument "Worker_pool.estimate_accuracies: no questions") (fun () ->
+      ignore (WP.estimate_accuracies ~questions:[||] ~workers:3 []));
+  Alcotest.check_raises "unknown question"
+    (Invalid_argument "Worker_pool.estimate_accuracies: vote for unknown question")
+    (fun () ->
+      ignore
+        (WP.estimate_accuracies ~questions:[| (0, 1) |] ~workers:3
+           [ { WP.worker = 0; question = 5; choice = 0 } ]));
+  Alcotest.check_raises "foreign choice"
+    (Invalid_argument "Worker_pool.estimate_accuracies: choice not in question")
+    (fun () ->
+      ignore
+        (WP.estimate_accuracies ~questions:[| (0, 1) |] ~workers:3
+           [ { WP.worker = 0; question = 0; choice = 7 } ]))
+
+let test_estimator_terminates () =
+  let pool, rng = mk_pool 19 in
+  let truth = G.random rng 10 in
+  let questions = all_pairs 10 in
+  let votes = WP.collect_votes pool rng ~truth ~votes_per_question:5 questions in
+  let est = WP.estimate_accuracies ~questions ~workers:30 votes in
+  check_bool "bounded iterations" true (est.WP.iterations <= 50)
+
+let suite =
+  [
+    ( "worker_pool",
+      [
+        tc "populations" `Quick test_create_populations;
+        tc "create validation" `Quick test_create_validation;
+        tc "answer rate tracks accuracy" `Quick test_answer_rates_track_accuracy;
+        tc "collect votes shape" `Quick test_collect_votes_shape;
+        tc "collect votes validation" `Quick test_collect_votes_validation;
+        tc "estimator separates populations" `Quick test_estimator_separates_populations;
+        tc "weighted consensus beats majority" `Quick test_estimator_consensus_beats_majority;
+        tc "estimator validation" `Quick test_estimator_validation;
+        tc "estimator terminates" `Quick test_estimator_terminates;
+      ] );
+  ]
