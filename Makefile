@@ -1,0 +1,22 @@
+.PHONY: all build test bench ci clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+# The CI gate: full build, the whole test suite, and a smoke-scale pass
+# through the bechamel harness so the bench executable stays runnable.
+ci:
+	dune build @all
+	dune runtest
+	CROWDMAX_BENCH_RUNS=2 dune exec bench/main.exe -- micro
+
+clean:
+	dune clean

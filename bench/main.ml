@@ -23,10 +23,46 @@ module Rwl = Crowdmax_crowd.Rwl
 module W = Crowdmax_crowd.Worker
 module Rng = Crowdmax_util.Rng
 
+(* A malformed CROWDMAX_BENCH_RUNS used to fall back to 30 silently,
+   which made typos indistinguishable from the default. Fail loudly. *)
 let runs =
   match Sys.getenv_opt "CROWDMAX_BENCH_RUNS" with
-  | Some s -> (try max 1 (int_of_string s) with _ -> 30)
   | None -> 30
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> n
+      | Some n ->
+          Printf.eprintf
+            "bench: CROWDMAX_BENCH_RUNS must be a positive integer, got %d\n" n;
+          exit 2
+      | None ->
+          Printf.eprintf
+            "bench: CROWDMAX_BENCH_RUNS must be a positive integer, got %S\n" s;
+          exit 2)
+
+(* Worker domains for replicated runs; 0 means "all cores". Settable via
+   CROWDMAX_JOBS or --jobs/-j on the command line (argv wins). *)
+let parse_jobs ~source s =
+  match int_of_string_opt (String.trim s) with
+  | Some 0 -> Crowdmax_util.Parallel.recommended_jobs ()
+  | Some n when n > 128 ->
+      Printf.eprintf "bench: %s capped at 128, got %d\n" source n;
+      exit 2
+  | Some n when n >= 1 -> n
+  | Some n ->
+      Printf.eprintf "bench: %s must be a non-negative integer, got %d\n" source
+        n;
+      exit 2
+  | None ->
+      Printf.eprintf "bench: %s must be a non-negative integer, got %S\n" source
+        s;
+      exit 2
+
+let jobs =
+  ref
+    (match Sys.getenv_opt "CROWDMAX_JOBS" with
+    | None -> 1
+    | Some s -> parse_jobs ~source:"CROWDMAX_JOBS" s)
 
 let section title =
   Printf.printf "\n================ %s ================\n%!" title
@@ -41,17 +77,17 @@ let fig11a () =
 
 let fig11b () =
   section "Fig 11(b) - real-time runs (platform vs estimate), c0=500 b=4000";
-  X.Fig11b.print (X.Fig11b.run ())
+  X.Fig11b.print (X.Fig11b.run ~jobs:!jobs ())
 
 let fig12 () =
   section
     (Printf.sprintf "Fig 12(a,b) - question selection algorithms (%d runs)" runs);
-  X.Fig12.print (X.Fig12.run ~runs ())
+  X.Fig12.print (X.Fig12.run ~jobs:!jobs ~runs ())
 
 let fig13a () =
   section
     (Printf.sprintf "Fig 13(a) - latency vs collection size (%d runs)" runs);
-  let f = X.Fig13.run_a ~runs () in
+  let f = X.Fig13.run_a ~jobs:!jobs ~runs () in
   X.Fig13.print f;
   (* Sec. 6.4 also quotes the allocations behind the coincidences *)
   print_newline ();
@@ -63,12 +99,12 @@ let fig13a () =
 
 let fig13b () =
   section (Printf.sprintf "Fig 13(b) - latency vs budget (%d runs)" runs);
-  X.Fig13.print (X.Fig13.run_b ~runs ())
+  X.Fig13.print (X.Fig13.run_b ~jobs:!jobs ~runs ())
 
 let fig14a () =
   section
     (Printf.sprintf "Fig 14(a) - non-linear latency functions (%d runs)" runs);
-  X.Fig14.print_a (X.Fig14.run_a ~runs ())
+  X.Fig14.print_a (X.Fig14.run_a ~jobs:!jobs ~runs ())
 
 let fig14b () =
   section "Fig 14(b) - questions used by tDP vs available budget";
@@ -98,10 +134,10 @@ let ablation_adaptive () =
         Engine.config ~allocation:static.Tdp.allocation
           ~selection:Selection.tournament ~latency_model:model ()
       in
-      let st = Engine.replicate ~runs ~seed:3 cfg ~elements:c0 in
+      let st = Engine.replicate ~jobs:!jobs ~runs ~seed:3 cfg ~elements:c0 in
       let ad =
-        Crowdmax_runtime.Adaptive.replicate ~runs ~seed:3 ~problem
-          ~selection:Selection.tournament
+        Crowdmax_runtime.Adaptive.replicate ~jobs:!jobs ~runs ~seed:3 ~problem
+          ~selection:Selection.tournament ()
       in
       Crowdmax_util.Table.add_row table
         [
@@ -136,7 +172,7 @@ let ablation_ct_split () =
         Engine.config ~allocation:sol.Tdp.allocation ~selection:sel
           ~latency_model:model ()
       in
-      let agg = Engine.replicate ~runs ~seed:7 cfg ~elements:c0 in
+      let agg = Engine.replicate ~jobs:!jobs ~runs ~seed:7 cfg ~elements:c0 in
       Crowdmax_util.Table.add_row table
         [
           sel.Selection.name;
@@ -173,7 +209,7 @@ let ablation_rwl () =
           ~allocation:sol.Tdp.allocation ~selection:Selection.tournament
           ~latency_model:model ()
       in
-      let agg = Engine.replicate ~runs ~seed:11 cfg ~elements:c0 in
+      let agg = Engine.replicate ~jobs:!jobs ~runs ~seed:11 cfg ~elements:c0 in
       Crowdmax_util.Table.add_row table
         [
           string_of_int votes;
@@ -338,7 +374,7 @@ let extension_frontier () =
 
 let extension_robustness () =
   section "Extension - error robustness sweep";
-  X.Robustness.print (X.Robustness.run ~runs:(max 10 (runs / 2)) ())
+  X.Robustness.print (X.Robustness.run ~jobs:!jobs ~runs:(max 10 (runs / 2)) ())
 
 let ablations () =
   ablation_adaptive ();
@@ -352,7 +388,7 @@ let ablations () =
 
 let findings () =
   section "Sec. 6.8 - the paper's summary findings, re-derived";
-  X.Findings.print (X.Findings.run ~runs ())
+  X.Findings.print (X.Findings.run ~jobs:!jobs ~runs ())
 
 let figures () =
   fig11a ();
@@ -515,8 +551,32 @@ let micro () =
 
 (* --- entry point --------------------------------------------------------- *)
 
+let timed name f =
+  let t0 = Unix.gettimeofday () in
+  f ();
+  Printf.printf "[%s: %.2f s wall, jobs=%d]\n%!" name
+    (Unix.gettimeofday () -. t0)
+    !jobs
+
 let () =
-  let args = List.tl (Array.to_list Sys.argv) in
+  (* Strip --jobs/-j (argv overrides CROWDMAX_JOBS); the rest are
+     benchmark names. *)
+  let rec strip_jobs acc = function
+    | [] -> List.rev acc
+    | ("--jobs" | "-j") :: v :: rest ->
+        jobs := parse_jobs ~source:"--jobs" v;
+        strip_jobs acc rest
+    | ("--jobs" | "-j") :: [] ->
+        Printf.eprintf "bench: --jobs requires an argument\n";
+        exit 2
+    | a :: rest when String.length a > 7 && String.sub a 0 7 = "--jobs=" ->
+        jobs :=
+          parse_jobs ~source:"--jobs"
+            (String.sub a 7 (String.length a - 7));
+        strip_jobs acc rest
+    | a :: rest -> strip_jobs (a :: acc) rest
+  in
+  let args = strip_jobs [] (List.tl (Array.to_list Sys.argv)) in
   let known =
     [
       ("fig11a", fig11a); ("fig11b", fig11b); ("fig12", fig12);
@@ -527,14 +587,14 @@ let () =
   in
   match args with
   | [] ->
-      figures ();
-      ablations ();
-      micro ()
+      timed "figures" figures;
+      timed "ablations" ablations;
+      timed "micro" micro
   | _ ->
       List.iter
         (fun a ->
           match List.assoc_opt a known with
-          | Some f -> f ()
+          | Some f -> timed a f
           | None ->
               Printf.eprintf "unknown benchmark %S; known: %s\n" a
                 (String.concat ", " (List.map fst known));

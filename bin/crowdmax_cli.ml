@@ -38,6 +38,30 @@ let runs_arg =
     value & opt int 20
     & info [ "runs" ] ~docv:"RUNS" ~doc:"Replicated runs to average over.")
 
+let jobs_arg =
+  let env =
+    Cmd.Env.info "CROWDMAX_JOBS"
+      ~doc:"Default for $(b,--jobs): worker domains for replicated runs."
+  in
+  Arg.(
+    value & opt int 1
+    & info [ "j"; "jobs" ] ~env ~docv:"JOBS"
+        ~doc:
+          "Worker domains to fan replicated runs across (0 = all cores). \
+           Results are bit-identical for every value; only wall-clock \
+           changes.")
+
+(* 0 means "use every core the runtime recommends". *)
+let resolve_jobs jobs =
+  if jobs < 0 then (
+    Printf.eprintf "crowdmax: --jobs must be >= 0 (got %d)\n" jobs;
+    exit 2)
+  else if jobs > 128 then (
+    Printf.eprintf "crowdmax: --jobs capped at 128 (got %d)\n" jobs;
+    exit 2)
+  else if jobs = 0 then Crowdmax_util.Parallel.recommended_jobs ()
+  else jobs
+
 let delta_arg =
   Arg.(
     value & opt float 239.0
@@ -254,7 +278,8 @@ let frontier_cmd =
 (* --- run ----------------------------------------------------------------- *)
 
 let run_cmd =
-  let run elements budget delta alpha p seed runs selection =
+  let run elements budget delta alpha p seed runs jobs selection =
+    let jobs = resolve_jobs jobs in
     let model = model_of delta alpha p in
     let problem = Problem.create ~elements ~budget ~latency:model in
     let sol = Tdp.solve problem in
@@ -262,7 +287,7 @@ let run_cmd =
       Engine.config ~allocation:sol.Tdp.allocation ~selection
         ~latency_model:model ()
     in
-    let agg = Engine.replicate ~runs ~seed cfg ~elements in
+    let agg = Engine.replicate ~jobs ~runs ~seed cfg ~elements in
     Format.printf "%a, selection = %s@." Problem.pp problem
       selection.Selection.name;
     Format.printf "allocation: %a@." Allocation.pp sol.Tdp.allocation;
@@ -271,12 +296,16 @@ let run_cmd =
       agg.Engine.mean_latency agg.Engine.stddev_latency
       (100.0 *. agg.Engine.singleton_rate)
       (100.0 *. agg.Engine.correct_rate)
-      agg.Engine.mean_questions agg.Engine.mean_rounds
+      agg.Engine.mean_questions agg.Engine.mean_rounds;
+    Format.printf "wall %.2f s over %d domain%s (%.1f runs/s)@."
+      agg.Engine.timing.Engine.wall_seconds agg.Engine.timing.Engine.jobs
+      (if agg.Engine.timing.Engine.jobs = 1 then "" else "s")
+      agg.Engine.timing.Engine.runs_per_sec
   in
   let term =
     Term.(
       const run $ elements_arg $ budget_arg $ delta_arg $ alpha_arg $ p_arg
-      $ seed_arg $ runs_arg $ selection_arg)
+      $ seed_arg $ runs_arg $ jobs_arg $ selection_arg)
   in
   Cmd.v
     (Cmd.info "run"
@@ -314,18 +343,19 @@ let experiment_cmd =
             (Printf.sprintf "Which figure to regenerate: %s."
                (String.concat ", " (List.map fst figures))))
   in
-  let run figure runs seed =
+  let run figure runs seed jobs =
+    let jobs = resolve_jobs jobs in
     match figure with
     | `Fig11a -> X.Fig11a.print (X.Fig11a.run ~seed ())
-    | `Fig11b -> X.Fig11b.print (X.Fig11b.run ~seed ())
-    | `Fig12 -> X.Fig12.print (X.Fig12.run ~runs ~seed ())
-    | `Fig13a -> X.Fig13.print (X.Fig13.run_a ~runs ~seed ())
-    | `Fig13b -> X.Fig13.print (X.Fig13.run_b ~runs ~seed ())
-    | `Fig14a -> X.Fig14.print_a (X.Fig14.run_a ~runs ~seed ())
+    | `Fig11b -> X.Fig11b.print (X.Fig11b.run ~jobs ~seed ())
+    | `Fig12 -> X.Fig12.print (X.Fig12.run ~jobs ~runs ~seed ())
+    | `Fig13a -> X.Fig13.print (X.Fig13.run_a ~jobs ~runs ~seed ())
+    | `Fig13b -> X.Fig13.print (X.Fig13.run_b ~jobs ~runs ~seed ())
+    | `Fig14a -> X.Fig14.print_a (X.Fig14.run_a ~jobs ~runs ~seed ())
     | `Fig14b -> X.Fig14.print_b (X.Fig14.run_b ())
     | `Fig15 -> X.Fig15.print (X.Fig15.run ())
   in
-  let term = Term.(const run $ figure_arg $ runs_arg $ seed_arg) in
+  let term = Term.(const run $ figure_arg $ runs_arg $ seed_arg $ jobs_arg) in
   Cmd.v
     (Cmd.info "experiment"
        ~doc:"Regenerate a figure of the paper's evaluation section.")

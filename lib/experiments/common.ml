@@ -36,12 +36,12 @@ let heuristic_combos selection =
 let standard_grid model =
   tdp_combo model :: heuristic_combos Selection.ct25
 
-let measure ~runs ~seed ~elements ~budget ~model combo =
+let measure ?(jobs = 1) ~runs ~seed ~elements ~budget ~model combo =
   let allocation = combo.allocate ~elements ~budget in
   let cfg =
     Engine.config ~allocation ~selection:combo.selection ~latency_model:model ()
   in
-  Engine.replicate ~runs ~seed cfg ~elements
+  Engine.replicate ~jobs ~runs ~seed cfg ~elements
 
 type series = { name : string; points : (float * float) list }
 

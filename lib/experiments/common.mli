@@ -29,6 +29,7 @@ val standard_grid : Crowdmax_latency.Model.t -> combo list
     Figs. 13-14. *)
 
 val measure :
+  ?jobs:int ->
   runs:int ->
   seed:int ->
   elements:int ->
@@ -36,7 +37,9 @@ val measure :
   model:Crowdmax_latency.Model.t ->
   combo ->
   Crowdmax_runtime.Engine.aggregate
-(** Replicated oracle-mode engine runs of one combo on one instance. *)
+(** Replicated oracle-mode engine runs of one combo on one instance.
+    [jobs] is passed to {!Crowdmax_runtime.Engine.replicate}: results
+    are bit-identical for any value. *)
 
 type series = { name : string; points : (float * float) list }
 (** A labelled curve, x ascending — one line of a paper figure. *)

@@ -14,8 +14,8 @@ type bar = {
 
 type t = { bars : bar list; elements : int; budget : int }
 
-let run ?(runs = 5) ?(seed = 17) ?(elements = 500) ?(budget = 4000) ?platform
-    ?(model = Common.estimated_model) () =
+let run ?(jobs = 1) ?(runs = 5) ?(seed = 17) ?(elements = 500) ?(budget = 4000)
+    ?platform ?(model = Common.estimated_model) () =
   let platform =
     match platform with Some p -> p | None -> Platform.create ()
   in
@@ -35,13 +35,15 @@ let run ?(runs = 5) ?(seed = 17) ?(elements = 500) ?(budget = 4000) ?platform
             ~allocation ~selection:combo.Common.selection ~latency_model:model
             ()
         in
-        let real = Engine.replicate ~runs ~seed real_cfg ~elements in
+        let real = Engine.replicate ~jobs ~runs ~seed real_cfg ~elements in
         (* Striped bar: same rounds costed by the estimated model. *)
         let predicted_cfg =
           Engine.config ~allocation ~selection:combo.Common.selection
             ~latency_model:model ()
         in
-        let predicted = Engine.replicate ~runs ~seed predicted_cfg ~elements in
+        let predicted =
+          Engine.replicate ~jobs ~runs ~seed predicted_cfg ~elements
+        in
         {
           label = combo.Common.label;
           real_latency = real.Engine.mean_latency;

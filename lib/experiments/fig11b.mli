@@ -18,6 +18,7 @@ type bar = {
 type t = { bars : bar list; elements : int; budget : int }
 
 val run :
+  ?jobs:int ->
   ?runs:int ->
   ?seed:int ->
   ?elements:int ->

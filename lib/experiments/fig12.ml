@@ -30,7 +30,7 @@ let combos () =
     };
   ]
 
-let run ?(runs = 100) ?(seed = 23) ?(elements = 500) () =
+let run ?(jobs = 1) ?(runs = 100) ?(seed = 23) ?(elements = 500) () =
   let model = Common.estimated_model in
   let cells =
     List.concat_map
@@ -38,7 +38,7 @@ let run ?(runs = 100) ?(seed = 23) ?(elements = 500) () =
         List.map
           (fun combo ->
             let agg =
-              Common.measure ~runs ~seed ~elements ~budget ~model combo
+              Common.measure ~jobs ~runs ~seed ~elements ~budget ~model combo
             in
             {
               label = combo.Common.label;

@@ -18,7 +18,7 @@ type t = { cells : cell list; elements : int }
 val budgets : int list
 (** 500, 1000, 2000, 4000, 8000. *)
 
-val run : ?runs:int -> ?seed:int -> ?elements:int -> unit -> t
+val run : ?jobs:int -> ?runs:int -> ?seed:int -> ?elements:int -> unit -> t
 (** Defaults: 100 runs (as the paper), c0 = 500. *)
 
 val latency_series : t -> Common.series list

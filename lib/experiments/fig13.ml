@@ -18,7 +18,7 @@ let alloc_note combo ~elements ~budget =
   Format.asprintf "%s at c0=%d b=%d: %a" combo.Common.label elements budget
     Allocation.pp alloc
 
-let sweep ~runs ~seed ~x_label ~title points =
+let sweep ~jobs ~runs ~seed ~x_label ~title points =
   let model = Common.estimated_model in
   let combos = Common.standard_grid model in
   let cells =
@@ -27,7 +27,7 @@ let sweep ~runs ~seed ~x_label ~title points =
         List.map
           (fun combo ->
             let agg =
-              Common.measure ~runs ~seed ~elements ~budget ~model combo
+              Common.measure ~jobs ~runs ~seed ~elements ~budget ~model combo
             in
             { label = combo.Common.label; x; mean_latency = agg.Engine.mean_latency })
           combos)
@@ -44,13 +44,13 @@ let sweep ~runs ~seed ~x_label ~title points =
   in
   { cells; x_label; title; example_allocations }
 
-let run_a ?(runs = 100) ?(seed = 29) ?(budget = 4000) () =
-  sweep ~runs ~seed ~x_label:"c0"
+let run_a ?(jobs = 1) ?(runs = 100) ?(seed = 29) ?(budget = 4000) () =
+  sweep ~jobs ~runs ~seed ~x_label:"c0"
     ~title:(Printf.sprintf "Fig 13(a): latency (s) vs c0, b = %d" budget)
     (List.map (fun c0 -> (c0, c0, budget)) collection_sizes)
 
-let run_b ?(runs = 100) ?(seed = 31) ?(elements = 500) () =
-  sweep ~runs ~seed ~x_label:"budget"
+let run_b ?(jobs = 1) ?(runs = 100) ?(seed = 31) ?(elements = 500) () =
+  sweep ~jobs ~runs ~seed ~x_label:"budget"
     ~title:(Printf.sprintf "Fig 13(b): latency (s) vs budget, c0 = %d" elements)
     (List.map (fun b -> (b, elements, b)) budget_sweep)
 

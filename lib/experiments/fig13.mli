@@ -23,7 +23,7 @@ val collection_sizes : int list
 val budget_sweep : int list
 (** 500 ... 32000 (Fig. 13(b) x-axis). *)
 
-val run_a : ?runs:int -> ?seed:int -> ?budget:int -> unit -> t
-val run_b : ?runs:int -> ?seed:int -> ?elements:int -> unit -> t
+val run_a : ?jobs:int -> ?runs:int -> ?seed:int -> ?budget:int -> unit -> t
+val run_b : ?jobs:int -> ?runs:int -> ?seed:int -> ?elements:int -> unit -> t
 val series : t -> Common.series list
 val print : t -> unit

@@ -18,7 +18,8 @@ let budgets_b = [ 500; 1000; 2000; 3000; 4000; 6000; 8000; 12000; 16000 ]
 
 let model_for p = Model.power ~delta:239.0 ~alpha:0.06 ~p
 
-let run_a ?(runs = 100) ?(seed = 37) ?(elements = 500) ?(budget = 4000) () =
+let run_a ?(jobs = 1) ?(runs = 100) ?(seed = 37) ?(elements = 500) ?(budget = 4000)
+    () =
   let cells =
     List.concat_map
       (fun p ->
@@ -27,7 +28,7 @@ let run_a ?(runs = 100) ?(seed = 37) ?(elements = 500) ?(budget = 4000) () =
         List.map
           (fun combo ->
             let agg =
-              Common.measure ~runs ~seed ~elements ~budget ~model combo
+              Common.measure ~jobs ~runs ~seed ~elements ~budget ~model combo
             in
             (combo.Common.label, p, agg.Engine.mean_latency))
           combos)

@@ -28,7 +28,8 @@ val budgets_b : int list
 val model_for : float -> Crowdmax_latency.Model.t
 (** [239 + 0.06 q^p]. *)
 
-val run_a : ?runs:int -> ?seed:int -> ?elements:int -> ?budget:int -> unit -> t_a
+val run_a :
+  ?jobs:int -> ?runs:int -> ?seed:int -> ?elements:int -> ?budget:int -> unit -> t_a
 val run_b : ?elements:int -> unit -> t_b
 (** 14(b) is deterministic — tDP's allocation needs no replication. *)
 

@@ -13,7 +13,8 @@ type finding = {
 
 type t = { findings : finding list; elements : int; budget : int }
 
-let run ?(runs = 30) ?(seed = 41) ?(elements = 200) ?(budget = 1600) () =
+let run ?(jobs = 1) ?(runs = 30) ?(seed = 41) ?(elements = 200) ?(budget = 1600)
+    () =
   let model = Common.estimated_model in
   let allocators =
     ("tDP", fun ~elements ~budget ->
@@ -37,7 +38,7 @@ let run ?(runs = 30) ?(seed = 41) ?(elements = 200) ?(budget = 1600) () =
           let cfg =
             Engine.config ~allocation ~selection:sel ~latency_model:model ()
           in
-          let a = Engine.replicate ~runs ~seed cfg ~elements in
+          let a = Engine.replicate ~jobs ~runs ~seed cfg ~elements in
           Hashtbl.add memo key a;
           a
   in

@@ -16,7 +16,8 @@ type finding = {
 
 type t = { findings : finding list; elements : int; budget : int }
 
-val run : ?runs:int -> ?seed:int -> ?elements:int -> ?budget:int -> unit -> t
+val run :
+  ?jobs:int -> ?runs:int -> ?seed:int -> ?elements:int -> ?budget:int -> unit -> t
 (** Defaults: 30 runs, c0 = 200, b = 1600 (compact but representative). *)
 
 val print : t -> unit

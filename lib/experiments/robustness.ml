@@ -18,7 +18,8 @@ type t = { cells : cell list; elements : int; budget : int }
 let error_rates = [ 0.05; 0.1; 0.2; 0.3 ]
 let vote_counts = [ 1; 3; 5 ]
 
-let run ?(runs = 20) ?(seed = 43) ?(elements = 100) ?(budget = 800) () =
+let run ?(jobs = 1) ?(runs = 20) ?(seed = 43) ?(elements = 100) ?(budget = 800)
+    () =
   let model = Common.estimated_model in
   let sol = Tdp.solve (Problem.create ~elements ~budget ~latency:model) in
   let platform = Platform.create () in
@@ -38,7 +39,7 @@ let run ?(runs = 20) ?(seed = 43) ?(elements = 100) ?(budget = 800) () =
                 ~allocation:sol.Tdp.allocation ~selection:Selection.tournament
                 ~latency_model:model ()
             in
-            let agg = Engine.replicate ~runs ~seed cfg ~elements in
+            let agg = Engine.replicate ~jobs ~runs ~seed cfg ~elements in
             {
               error_rate;
               votes;

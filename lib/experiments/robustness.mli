@@ -22,7 +22,8 @@ val error_rates : float list
 val vote_counts : int list
 (** 1, 3, 5. *)
 
-val run : ?runs:int -> ?seed:int -> ?elements:int -> ?budget:int -> unit -> t
+val run :
+  ?jobs:int -> ?runs:int -> ?seed:int -> ?elements:int -> ?budget:int -> unit -> t
 (** Defaults: 20 runs, c0 = 100, b = 800. *)
 
 val print : t -> unit

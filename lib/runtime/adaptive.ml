@@ -108,31 +108,19 @@ let run rng ~problem ~selection truth =
     replans = !replans;
   }
 
-let replicate ~runs ~seed ~problem ~selection =
+let replicate ?(jobs = 1) ~runs ~seed ~problem ~selection () =
   if runs < 1 then invalid_arg "Adaptive.replicate: runs < 1";
-  let latencies = Array.make runs 0.0 in
-  let singles = ref 0 and corrects = ref 0 in
-  let questions = ref 0 and rounds = ref 0 in
-  let master = Rng.create seed in
-  for i = 0 to runs - 1 do
-    let rng = Rng.split master in
+  if jobs < 1 then invalid_arg "Adaptive.replicate: jobs < 1";
+  let t0 = Unix.gettimeofday () in
+  let rngs = Engine.per_run_rngs ~runs ~seed in
+  let one rng =
     let truth = Ground_truth.random rng problem.Problem.elements in
-    let r = (run rng ~problem ~selection truth).engine_result in
-    latencies.(i) <- r.Engine.total_latency;
-    if r.Engine.singleton then incr singles;
-    if r.Engine.correct then incr corrects;
-    questions := !questions + r.Engine.questions_posted;
-    rounds := !rounds + r.Engine.rounds_run
-  done;
-  let f = float_of_int in
-  {
-    Engine.runs;
-    mean_latency = Stats.mean latencies;
-    stddev_latency = Stats.stddev latencies;
-    median_latency = Stats.percentile latencies 50.0;
-    p95_latency = Stats.percentile latencies 95.0;
-    singleton_rate = f !singles /. f runs;
-    correct_rate = f !corrects /. f runs;
-    mean_questions = f !questions /. f runs;
-    mean_rounds = f !rounds /. f runs;
-  }
+    (run rng ~problem ~selection truth).engine_result
+  in
+  let results =
+    if jobs = 1 then Array.map one rngs
+    else Parallel.with_pool ~jobs (fun pool -> Parallel.map pool one rngs)
+  in
+  Engine.aggregate_results ~runs
+    ~timing:(Engine.make_timing ~jobs ~runs t0)
+    results

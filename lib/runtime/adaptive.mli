@@ -31,9 +31,13 @@ val run :
     the ground truth size differs from the problem's element count. *)
 
 val replicate :
+  ?jobs:int ->
   runs:int ->
   seed:int ->
   problem:Crowdmax_core.Problem.t ->
   selection:Crowdmax_selection.Selection.t ->
+  unit ->
   Engine.aggregate
-(** Aggregate adaptive runs over random ground truths. *)
+(** Aggregate adaptive runs over random ground truths. [jobs] fans runs
+    out across domains under the same determinism contract as
+    {!Engine.replicate}: statistics are bit-identical for any [jobs]. *)

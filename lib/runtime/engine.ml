@@ -160,6 +160,8 @@ let run rng cfg truth =
     trace = List.rev !trace;
   }
 
+type timing = { jobs : int; wall_seconds : float; runs_per_sec : float }
+
 type aggregate = {
   runs : int;
   mean_latency : float;
@@ -170,24 +172,36 @@ type aggregate = {
   correct_rate : float;
   mean_questions : float;
   mean_rounds : float;
+  timing : timing;
 }
 
-let replicate ~runs ~seed cfg ~elements =
-  if runs < 1 then invalid_arg "Engine.replicate: runs < 1";
-  let latencies = Array.make runs 0.0 in
-  let singles = ref 0 and corrects = ref 0 in
-  let questions = ref 0 and rounds = ref 0 in
+let equal_stats a b = { a with timing = b.timing } = b
+
+let make_timing ~jobs ~runs t0 =
+  let wall_seconds = Unix.gettimeofday () -. t0 in
+  {
+    jobs;
+    wall_seconds;
+    runs_per_sec = float_of_int runs /. Float.max wall_seconds 1e-9;
+  }
+
+(* Derive one rng per run from the master seed *sequentially*, whatever
+   the parallelism: run [i] consumes exactly the stream it would consume
+   in a [for]-loop over [Rng.split master], so the per-run results — and
+   therefore every aggregate below, which folds arrays in index order —
+   are bit-identical for any [jobs]. *)
+let per_run_rngs ~runs ~seed =
   let master = Rng.create seed in
+  let rngs = Array.make runs master in
   for i = 0 to runs - 1 do
-    let rng = Rng.split master in
-    let truth = Ground_truth.random rng elements in
-    let r = run rng cfg truth in
-    latencies.(i) <- r.total_latency;
-    if r.singleton then incr singles;
-    if r.correct then incr corrects;
-    questions := !questions + r.questions_posted;
-    rounds := !rounds + r.rounds_run
+    rngs.(i) <- Rng.split master
   done;
+  rngs
+
+let aggregate_results ~runs ~timing results =
+  let latencies = Array.map (fun r -> r.total_latency) results in
+  let count p = Array.fold_left (fun n r -> if p r then n + 1 else n) 0 results in
+  let sum p = Array.fold_left (fun n r -> n + p r) 0 results in
   let f = float_of_int in
   {
     runs;
@@ -195,8 +209,24 @@ let replicate ~runs ~seed cfg ~elements =
     stddev_latency = Stats.stddev latencies;
     median_latency = Stats.percentile latencies 50.0;
     p95_latency = Stats.percentile latencies 95.0;
-    singleton_rate = f !singles /. f runs;
-    correct_rate = f !corrects /. f runs;
-    mean_questions = f !questions /. f runs;
-    mean_rounds = f !rounds /. f runs;
+    singleton_rate = f (count (fun r -> r.singleton)) /. f runs;
+    correct_rate = f (count (fun r -> r.correct)) /. f runs;
+    mean_questions = f (sum (fun r -> r.questions_posted)) /. f runs;
+    mean_rounds = f (sum (fun r -> r.rounds_run)) /. f runs;
+    timing;
   }
+
+let replicate ?(jobs = 1) ~runs ~seed cfg ~elements =
+  if runs < 1 then invalid_arg "Engine.replicate: runs < 1";
+  if jobs < 1 then invalid_arg "Engine.replicate: jobs < 1";
+  let t0 = Unix.gettimeofday () in
+  let rngs = per_run_rngs ~runs ~seed in
+  let one rng =
+    let truth = Ground_truth.random rng elements in
+    run rng cfg truth
+  in
+  let results =
+    if jobs = 1 then Array.map one rngs
+    else Parallel.with_pool ~jobs (fun pool -> Parallel.map pool one rngs)
+  in
+  aggregate_results ~runs ~timing:(make_timing ~jobs ~runs t0) results

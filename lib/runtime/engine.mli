@@ -80,6 +80,15 @@ val run :
   Crowdmax_util.Rng.t -> config -> Crowdmax_crowd.Ground_truth.t -> result
 (** One complete MAX computation. Deterministic given the rng state. *)
 
+type timing = {
+  jobs : int;  (** domains the replicate call actually used *)
+  wall_seconds : float;  (** wall clock of the whole replicate call *)
+  runs_per_sec : float;
+}
+(** Observed throughput of a [replicate] call, so parallel speedups are
+    measured rather than asserted. Timing is the only part of an
+    aggregate that legitimately varies between identical calls. *)
+
 type aggregate = {
   runs : int;
   mean_latency : float;
@@ -90,13 +99,41 @@ type aggregate = {
   correct_rate : float;
   mean_questions : float;
   mean_rounds : float;
+  timing : timing;
 }
 
+val equal_stats : aggregate -> aggregate -> bool
+(** Equality of everything except [timing] — the determinism contract:
+    [equal_stats (replicate ~jobs:n ...) (replicate ~jobs:1 ...)] holds
+    bit-for-bit for any [n] on otherwise-equal arguments. *)
+
+val per_run_rngs : runs:int -> seed:int -> Crowdmax_util.Rng.t array
+(** One generator per run, split from [Rng.create seed] in run order.
+    Building block for [replicate]-style harnesses that must stay
+    deterministic under parallel execution: split first, fan out after. *)
+
+val make_timing : jobs:int -> runs:int -> float -> timing
+(** [make_timing ~jobs ~runs t0] closes a timing record opened at
+    [t0 = Unix.gettimeofday ()]. *)
+
+val aggregate_results : runs:int -> timing:timing -> result array -> aggregate
+(** Fold per-run results (in run order) into an aggregate. Raises through
+    [Stats] on an empty array. *)
+
 val replicate :
+  ?jobs:int ->
   runs:int ->
   seed:int ->
   config ->
   elements:int ->
   aggregate
 (** Run [runs] times on fresh random ground truths (seeds derived from
-    [seed]) and aggregate — the experiment harness's inner loop. *)
+    [seed]) and aggregate — the experiment harness's inner loop.
+
+    [jobs] (default 1) fans the runs out over that many OCaml domains.
+    Determinism contract: one rng per run is split from the master seed
+    {e sequentially} before anything executes, runs touch no shared
+    mutable state, and aggregates fold per-run results in run order — so
+    the statistical fields of the result are bit-identical for every
+    [jobs] value ({!equal_stats}). Raises [Invalid_argument] if
+    [runs < 1] or [jobs < 1]. *)

@@ -38,6 +38,9 @@ let aggregate_to_json (a : Engine.aggregate) =
       ("correct_rate", J.Float a.Engine.correct_rate);
       ("mean_questions", J.Float a.Engine.mean_questions);
       ("mean_rounds", J.Float a.Engine.mean_rounds);
+      ("jobs", J.int a.Engine.timing.Engine.jobs);
+      ("wall_seconds", J.Float a.Engine.timing.Engine.wall_seconds);
+      ("runs_per_sec", J.Float a.Engine.timing.Engine.runs_per_sec);
     ]
 
 (* --- decoding ------------------------------------------------------------ *)
@@ -99,6 +102,16 @@ let result_of_json doc =
       trace;
     }
 
+(* Timing fields were added after 1.0.0; default them so checkpoints
+   written by older builds still load. *)
+let optional_field name conv ~default doc =
+  match J.member name doc with
+  | None -> Ok default
+  | Some v -> (
+      match conv v with
+      | Some v -> Ok v
+      | None -> Error (Printf.sprintf "ill-typed field %S" name))
+
 let aggregate_of_json doc =
   let* runs = int_field "runs" doc in
   let* mean_latency = float_field "mean_latency" doc in
@@ -109,6 +122,9 @@ let aggregate_of_json doc =
   let* correct_rate = float_field "correct_rate" doc in
   let* mean_questions = float_field "mean_questions" doc in
   let* mean_rounds = float_field "mean_rounds" doc in
+  let* jobs = optional_field "jobs" J.to_int ~default:1 doc in
+  let* wall_seconds = optional_field "wall_seconds" J.to_float ~default:0.0 doc in
+  let* runs_per_sec = optional_field "runs_per_sec" J.to_float ~default:0.0 doc in
   Ok
     {
       Engine.runs;
@@ -120,4 +136,5 @@ let aggregate_of_json doc =
       correct_rate;
       mean_questions;
       mean_rounds;
+      timing = { Engine.jobs; wall_seconds; runs_per_sec };
     }

@@ -1,0 +1,48 @@
+(** Deterministic multicore fan-out on OCaml 5 domains.
+
+    A [pool] owns [jobs - 1] worker domains (the calling domain is the
+    [jobs]-th worker) that pull chunk tasks off a shared queue. [map] and
+    [init] split their index space into at most [jobs] contiguous chunks,
+    evaluate the chunks concurrently, and reassemble the results in index
+    order — so as long as [f i] does not depend on evaluation order
+    (e.g. every element owns its own [Rng.t]), the output is bit-identical
+    for any [jobs], including [jobs = 1] which runs inline without
+    spawning anything.
+
+    No dependencies beyond the stdlib ([Domain], [Mutex], [Condition]).
+    Exceptions raised by [f] are re-raised in the caller once all chunks
+    of the call have settled. Pools are small and cheap, but domains are
+    not free: prefer [with_pool] around a whole sweep over creating a
+    pool per call. *)
+
+type pool
+(** A fixed set of worker domains plus a shared task queue. *)
+
+val create : jobs:int -> pool
+(** [create ~jobs] spawns [jobs - 1] worker domains. [jobs] is clamped to
+    at least 1. Raises [Invalid_argument] if [jobs] exceeds 128 (a guard
+    against passing a run count where a domain count was meant). *)
+
+val jobs : pool -> int
+(** Worker parallelism of the pool (counting the calling domain). *)
+
+val shutdown : pool -> unit
+(** Joins all worker domains. The pool must not be used afterwards;
+    calling [shutdown] twice is safe. *)
+
+val with_pool : jobs:int -> (pool -> 'a) -> 'a
+(** [with_pool ~jobs f] runs [f] with a fresh pool and always shuts the
+    pool down, whether [f] returns or raises. *)
+
+val map : pool -> ('a -> 'b) -> 'a array -> 'b array
+(** [map pool f arr] is [Array.map f arr] with chunks of [arr] evaluated
+    on the pool's domains. Result order is the input order regardless of
+    scheduling. *)
+
+val init : pool -> int -> (int -> 'a) -> 'a array
+(** [init pool n f] is [Array.init n f] with the index range fanned out
+    across the pool. [f] must tolerate being called from any domain. *)
+
+val recommended_jobs : unit -> int
+(** [Domain.recommended_domain_count ()]: a sensible default for
+    [--jobs] when the user asks for "all cores". *)

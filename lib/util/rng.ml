@@ -21,10 +21,31 @@ let split t =
   let s = bits64 t in
   { state = s }
 
+(* Draws for [int] are 63-bit (the sign bit is shifted out), i.e. uniform
+   on [0, 2^63). [accept_max bound] is the largest draw that keeps the
+   accepted region [0 .. accept_max] an exact multiple of [bound] long:
+   2^63 - (2^63 mod bound) - 1. Taking [x mod bound] only for accepted
+   draws makes every residue equally likely — rejection sampling instead
+   of the modulo-biased [x mod bound] over the whole range. Fewer than
+   [bound] of the 2^63 draw values are ever rejected, so for the small
+   bounds this codebase uses the redraw probability is ~2^-50. *)
+let accept_max bound =
+  if bound <= 0 then invalid_arg "Rng.accept_max: bound must be positive";
+  let b = Int64.of_int bound in
+  (* 2^63 mod b, computed without leaving signed int64 range *)
+  let r = Int64.rem (Int64.add (Int64.rem Int64.max_int b) 1L) b in
+  Int64.sub Int64.max_int r
+
 let int t bound =
   if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
-  let mask = Int64.shift_right_logical (bits64 t) 1 in
-  Int64.to_int (Int64.rem mask (Int64.of_int bound))
+  let b = Int64.of_int bound in
+  let limit = accept_max bound in
+  let rec draw () =
+    let x = Int64.shift_right_logical (bits64 t) 1 in
+    if Int64.compare x limit <= 0 then Int64.to_int (Int64.rem x b)
+    else draw ()
+  in
+  draw ()
 
 let int_in t lo hi =
   if hi < lo then invalid_arg "Rng.int_in: empty range";

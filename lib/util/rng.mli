@@ -25,8 +25,17 @@ val bits64 : t -> int64
 (** Next raw 64-bit output. *)
 
 val int : t -> int -> int
-(** [int t bound] is uniform in [\[0, bound)]. Raises [Invalid_argument]
-    if [bound <= 0]. *)
+(** [int t bound] is uniform in [\[0, bound)] — exactly uniform, by
+    rejection sampling: 63-bit draws above {!accept_max}[ bound] are
+    redrawn rather than folded in by a biased modulo. Raises
+    [Invalid_argument] if [bound <= 0]. *)
+
+val accept_max : int -> int64
+(** [accept_max bound] is the largest 63-bit draw [int] accepts for
+    [bound]: [2^63 - (2^63 mod bound) - 1]. Exposed so property tests can
+    check the rejection bound ([accept_max + 1] is a multiple of [bound]
+    and fewer than [bound] draw values are rejected). Raises
+    [Invalid_argument] if [bound <= 0]. *)
 
 val int_in : t -> int -> int -> int
 (** [int_in t lo hi] is uniform in [\[lo, hi\]] (inclusive). Raises

@@ -24,8 +24,14 @@ let percentile xs p =
   let n = Array.length xs in
   if n = 0 then invalid_arg "Stats.percentile: empty";
   if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
+  (* Polymorphic [compare] is not a total order on floats with NaN
+     present (and boxes every element); a NaN would land at an arbitrary
+     position and silently corrupt every quantile, so reject it loudly
+     and sort with the primitive float comparison. *)
+  if Array.exists Float.is_nan xs then
+    invalid_arg "Stats.percentile: NaN in data";
   let sorted = Array.copy xs in
-  Array.sort compare sorted;
+  Array.sort Float.compare sorted;
   let rank = p /. 100.0 *. float_of_int (n - 1) in
   let lo = int_of_float (Float.floor rank) in
   let hi = int_of_float (Float.ceil rank) in

@@ -21,8 +21,9 @@ val stddev : float array -> float
 
 val percentile : float array -> float -> float
 (** [percentile xs p] for [p] in [\[0,100\]], linear interpolation between
-    order statistics. Raises [Invalid_argument] on an empty array or
-    out-of-range [p]. *)
+    order statistics, sorted with [Float.compare]. Raises
+    [Invalid_argument] on an empty array, out-of-range [p], or any NaN in
+    [xs] — a NaN has no rank, so quantiles over it would be garbage. *)
 
 type linear_fit = {
   intercept : float;

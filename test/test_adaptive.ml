@@ -68,9 +68,23 @@ let test_truth_size_mismatch () =
 
 let test_replicate () =
   let problem = Problem.create ~elements:30 ~budget:150 ~latency:model in
-  let agg = A.replicate ~runs:20 ~seed:13 ~problem ~selection:S.tournament in
+  let agg = A.replicate ~runs:20 ~seed:13 ~problem ~selection:S.tournament () in
   Alcotest.check (Alcotest.float 1e-9) "all correct" 1.0 agg.E.correct_rate;
   check_bool "positive latency" true (agg.E.mean_latency > 0.0)
+
+let test_replicate_parallel_deterministic () =
+  let problem = Problem.create ~elements:25 ~budget:120 ~latency:model in
+  let base = A.replicate ~runs:12 ~seed:21 ~problem ~selection:S.tournament () in
+  List.iter
+    (fun jobs ->
+      let agg =
+        A.replicate ~jobs ~runs:12 ~seed:21 ~problem ~selection:S.tournament ()
+      in
+      check_bool
+        (Printf.sprintf "jobs=%d matches sequential" jobs)
+        true
+        (E.equal_stats base agg))
+    [ 2; 4 ]
 
 let suite =
   [
@@ -82,5 +96,7 @@ let suite =
         tc "single element" `Quick test_single_element;
         tc "truth size mismatch" `Quick test_truth_size_mismatch;
         tc "replicate" `Quick test_replicate;
+        tc "replicate parallel deterministic" `Quick
+          test_replicate_parallel_deterministic;
       ] );
   ]

@@ -353,6 +353,51 @@ let prop_cost_frontier_pareto =
             pts)
         pts)
 
+let prop_rng_int_rejection_bound =
+  (* Rejection sampling invariants of Rng.int: accept_max + 1 is a
+     multiple of the bound (uniform residues), the rejected tail is
+     strictly shorter than the bound, and draws stay in range. *)
+  Q.Test.make ~name:"Rng.int rejection bound respected" ~count
+    (Q.make
+       ~print:(fun (s, b) -> Printf.sprintf "seed=%d bound=%d" s b)
+       Q.Gen.(
+         int_range 0 100000 >>= fun s ->
+         int_range 1 1000000 >>= fun b -> return (s, b)))
+    (fun (seed, bound) ->
+      let am = Rng.accept_max bound in
+      let b64 = Int64.of_int bound in
+      Int64.rem (Int64.add am 1L) b64 = 0L
+      && Int64.compare (Int64.sub Int64.max_int am) b64 < 0
+      &&
+      let rng = Rng.create seed in
+      let ok = ref true in
+      for _ = 1 to 50 do
+        let x = Rng.int rng bound in
+        if x < 0 || x >= bound then ok := false
+      done;
+      !ok)
+
+let prop_rng_split_streams_independent =
+  (* The determinism contract of Engine.replicate leans on split streams
+     being distinct: sibling splits from one master, and parent vs
+     child, must not collide over a prefix of draws. *)
+  Q.Test.make ~name:"Rng.split streams don't collide" ~count
+    (Q.make
+       ~print:(fun (s, k) -> Printf.sprintf "seed=%d splits=%d" s k)
+       Q.Gen.(
+         int_range 0 100000 >>= fun s ->
+         int_range 2 16 >>= fun k -> return (s, k)))
+    (fun (seed, k) ->
+      let master = Rng.create seed in
+      let children = Array.init k (fun _ -> Rng.split master) in
+      let prefix rng = Array.init 8 (fun _ -> Rng.bits64 rng) in
+      let streams = Array.map prefix children in
+      let master_stream = prefix master in
+      let distinct = Hashtbl.create 16 in
+      Array.iter (fun s -> Hashtbl.replace distinct s ()) streams;
+      Hashtbl.replace distinct master_stream ();
+      Hashtbl.length distinct = k + 1)
+
 let prop_selection_rounds_valid =
   Q.Test.make ~name:"every selector emits valid rounds" ~count:60
     (Q.make
@@ -402,6 +447,8 @@ let suite =
           prop_rwl_always_conflict_free;
           prop_topk_prefix_consistency;
           prop_cost_frontier_pareto;
+          prop_rng_int_rejection_bound;
+          prop_rng_split_streams_independent;
           prop_selection_rounds_valid;
         ] );
   ]

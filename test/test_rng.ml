@@ -61,6 +61,38 @@ let test_int_in_inclusive () =
   done;
   check Alcotest.bool "endpoints reachable" true (!seen_lo && !seen_hi)
 
+(* Rejection-sampling invariants: accept_max + 1 is an exact multiple of
+   the bound (so every accepted draw maps to a uniform residue), and the
+   rejected tail [accept_max + 1, 2^63) is shorter than one bound's worth
+   of values. Power-of-two bounds must never reject. *)
+let test_accept_max_invariants () =
+  List.iter
+    (fun bound ->
+      let am = Rng.accept_max bound in
+      let b = Int64.of_int bound in
+      check Alcotest.int64
+        (Printf.sprintf "accept_max+1 multiple of %d" bound)
+        0L
+        (Int64.rem (Int64.add am 1L) b);
+      check Alcotest.bool
+        (Printf.sprintf "tail shorter than bound for %d" bound)
+        true
+        (Int64.compare (Int64.sub Int64.max_int am) b < 0))
+    [ 1; 2; 3; 7; 10; 100; 1 lsl 20; (1 lsl 20) + 1; max_int ]
+
+let test_accept_max_power_of_two_no_rejection () =
+  List.iter
+    (fun bound ->
+      check Alcotest.int64
+        (Printf.sprintf "2^k bound %d accepts everything" bound)
+        Int64.max_int (Rng.accept_max bound))
+    [ 1; 2; 4; 1 lsl 10; 1 lsl 30; 1 lsl 61 ]
+
+let test_accept_max_rejects_bad_bound () =
+  Alcotest.check_raises "zero bound"
+    (Invalid_argument "Rng.accept_max: bound must be positive") (fun () ->
+      ignore (Rng.accept_max 0))
+
 let test_int_covers_range () =
   let rng = Rng.create 9 in
   let counts = Array.make 8 0 in
@@ -194,6 +226,11 @@ let suite =
         tc "int bounds" `Quick test_int_bounds;
         tc "int rejects bad bound" `Quick test_int_rejects_bad_bound;
         tc "int_in inclusive" `Quick test_int_in_inclusive;
+        tc "accept_max invariants" `Quick test_accept_max_invariants;
+        tc "accept_max powers of two" `Quick
+          test_accept_max_power_of_two_no_rejection;
+        tc "accept_max rejects bad bound" `Quick
+          test_accept_max_rejects_bad_bound;
         tc "int covers range" `Quick test_int_covers_range;
         tc "float bounds" `Quick test_float_bounds;
         tc "bernoulli extremes" `Quick test_bernoulli_extremes;

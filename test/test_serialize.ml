@@ -55,10 +55,42 @@ let test_aggregate_roundtrip () =
       correct_rate = 0.96875;
       mean_questions = 321.0;
       mean_rounds = 2.5;
+      timing = { E.jobs = 4; wall_seconds = 1.75; runs_per_sec = 17.14 };
     }
   in
   match Ser.aggregate_of_json (Ser.aggregate_to_json agg) with
   | Ok agg' -> check_bool "roundtrip" true (agg = agg')
+  | Error e -> Alcotest.fail e
+
+(* Checkpoints written before the timing record existed must still
+   load: the decoder defaults jobs/wall_seconds/runs_per_sec. *)
+let test_aggregate_pre_timing_compat () =
+  let agg =
+    {
+      E.runs = 10;
+      mean_latency = 50.0;
+      stddev_latency = 2.0;
+      median_latency = 49.0;
+      p95_latency = 55.0;
+      singleton_rate = 0.9;
+      correct_rate = 1.0;
+      mean_questions = 100.0;
+      mean_rounds = 3.0;
+      timing = { E.jobs = 1; wall_seconds = 0.0; runs_per_sec = 0.0 };
+    }
+  in
+  let stripped =
+    match Ser.aggregate_to_json agg with
+    | J.Obj fields ->
+        J.Obj
+          (List.filter
+             (fun (k, _) ->
+               k <> "jobs" && k <> "wall_seconds" && k <> "runs_per_sec")
+             fields)
+    | _ -> assert false
+  in
+  match Ser.aggregate_of_json stripped with
+  | Ok agg' -> check_bool "defaults applied" true (agg = agg')
   | Error e -> Alcotest.fail e
 
 let test_missing_field_reported () =
@@ -89,6 +121,8 @@ let suite =
         tc "result roundtrip" `Quick test_result_roundtrip;
         tc "result through text" `Quick test_result_roundtrip_through_text;
         tc "aggregate roundtrip" `Quick test_aggregate_roundtrip;
+        tc "aggregate pre-timing compat" `Quick
+          test_aggregate_pre_timing_compat;
         tc "missing field" `Quick test_missing_field_reported;
         tc "ill-typed field" `Quick test_ill_typed_field_reported;
       ] );

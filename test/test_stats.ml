@@ -36,6 +36,30 @@ let test_percentile_rejects () =
     (Invalid_argument "Stats.percentile: p out of range") (fun () ->
       ignore (Stats.percentile [| 1.0 |] 101.0))
 
+(* Polymorphic compare is not a total order once NaN is in play: the old
+   sort could leave NaN anywhere and silently return garbage quantiles.
+   NaN input must now be rejected outright, wherever it hides. *)
+let test_percentile_rejects_nan () =
+  List.iter
+    (fun xs ->
+      Alcotest.check_raises "NaN rejected"
+        (Invalid_argument "Stats.percentile: NaN in data") (fun () ->
+          ignore (Stats.percentile xs 50.0)))
+    [
+      [| Float.nan |];
+      [| 1.0; Float.nan; 3.0 |];
+      [| Float.nan; Float.nan |];
+      [| 1.0; 2.0; 0.0 /. 0.0 |];
+    ]
+
+let test_percentile_negative_zero_and_infinities () =
+  (* Float.compare orders -0. before 0. and handles infinities; the
+     result must still be a sane order statistic. *)
+  checkf "infinities ordered" 1.0
+    (Stats.percentile [| Float.infinity; 1.0; Float.neg_infinity |] 50.0);
+  checkf "p0 is neg infinity" Float.neg_infinity
+    (Stats.percentile [| 0.0; Float.neg_infinity |] 0.0)
+
 let test_summarize () =
   let s = Stats.summarize [| 3.0; 1.0; 2.0 |] in
   Alcotest.check Alcotest.int "n" 3 s.Stats.n;
@@ -110,6 +134,9 @@ let suite =
         tc "stddev" `Quick test_stddev;
         tc "percentile" `Quick test_percentile;
         tc "percentile rejects" `Quick test_percentile_rejects;
+        tc "percentile rejects NaN" `Quick test_percentile_rejects_nan;
+        tc "percentile -0/inf" `Quick
+          test_percentile_negative_zero_and_infinities;
         tc "summarize" `Quick test_summarize;
         tc "linear regression exact" `Quick test_linear_regression_exact;
         tc "linear regression noise" `Quick test_linear_regression_noise;
