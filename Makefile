@@ -13,10 +13,14 @@ bench:
 
 # The CI gate: full build, the whole test suite, and a smoke-scale pass
 # through the bechamel harness so the bench executable stays runnable.
+# The engine-throughput pass prints current-vs-committed runs/sec
+# (informational, never failing) without touching BENCH_engine.json.
 ci:
 	dune build @all
 	dune runtest
 	CROWDMAX_BENCH_RUNS=2 dune exec bench/main.exe -- micro
+	CROWDMAX_ENGINE_BENCH_SECS=0.3 CROWDMAX_ENGINE_BENCH_WRITE=0 \
+		dune exec bench/main.exe -- engine
 
 clean:
 	dune clean

@@ -401,6 +401,209 @@ let figures () =
   fig15 ();
   findings ()
 
+(* --- engine throughput bench -------------------------------------------- *)
+
+(* Times full [Engine.run] calls (runs/sec) on the hot path the sweeps
+   are gated on, and records the result in BENCH_engine.json so the perf
+   trajectory of the engine is tracked across PRs. Smoke-scale in CI via
+   CROWDMAX_ENGINE_BENCH_SECS; CROWDMAX_ENGINE_BENCH_WRITE=0 keeps CI
+   from overwriting the committed baseline. *)
+
+let engine_bench_file = "BENCH_engine.json"
+
+let engine_bench_secs =
+  match Sys.getenv_opt "CROWDMAX_ENGINE_BENCH_SECS" with
+  | None -> 1.0
+  | Some s -> (
+      match float_of_string_opt (String.trim s) with
+      | Some f when f > 0.0 -> f
+      | _ ->
+          Printf.eprintf
+            "bench: CROWDMAX_ENGINE_BENCH_SECS must be a positive number, got %S\n"
+            s;
+          exit 2)
+
+let engine_bench_write =
+  match Sys.getenv_opt "CROWDMAX_ENGINE_BENCH_WRITE" with
+  | Some ("0" | "false" | "no") -> false
+  | _ -> true
+
+type engine_bench_row = {
+  eb_n : int;
+  eb_source : string;
+  eb_selector : string;
+  eb_runs : int;
+  eb_wall : float;
+  eb_rps : float;
+}
+
+let engine_bench_cases () =
+  let module P = Crowdmax_crowd.Platform in
+  List.concat_map
+    (fun n ->
+      let b = 8 * n in
+      let sol = Tdp.solve (Problem.create ~elements:n ~budget:b ~latency:model) in
+      let oracle =
+        Engine.config ~allocation:sol.Tdp.allocation
+          ~selection:Selection.tournament ~latency_model:model ()
+      in
+      let simulated =
+        Engine.config
+          ~source:
+            (Engine.Simulated
+               {
+                 platform = P.create ();
+                 rwl = { Rwl.votes = 3; error = W.Uniform 0.15 };
+               })
+          ~allocation:sol.Tdp.allocation ~selection:Selection.tournament
+          ~latency_model:model ()
+      in
+      [ (n, "oracle", oracle); (n, "simulated", simulated) ])
+    [ 50; 100; 500 ]
+
+(* Three equal measurement windows per case; the reported runs/sec is the
+   best window. CPU frequency on shared boxes wanders by double-digit
+   percentages between seconds, so a single window measures the box's
+   mood as much as the code; the best window is the stablest estimate of
+   what the code can do. [eb_runs] / [eb_wall] stay totals over all
+   windows. *)
+let engine_bench_windows = 3
+
+let engine_bench_measure (n, source, cfg) =
+  let master = Rng.create 99 in
+  let window_secs = engine_bench_secs /. float_of_int engine_bench_windows in
+  let total_runs = ref 0 in
+  let best_rps = ref 0.0 in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to engine_bench_windows do
+    let w0 = Unix.gettimeofday () in
+    let deadline = w0 +. window_secs in
+    let count = ref 0 in
+    let continue_ = ref true in
+    while !continue_ do
+      let rng = Rng.split master in
+      let truth = G.random rng n in
+      ignore (Engine.run rng cfg truth);
+      incr count;
+      if !count >= 3 && Unix.gettimeofday () >= deadline then
+        continue_ := false
+    done;
+    let wall = Unix.gettimeofday () -. w0 in
+    let rps = float_of_int !count /. Float.max wall 1e-9 in
+    total_runs := !total_runs + !count;
+    if rps > !best_rps then best_rps := rps
+  done;
+  let wall = Unix.gettimeofday () -. t0 in
+  {
+    eb_n = n;
+    eb_source = source;
+    eb_selector = "Tournament";
+    eb_runs = !total_runs;
+    eb_wall = wall;
+    eb_rps = !best_rps;
+  }
+
+let engine_bench_json rows =
+  let module J = Crowdmax_util.Json in
+  J.Obj
+    [
+      ("schema", J.String "crowdmax-bench-engine/v1");
+      ("windows_per_case", J.int engine_bench_windows);
+      ( "results",
+        J.List
+          (List.map
+             (fun r ->
+               J.Obj
+                 [
+                   ("n", J.int r.eb_n);
+                   ("source", J.String r.eb_source);
+                   ("selector", J.String r.eb_selector);
+                   ("runs", J.int r.eb_runs);
+                   ("wall_seconds", J.Float r.eb_wall);
+                   ("runs_per_sec", J.Float r.eb_rps);
+                 ])
+             rows) );
+    ]
+
+(* The committed baseline, as (n, source, selector) -> runs/sec. *)
+let engine_bench_baseline () =
+  let module J = Crowdmax_util.Json in
+  if not (Sys.file_exists engine_bench_file) then []
+  else
+    let ic = open_in engine_bench_file in
+    let len = in_channel_length ic in
+    let s = really_input_string ic len in
+    close_in ic;
+    match J.member "results" (J.of_string s) with
+    | Some (J.List rows) ->
+        List.filter_map
+          (fun row ->
+            match
+              ( Option.bind (J.member "n" row) J.to_int,
+                Option.bind (J.member "source" row) J.to_str,
+                Option.bind (J.member "selector" row) J.to_str,
+                Option.bind (J.member "runs_per_sec" row) J.to_float )
+            with
+            | Some n, Some src, Some sel, Some rps -> Some ((n, src, sel), rps)
+            | _ -> None)
+          rows
+    | _ -> []
+
+let engine_bench () =
+  (* A run allocates tens of KB (truth, DAG, question list); with the
+     default 2 MB minor heap the GC cadence becomes part of the
+     measurement. A larger minor heap makes the numbers about the engine,
+     not the collector's default tuning. *)
+  Gc.set { (Gc.get ()) with Gc.minor_heap_size = 4 * 1024 * 1024 };
+  section
+    (Printf.sprintf
+       "engine throughput (runs/sec, best of %d windows, >= %.2f s per case)"
+       engine_bench_windows engine_bench_secs);
+  let baseline =
+    try engine_bench_baseline ()
+    with _ ->
+      Printf.eprintf "bench: could not parse %s; ignoring baseline\n"
+        engine_bench_file;
+      []
+  in
+  let rows = List.map engine_bench_measure (engine_bench_cases ()) in
+  let table =
+    Crowdmax_util.Table.create
+      [ ("n", Crowdmax_util.Table.Right);
+        ("source", Crowdmax_util.Table.Left);
+        ("selector", Crowdmax_util.Table.Left);
+        ("runs", Crowdmax_util.Table.Right);
+        ("runs/sec", Crowdmax_util.Table.Right);
+        ("committed", Crowdmax_util.Table.Right);
+        ("speedup", Crowdmax_util.Table.Right) ]
+  in
+  List.iter
+    (fun r ->
+      let old = List.assoc_opt (r.eb_n, r.eb_source, r.eb_selector) baseline in
+      Crowdmax_util.Table.add_row table
+        [
+          string_of_int r.eb_n; r.eb_source; r.eb_selector;
+          string_of_int r.eb_runs;
+          Printf.sprintf "%.1f" r.eb_rps;
+          (match old with Some o -> Printf.sprintf "%.1f" o | None -> "-");
+          (match old with
+          | Some o when o > 0.0 -> Printf.sprintf "%.2fx" (r.eb_rps /. o)
+          | _ -> "-");
+        ])
+    rows;
+  Crowdmax_util.Table.print table;
+  if engine_bench_write then begin
+    let oc = open_out engine_bench_file in
+    output_string oc
+      (Crowdmax_util.Json.to_string ~pretty:true (engine_bench_json rows));
+    output_char oc '\n';
+    close_out oc;
+    Printf.printf "wrote %s\n%!" engine_bench_file
+  end
+  else
+    Printf.printf "(CROWDMAX_ENGINE_BENCH_WRITE=0: %s left untouched)\n%!"
+      engine_bench_file
+
 (* --- bechamel micro-benchmarks ------------------------------------------ *)
 
 open Bechamel
@@ -583,6 +786,7 @@ let () =
       ("fig13a", fig13a); ("fig13b", fig13b); ("fig14a", fig14a);
       ("fig14b", fig14b); ("fig15", fig15); ("findings", findings);
       ("figures", figures); ("ablations", ablations); ("micro", micro);
+      ("engine", engine_bench);
     ]
   in
   match args with

@@ -12,11 +12,26 @@ let check_permutation ranks =
       seen.(r) <- true)
     ranks
 
+(* Explicit loop rather than [Array.map float_of_int]: the polymorphic
+   map boxes every float on the way into the flat result array. *)
+let float_ranks ranks =
+  let n = Array.length ranks in
+  let values = Array.make n 0.0 in
+  for i = 0 to n - 1 do
+    Array.unsafe_set values i (float_of_int (Array.unsafe_get ranks i))
+  done;
+  values
+
 let of_ranks ranks =
   check_permutation ranks;
-  { ranks = Array.copy ranks; values = Array.map float_of_int ranks }
+  { ranks = Array.copy ranks; values = float_ranks ranks }
 
-let random rng n = of_ranks (Rng.permutation rng n)
+let random rng n =
+  (* [Rng.permutation] is a permutation by construction: skip the
+     validation pass and defensive copy that [of_ranks] owes arbitrary
+     caller arrays. *)
+  let ranks = Rng.permutation rng n in
+  { ranks; values = float_ranks ranks }
 
 let with_values rng n ~lo ~hi =
   if lo <= 0.0 || hi < lo then invalid_arg "Ground_truth.with_values: bad range";
@@ -28,12 +43,17 @@ let with_values rng n ~lo ~hi =
   (* Rank elements by value; perturb exact ties deterministically by id
      so ranks stay a strict order. *)
   let order = Array.init n (fun i -> i) in
-  Array.sort (fun a b -> compare (raw.(a), a) (raw.(b), b)) order;
+  Array.sort
+    (fun a b ->
+      let c = Float.compare raw.(a) raw.(b) in
+      if c <> 0 then c else Int.compare a b)
+    order;
   let ranks = Array.make n 0 in
   Array.iteri (fun pos e -> ranks.(e) <- pos) order;
   { ranks; values = raw }
 
 let size t = Array.length t.ranks
+let ranks t = t.ranks
 
 let rank t e =
   if e < 0 || e >= size t then invalid_arg "Ground_truth.rank: out of range";
@@ -50,11 +70,16 @@ let max_element t =
 
 let better t a b =
   if a = b then invalid_arg "Ground_truth.better: same element";
-  if rank t a > rank t b then a else b
+  (* One combined range check instead of two [rank] calls: this sits on
+     the oracle answer hot path. *)
+  let n = Array.length t.ranks in
+  if a < 0 || a >= n || b < 0 || b >= n then
+    invalid_arg "Ground_truth.rank: out of range";
+  if Array.unsafe_get t.ranks a > Array.unsafe_get t.ranks b then a else b
 
-let compare_elements t a b = compare (rank t a) (rank t b)
+let compare_elements t a b = Int.compare (rank t a) (rank t b)
 
 let sorted_desc t =
   let order = Array.init (size t) (fun i -> i) in
-  Array.sort (fun a b -> compare t.ranks.(b) t.ranks.(a)) order;
+  Array.sort (fun a b -> Int.compare t.ranks.(b) t.ranks.(a)) order;
   order

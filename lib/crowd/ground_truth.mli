@@ -21,7 +21,14 @@ val with_values : Crowdmax_util.Rng.t -> int -> lo:float -> hi:float -> t
     [\[lo, hi\]] and ranked by value (think car prices). *)
 
 val size : t -> int
+
 val rank : t -> int -> int
+
+val ranks : t -> int array
+(** The underlying rank array ([ranks t].(e) = [rank t e]), exposed for
+    hot loops that compare many pairs (the oracle answer path); treat it
+    as read-only — mutating it corrupts the truth. *)
+
 val value : t -> int -> float
 (** Element's attached value; defaults to [float_of_int (rank t e)] when
     built without values. *)

@@ -1,52 +1,172 @@
+(* Flat structure-of-arrays answer graph. The previous representation
+   kept one (int, unit) Hashtbl per element for wins and one for losses;
+   per-run construction then paid 2n hashtable allocations plus hashing
+   on every answer, and the candidate set was rescanned O(n) on every
+   query. Here:
+
+   - adjacency is a single grow-on-demand edge pool with intrusive
+     head/next int-array chains per element (one chain over winners, one
+     over losers), so recording an answer is a handful of int stores and
+     allocation-free outside amortized pool doubling;
+   - direct-loss membership is a bitset row per element (32 bits per
+     word, so word and bit indices are a shift and a mask, not a
+     division);
+   - the loss count per element is maintained on add;
+   - the candidate set is a bitset plus a count, cleared incrementally
+     as elements take their first loss, so remaining_candidates /
+     candidates read maintained state in O(n/32 + candidates) ascending
+     and is_singleton / winner are O(1). *)
+
+type ext = ..
+type ext += Ext_none
+
 type t = {
   n : int;
-  wins : (int, unit) Hashtbl.t array; (* wins.(a) holds b iff a beat b directly *)
-  lost_to : (int, unit) Hashtbl.t array; (* lost_to.(b) holds a iff a beat b directly *)
-  mutable answer_count : int;
+  words : int; (* 32-bit words per loss-bitset row: (n + 31) / 32 *)
+  mutable answer_count : int; (* = edges used in the pool *)
+  win_head : int array; (* first edge won by the element; -1 = none *)
+  loss_head : int array; (* first edge lost by the element; -1 = none *)
+  (* Edge [e] records (winner, loser): [edge_loser.(e)] chained through
+     [win_next.(e)] from [win_head.(winner)], and [edge_winner.(e)]
+     chained through [loss_next.(e)] from [loss_head.(loser)]. *)
+  mutable edge_winner : int array;
+  mutable edge_loser : int array;
+  mutable win_next : int array;
+  mutable loss_next : int array;
+  loss_count : int array; (* direct-loss count, maintained on add *)
+  loss_bits : int array; (* flat n*words; row b bit a set iff a beat b *)
+  cand_bits : int array; (* words-long bitset: bit x set iff x unbeaten *)
+  mutable cand_count : int;
+  mutable scratch_desc : int array; (* reused by transitive_win_counts *)
+  mutable ext : ext; (* derived-data cache slot (see Scoring) *)
 }
 
 exception Cycle of int * int
 
-let create n =
+let create ?(edge_capacity = 0) n =
   if n < 0 then invalid_arg "Answer_dag.create: negative size";
+  if edge_capacity < 0 then
+    invalid_arg "Answer_dag.create: negative edge_capacity";
+  let words = (n + 31) / 32 in
+  let pool = Array.make edge_capacity (-1) in
   {
     n;
-    wins = Array.init n (fun _ -> Hashtbl.create 4);
-    lost_to = Array.init n (fun _ -> Hashtbl.create 4);
+    words;
     answer_count = 0;
+    win_head = Array.make n (-1);
+    loss_head = Array.make n (-1);
+    edge_winner = pool;
+    edge_loser = Array.copy pool;
+    win_next = Array.copy pool;
+    loss_next = Array.copy pool;
+    loss_count = Array.make n 0;
+    loss_bits = Array.make (n * words) 0;
+    cand_bits =
+      Array.init words (fun w ->
+          let bits_here = min 32 (n - (w lsl 5)) in
+          if bits_here = 32 then 0xFFFFFFFF else (1 lsl bits_here) - 1);
+    cand_count = n;
+    scratch_desc = [||];
+    ext = Ext_none;
   }
 
 let size t = t.n
 
 let copy t =
+  let m = t.answer_count in
   {
     n = t.n;
-    wins = Array.map Hashtbl.copy t.wins;
-    lost_to = Array.map Hashtbl.copy t.lost_to;
-    answer_count = t.answer_count;
+    words = t.words;
+    answer_count = m;
+    win_head = Array.copy t.win_head;
+    loss_head = Array.copy t.loss_head;
+    edge_winner = Array.sub t.edge_winner 0 m;
+    edge_loser = Array.sub t.edge_loser 0 m;
+    win_next = Array.sub t.win_next 0 m;
+    loss_next = Array.sub t.loss_next 0 m;
+    loss_count = Array.copy t.loss_count;
+    loss_bits = Array.copy t.loss_bits;
+    cand_bits = Array.copy t.cand_bits;
+    cand_count = t.cand_count;
+    scratch_desc = [||];
+    (* Derived caches must not be shared: the copy diverges from the
+       original, and answer_count alone cannot tell their states apart. *)
+    ext = Ext_none;
   }
 
+let ext t = t.ext
+let set_ext t e = t.ext <- e
+
 let check_id t x name =
-  if x < 0 || x >= t.n then invalid_arg ("Answer_dag: out-of-range element in " ^ name)
+  if x < 0 || x >= t.n then
+    invalid_arg ("Answer_dag: out-of-range element in " ^ name)
+
+(* Direct-loss membership: does [winner] beat [loser] directly? *)
+let mem_edge t ~winner ~loser =
+  Array.unsafe_get t.loss_bits ((loser * t.words) + (winner lsr 5))
+  land (1 lsl (winner land 31))
+  <> 0
 
 let beats_directly t a b =
   check_id t a "beats_directly";
   check_id t b "beats_directly";
-  Hashtbl.mem t.wins.(a) b
+  mem_edge t ~winner:a ~loser:b
 
-(* DFS over direct wins; the graph is acyclic so plain visited-set DFS
+let grow_pool t =
+  let cap = Array.length t.edge_winner in
+  let cap' = if cap = 0 then 64 else 2 * cap in
+  let extend arr =
+    let arr' = Array.make cap' (-1) in
+    Array.blit arr 0 arr' 0 cap;
+    arr'
+  in
+  t.edge_winner <- extend t.edge_winner;
+  t.edge_loser <- extend t.edge_loser;
+  t.win_next <- extend t.win_next;
+  t.loss_next <- extend t.loss_next
+
+(* Clear [x]'s candidate bit; called exactly once per element, on its
+   first loss. *)
+let remove_candidate t x =
+  let w = x lsr 5 in
+  Array.unsafe_set t.cand_bits w
+    (Array.unsafe_get t.cand_bits w land lnot (1 lsl (x land 31)));
+  t.cand_count <- t.cand_count - 1
+
+let iter_wins t x f =
+  check_id t x "iter_wins";
+  let e = ref (Array.unsafe_get t.win_head x) in
+  while !e >= 0 do
+    f (Array.unsafe_get t.edge_loser !e);
+    e := Array.unsafe_get t.win_next !e
+  done
+
+let iter_lost_to t x f =
+  check_id t x "iter_lost_to";
+  let e = ref (Array.unsafe_get t.loss_head x) in
+  while !e >= 0 do
+    f (Array.unsafe_get t.edge_winner !e);
+    e := Array.unsafe_get t.loss_next !e
+  done
+
+(* DFS over direct wins; the graph is acyclic so visited-marking DFS
    terminates. *)
 let beats t a b =
   check_id t a "beats";
   check_id t b "beats";
-  let visited = Hashtbl.create 16 in
+  let visited = Bytes.make t.n '\000' in
   let rec dfs x =
-    if x = b then true
-    else if Hashtbl.mem visited x then false
-    else begin
-      Hashtbl.add visited x ();
-      Hashtbl.fold (fun y () acc -> acc || dfs y) t.wins.(x) false
-    end
+    x = b
+    || Bytes.unsafe_get visited x = '\000'
+       && begin
+            Bytes.unsafe_set visited x '\001';
+            let rec scan e =
+              e >= 0
+              && (dfs (Array.unsafe_get t.edge_loser e)
+                 || scan (Array.unsafe_get t.win_next e))
+            in
+            scan (Array.unsafe_get t.win_head x)
+          end
   in
   a <> b && dfs a
 
@@ -54,58 +174,106 @@ let add_answer_unchecked t ~winner ~loser =
   check_id t winner "add_answer";
   check_id t loser "add_answer";
   if winner = loser then invalid_arg "Answer_dag.add_answer: self-comparison";
-  if not (Hashtbl.mem t.wins.(winner) loser) then begin
-    Hashtbl.replace t.wins.(winner) loser ();
-    Hashtbl.replace t.lost_to.(loser) winner ();
-    t.answer_count <- t.answer_count + 1
+  if not (mem_edge t ~winner ~loser) then begin
+    (* check_id above bounds winner/loser, grow_pool bounds [e], and the
+       bitset word index is < n*words by construction, so the stores
+       below cannot go out of range. *)
+    let w = (loser * t.words) + (winner lsr 5) in
+    Array.unsafe_set t.loss_bits w
+      (Array.unsafe_get t.loss_bits w lor (1 lsl (winner land 31)));
+    let e = t.answer_count in
+    if e = Array.length t.edge_winner then grow_pool t;
+    Array.unsafe_set t.edge_winner e winner;
+    Array.unsafe_set t.edge_loser e loser;
+    Array.unsafe_set t.win_next e (Array.unsafe_get t.win_head winner);
+    Array.unsafe_set t.win_head winner e;
+    Array.unsafe_set t.loss_next e (Array.unsafe_get t.loss_head loser);
+    Array.unsafe_set t.loss_head loser e;
+    let lc = Array.unsafe_get t.loss_count loser + 1 in
+    Array.unsafe_set t.loss_count loser lc;
+    if lc = 1 then remove_candidate t loser;
+    t.answer_count <- e + 1
   end
 
 let add_answer t ~winner ~loser =
   check_id t winner "add_answer";
   check_id t loser "add_answer";
   if winner = loser then invalid_arg "Answer_dag.add_answer: self-comparison";
-  if Hashtbl.mem t.wins.(winner) loser then ()
+  if mem_edge t ~winner ~loser then ()
   else if beats t loser winner then raise (Cycle (winner, loser))
   else add_answer_unchecked t ~winner ~loser
 
 let losses t x =
   check_id t x "losses";
-  Hashtbl.length t.lost_to.(x)
+  t.loss_count.(x)
 
 let direct_wins t x =
-  check_id t x "direct_wins";
-  Hashtbl.fold (fun y () acc -> y :: acc) t.wins.(x) []
+  let acc = ref [] in
+  iter_wins t x (fun y -> acc := y :: !acc);
+  !acc
 
 let direct_losses_to t x =
-  check_id t x "direct_losses_to";
-  Hashtbl.fold (fun y () acc -> y :: acc) t.lost_to.(x) []
+  let acc = ref [] in
+  iter_lost_to t x (fun y -> acc := y :: !acc);
+  !acc
+
+let candidate_count t = t.cand_count
+
+let candidates t =
+  let out = Array.make t.cand_count 0 in
+  let k = ref 0 in
+  for w = 0 to t.words - 1 do
+    let b = Array.unsafe_get t.cand_bits w in
+    if b <> 0 then
+      for j = 0 to 31 do
+        if b land (1 lsl j) <> 0 then begin
+          Array.unsafe_set out !k ((w lsl 5) + j);
+          incr k
+        end
+      done
+  done;
+  out
 
 let remaining_candidates t =
-  let rec loop acc i =
-    if i < 0 then acc
-    else if Hashtbl.length t.lost_to.(i) = 0 then loop (i :: acc) (i - 1)
-    else loop acc (i - 1)
-  in
-  loop [] (t.n - 1)
+  let acc = ref [] in
+  for w = t.words - 1 downto 0 do
+    let b = Array.unsafe_get t.cand_bits w in
+    if b <> 0 then
+      for j = 31 downto 0 do
+        if b land (1 lsl j) <> 0 then acc := ((w lsl 5) + j) :: !acc
+      done
+  done;
+  !acc
 
-let is_singleton t =
-  match remaining_candidates t with [ _ ] -> true | _ -> false
+let is_singleton t = t.cand_count = 1
 
-let winner t = match remaining_candidates t with [ w ] -> Some w | _ -> None
+let winner t =
+  if t.cand_count <> 1 then None
+  else begin
+    let found = ref 0 in
+    for w = 0 to t.words - 1 do
+      let b = Array.unsafe_get t.cand_bits w in
+      if b <> 0 then
+        for j = 0 to 31 do
+          if b land (1 lsl j) <> 0 then found := (w lsl 5) + j
+        done
+    done;
+    Some !found
+  end
 
 let answers t =
-  let acc = ref [] in
-  Array.iteri
-    (fun a tbl -> Hashtbl.iter (fun b () -> acc := (a, b) :: !acc) tbl)
-    t.wins;
-  !acc
+  let rec loop acc e =
+    if e < 0 then acc
+    else loop ((t.edge_winner.(e), t.edge_loser.(e)) :: acc) (e - 1)
+  in
+  loop [] (t.answer_count - 1)
 
 let answer_count t = t.answer_count
 
 let topological_order t =
   (* Kahn's algorithm on the win relation: sources are elements nobody
      beat, i.e. the remaining candidates. *)
-  let indeg = Array.init t.n (fun i -> Hashtbl.length t.lost_to.(i)) in
+  let indeg = Array.copy t.loss_count in
   let queue = Queue.create () in
   Array.iteri (fun i d -> if d = 0 then Queue.add i queue) indeg;
   let order = Array.make t.n 0 in
@@ -114,40 +282,42 @@ let topological_order t =
     let x = Queue.pop queue in
     order.(!k) <- x;
     incr k;
-    Hashtbl.iter
-      (fun y () ->
+    iter_wins t x (fun y ->
         indeg.(y) <- indeg.(y) - 1;
         if indeg.(y) = 0 then Queue.add y queue)
-      t.wins.(x)
   done;
   assert (!k = t.n);
   order
 
 let transitive_win_counts t =
   (* Process in reverse topological order (losers first) accumulating
-     descendant sets as bitsets packed in Bytes. *)
+     descendant sets as flat 32-bit-word bitsets; the per-dag scratch is
+     reused across calls (dags are confined to one domain). *)
   let order = topological_order t in
-  let words = (t.n + 62) / 63 in
-  let desc = Array.make t.n [||] in
+  let words = t.words in
+  if Array.length t.scratch_desc < t.n * words then
+    t.scratch_desc <- Array.make (t.n * words) 0
+  else Array.fill t.scratch_desc 0 (t.n * words) 0;
+  let desc = t.scratch_desc in
   let counts = Array.make t.n 0 in
   for idx = t.n - 1 downto 0 do
     let x = order.(idx) in
-    let set = Array.make words 0 in
-    Hashtbl.iter
-      (fun y () ->
-        set.(y / 63) <- set.(y / 63) lor (1 lsl (y mod 63));
-        Array.iteri (fun w bits -> set.(w) <- set.(w) lor bits) desc.(y))
-      t.wins.(x);
-    desc.(x) <- set;
+    let base = x * words in
+    iter_wins t x (fun y ->
+        desc.(base + (y lsr 5)) <-
+          desc.(base + (y lsr 5)) lor (1 lsl (y land 31));
+        let yb = y * words in
+        for w = 0 to words - 1 do
+          desc.(base + w) <- desc.(base + w) lor desc.(yb + w)
+        done);
     let c = ref 0 in
-    Array.iter
-      (fun bits ->
-        let b = ref bits in
-        while !b <> 0 do
-          b := !b land (!b - 1);
-          incr c
-        done)
-      set;
+    for w = 0 to words - 1 do
+      let b = ref desc.(base + w) in
+      while !b <> 0 do
+        b := !b land (!b - 1);
+        incr c
+      done
+    done;
     counts.(x) <- !c
   done;
   counts

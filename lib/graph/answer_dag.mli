@@ -6,13 +6,29 @@
     outgoing edge in the paper's orientation — i.e. the elements that have
     not lost any comparison. Because answers come from a strict total
     order (via the RWL), the graph is acyclic; [add_answer] enforces this
-    and rejects answers that would close a cycle. *)
+    and rejects answers that would close a cycle.
+
+    Representation: flat structure-of-arrays — a grow-on-demand edge
+    pool with intrusive head/next int-array adjacency chains, a 32-bit
+    word direct-loss bitset per element, an incrementally maintained
+    loss-count array, and a sorted candidate array updated as elements
+    take their first loss. Recording an answer is O(1) amortized and
+    allocation-free once the pool has grown; candidate queries read
+    maintained state ([remaining_candidates] is O(candidates),
+    [is_singleton] / [winner] / [candidate_count] O(1)) instead of
+    rescanning all n elements. A [t] is not thread-safe; confine each
+    value to one domain (the replication engine already builds one DAG
+    per run). *)
 
 type t
 
-val create : int -> t
+val create : ?edge_capacity:int -> int -> t
 (** [create n] is the empty answer DAG over elements [0..n-1]. Raises
-    [Invalid_argument] if [n < 0]. *)
+    [Invalid_argument] if [n < 0] or [edge_capacity < 0].
+    [edge_capacity] preallocates the edge pool for that many answers
+    (defaults to 0, growing by doubling on demand); callers that know
+    the answer volume up front — e.g. the engine, which knows the total
+    budget — avoid all pool reallocation by passing it. *)
 
 val size : t -> int
 
@@ -53,14 +69,28 @@ val direct_wins : t -> int -> int list
 val direct_losses_to : t -> int -> int list
 (** Elements that beat this element directly. *)
 
+val iter_wins : t -> int -> (int -> unit) -> unit
+(** [iter_wins t x f] applies [f] to each element [x] beat directly,
+    most recent first, without allocating. *)
+
+val iter_lost_to : t -> int -> (int -> unit) -> unit
+(** [iter_lost_to t x f] applies [f] to each element that beat [x]
+    directly, most recent first, without allocating. *)
+
 val remaining_candidates : t -> int list
-(** The RC set: elements with zero losses, ascending. *)
+(** The RC set: elements with zero losses, ascending. O(candidates). *)
+
+val candidates : t -> int array
+(** The RC set as a fresh array, ascending. O(candidates). *)
+
+val candidate_count : t -> int
+(** [List.length (remaining_candidates t)], in O(1). *)
 
 val is_singleton : t -> bool
-(** [true] iff exactly one candidate remains. *)
+(** [true] iff exactly one candidate remains. O(1). *)
 
 val winner : t -> int option
-(** The single remaining candidate, when [is_singleton]. *)
+(** The single remaining candidate, when [is_singleton]. O(1). *)
 
 val answers : t -> (int * int) list
 (** All recorded answers as [(winner, loser)], unspecified order. *)
@@ -75,3 +105,13 @@ val transitive_win_counts : t -> int array
 val topological_order : t -> int array
 (** Elements ordered winners-first: if [a] beats [b] then [a] appears
     before [b]. *)
+
+type ext = ..
+(** Extension slot for caches of derived data (e.g. {!Scoring}'s ranking
+    cache). The DAG itself never interprets the value; [copy] resets it
+    to {!Ext_none} so caches are never shared between diverging DAGs. *)
+
+type ext += Ext_none
+
+val ext : t -> ext
+val set_ext : t -> ext -> unit

@@ -1,6 +1,35 @@
-let scores_array dag =
+(* Algorithm-2 scoring with a per-DAG memo: results are cached keyed on
+   [answer_count] (the DAG only changes by recording answers, and
+   answer_count is bumped exactly when the graph changes), so COMPLETE /
+   GREEDY / HILL and the end-of-run tiebreak recompute the transitive
+   win counts at most once per graph state. The scratch buffers live in
+   the cache and are reused across recomputations of the same DAG. *)
+
+type cache = {
+  mutable version : int; (* answer_count at computation time; -1 = none *)
+  mutable scores : float array; (* energy per element, length n *)
+  mutable ranked : int array; (* candidates, descending score, ties by id *)
+  mutable order : int array; (* scratch: drain order, length n *)
+}
+
+type Answer_dag.ext += Cache of cache
+
+let get_cache dag =
+  match Answer_dag.ext dag with
+  | Cache c -> c
+  | _ ->
+      let c = { version = -1; scores = [||]; ranked = [||]; order = [||] } in
+      Answer_dag.set_ext dag (Cache c);
+      c
+
+let recompute dag c =
   let n = Answer_dag.size dag in
-  let energy = Array.make n (if n = 0 then 0.0 else 1.0 /. float_of_int n) in
+  if Array.length c.scores <> n then begin
+    c.scores <- Array.make n 0.0;
+    c.order <- Array.init n (fun i -> i)
+  end;
+  let energy = c.scores in
+  Array.fill energy 0 n (if n = 0 then 0.0 else 1.0 /. float_of_int n);
   if n > 0 then begin
     (* Algorithm 2 processes elements in increasing order of the number
        of comparisons won implicitly or explicitly; an element with
@@ -8,32 +37,51 @@ let scores_array dag =
        evenly among the elements that beat it. Processing in this order
        guarantees every element is drained before anything it feeds. *)
     let won = Answer_dag.transitive_win_counts dag in
-    let order = Array.init n (fun i -> i) in
-    Array.sort (fun a b -> compare (won.(a), a) (won.(b), b)) order;
+    let order = c.order in
+    for i = 0 to n - 1 do
+      order.(i) <- i
+    done;
+    Array.sort
+      (fun a b ->
+        match Int.compare won.(a) won.(b) with
+        | 0 -> Int.compare a b
+        | cmp -> cmp)
+      order;
     Array.iter
       (fun e ->
         if energy.(e) > 0.0 then begin
-          match Answer_dag.direct_losses_to dag e with
-          | [] -> ()
-          | beaters ->
-              let share = energy.(e) /. float_of_int (List.length beaters) in
-              List.iter (fun w -> energy.(w) <- energy.(w) +. share) beaters;
-              energy.(e) <- 0.0
+          let beaters = Answer_dag.losses dag e in
+          if beaters > 0 then begin
+            let share = energy.(e) /. float_of_int beaters in
+            Answer_dag.iter_lost_to dag e (fun w ->
+                energy.(w) <- energy.(w) +. share);
+            energy.(e) <- 0.0
+          end
         end)
       order
   end;
-  energy
+  let ranked = Answer_dag.candidates dag in
+  Array.sort
+    (fun a b ->
+      match Float.compare energy.(b) energy.(a) with
+      | 0 -> Int.compare a b
+      | cmp -> cmp)
+    ranked;
+  c.ranked <- ranked;
+  c.version <- Answer_dag.answer_count dag
+
+let cached dag =
+  let c = get_cache dag in
+  if c.version <> Answer_dag.answer_count dag
+     || Array.length c.scores <> Answer_dag.size dag
+  then recompute dag c;
+  c
+
+let scores_array dag = Array.copy (cached dag).scores
 
 let scores dag =
-  let energy = scores_array dag in
-  List.map (fun c -> (c, energy.(c))) (Answer_dag.remaining_candidates dag)
+  let energy = (cached dag).scores in
+  List.map (fun e -> (e, energy.(e))) (Answer_dag.remaining_candidates dag)
 
-let ranked_candidates dag =
-  let cs = scores dag in
-  let sorted =
-    List.sort
-      (fun (a, ea) (b, eb) ->
-        match compare eb ea with 0 -> compare a b | c -> c)
-      cs
-  in
-  List.map fst sorted
+let ranked_candidates dag = Array.to_list (cached dag).ranked
+let ranked_array dag = Array.copy (cached dag).ranked

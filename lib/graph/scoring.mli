@@ -6,7 +6,11 @@
     elements that beat them. All energy ends up on the remaining
     candidates, where a higher score marks a "stronger" candidate. The
     scores equal the trapping probabilities of the random walk described
-    in the paper. *)
+    in the paper.
+
+    Results are memoized per DAG state (keyed on [answer_count], stored
+    in the DAG's extension slot), so repeated queries between answers
+    cost O(candidates) instead of re-running Algorithm 2. *)
 
 val scores : Answer_dag.t -> (int * float) list
 (** [(candidate, energy)] for every remaining candidate, energies summing
@@ -19,3 +23,6 @@ val scores_array : Answer_dag.t -> float array
 val ranked_candidates : Answer_dag.t -> int list
 (** Remaining candidates sorted by descending score (ties by ascending
     id) — the "strongest first" order COMPLETE uses. *)
+
+val ranked_array : Answer_dag.t -> int array
+(** [ranked_candidates] as a fresh array. *)

@@ -24,7 +24,7 @@ let run rng ~problem ~selection truth =
   let trace = ref [] in
   let continue_ = ref true in
   while !continue_ do
-    let candidates = Array.of_list (Dag.remaining_candidates dag) in
+    let candidates = Dag.candidates dag in
     let c = Array.length candidates in
     if c <= 1 || !remaining_budget < c - 1 then continue_ := false
     else begin
@@ -67,7 +67,7 @@ let run rng ~problem ~selection truth =
           total_latency := !total_latency +. latency;
           questions_posted := !questions_posted + posted;
           remaining_budget := !remaining_budget - posted;
-          let after = List.length (Dag.remaining_candidates dag) in
+          let after = Dag.candidate_count dag in
           trace :=
             {
               Engine.round_index = !rounds_run;

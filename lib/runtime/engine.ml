@@ -49,36 +49,45 @@ type result = {
   trace : round_record list;
 }
 
-(* Answers for a round's questions plus the round latency. *)
-let answer_round rng cfg truth questions posted_count =
+(* Answer a round's questions, record them in [dag], and return the
+   round latency. RWL / oracle answers are conflict-free by contract,
+   so the per-edge transitive cycle check would be pure overhead; the
+   Oracle path writes each answer straight into the DAG without
+   building an intermediate list. *)
+let apply_round rng cfg truth dag questions posted_count =
+  let record (winner, loser) = Dag.add_answer_unchecked dag ~winner ~loser in
   match cfg.source with
   | Oracle ->
-      let answers =
-        List.map
-          (fun (a, b) ->
-            let w = Ground_truth.better truth a b in
-            (w, if w = a then b else a))
-          questions
-      in
-      (answers, Model.eval cfg.latency_model posted_count)
+      let ranks = Ground_truth.ranks truth in
+      List.iter
+        (fun (a, b) ->
+          if ranks.(a) > ranks.(b) then
+            Dag.add_answer_unchecked dag ~winner:a ~loser:b
+          else Dag.add_answer_unchecked dag ~winner:b ~loser:a)
+        questions;
+      Model.eval cfg.latency_model posted_count
   | Simulated { platform; rwl } ->
       let outcome = Rwl.resolve rng rwl ~truth questions in
       (* Latency: all raw repetitions of all posted questions (padding
          included) go to the platform as one batch. *)
       let raw_posted = rwl.Rwl.votes * posted_count in
       let latency = Platform.batch_latency platform rng raw_posted in
-      (outcome.Rwl.answers, latency)
+      List.iter record outcome.Rwl.answers;
+      latency
   | Simulated_pool { platform; pool; votes } ->
       let outcome = Rwl.resolve_pool rng ~pool ~votes ~truth questions in
       let latency =
         Platform.batch_latency platform rng (votes * posted_count)
       in
-      (outcome.Rwl.answers, latency)
+      List.iter record outcome.Rwl.answers;
+      latency
 
 let run rng cfg truth =
   let n = Ground_truth.size truth in
-  let dag = Dag.create n in
   let budgets = Array.of_list (Allocation.round_budgets cfg.allocation) in
+  (* At most one answer per posted question, so the total budget bounds
+     the edge pool: preallocating it makes every add allocation-free. *)
+  let dag = Dag.create ~edge_capacity:(Array.fold_left ( + ) 0 budgets) n in
   let total_rounds = Array.length budgets in
   let trace = ref [] in
   let total_latency = ref 0.0 in
@@ -87,7 +96,7 @@ let run rng cfg truth =
   let finished = ref false in
   let round = ref 0 in
   while (not !finished) && !round < total_rounds do
-    let candidates = Array.of_list (Dag.remaining_candidates dag) in
+    let candidates = Dag.candidates dag in
     if Array.length candidates <= 1 then finished := true
     else begin
       let budget = budgets.(!round) in
@@ -113,16 +122,11 @@ let run rng cfg truth =
         incr round
       end
       else begin
-        let answers, latency = answer_round rng cfg truth questions posted in
-        (* RWL / oracle answers are conflict-free by contract, so the
-           per-edge transitive cycle check would be pure overhead. *)
-        List.iter
-          (fun (winner, loser) -> Dag.add_answer_unchecked dag ~winner ~loser)
-          answers;
+        let latency = apply_round rng cfg truth dag questions posted in
         total_latency := !total_latency +. latency;
         questions_posted := !questions_posted + posted;
         incr rounds_run;
-        let after = List.length (Dag.remaining_candidates dag) in
+        let after = Dag.candidate_count dag in
         trace :=
           {
             round_index = !round;
@@ -175,7 +179,20 @@ type aggregate = {
   timing : timing;
 }
 
-let equal_stats a b = { a with timing = b.timing } = b
+(* Field-by-field with Float.equal: polymorphic (=) on float-bearing
+   records is unsound under NaN (never equal to itself) and conflates
+   0.0 with -0.0, the bug class PR 1 fixed in Stats.percentile. Timing
+   is machine-dependent and deliberately ignored. *)
+let equal_stats a b =
+  a.runs = b.runs
+  && Float.equal a.mean_latency b.mean_latency
+  && Float.equal a.stddev_latency b.stddev_latency
+  && Float.equal a.median_latency b.median_latency
+  && Float.equal a.p95_latency b.p95_latency
+  && Float.equal a.singleton_rate b.singleton_rate
+  && Float.equal a.correct_rate b.correct_rate
+  && Float.equal a.mean_questions b.mean_questions
+  && Float.equal a.mean_rounds b.mean_rounds
 
 let make_timing ~jobs ~runs t0 =
   let wall_seconds = Unix.gettimeofday () -. t0 in

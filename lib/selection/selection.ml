@@ -18,6 +18,40 @@ type t = {
 
 let norm_pair a b = if a < b then (a, b) else (b, a)
 
+(* Universe bound for this round's Pair_set: the history covers every
+   engine-produced candidate; hand-built inputs may exceed it. *)
+let universe input =
+  Array.fold_left
+    (fun m e -> if e >= m then e + 1 else m)
+    (Dag.size input.history) input.candidates
+
+(* Candidates of this round ordered strongest-first: Scoring's ranking
+   restricted to the round's candidate set. In the standard engine the
+   two sets coincide; when they differ (hand-built inputs) the raw
+   candidate array is used as-is. Shared by COMPLETE, GREEDY and HILL. *)
+let ranked_in_round input =
+  let c = Array.length input.candidates in
+  let n = Dag.size input.history in
+  let mark = Bytes.make n '\000' in
+  let in_range = ref true in
+  Array.iter
+    (fun e ->
+      if e >= 0 && e < n then Bytes.set mark e '\001' else in_range := false)
+    input.candidates;
+  if not !in_range then input.candidates
+  else begin
+    let out = Array.make c 0 in
+    let k = ref 0 in
+    Array.iter
+      (fun e ->
+        if Bytes.get mark e = '\001' then begin
+          out.(!k) <- e;
+          incr k
+        end)
+      (Scoring.ranked_array input.history);
+    if !k = c then out else input.candidates
+  end
+
 (* --- Tournament-formation ------------------------------------------- *)
 
 let cross_group_extras rng groups budget asked =
@@ -37,10 +71,8 @@ let cross_group_extras rng groups budget asked =
       if gi <> gj then begin
         let a = Rng.choose rng groups.(gi) in
         let b = Rng.choose rng groups.(gj) in
-        let pair = norm_pair a b in
-        if not (Hashtbl.mem asked pair) then begin
-          Hashtbl.add asked pair ();
-          extras := pair :: !extras;
+        if Pair_set.add asked a b then begin
+          extras := norm_pair a b :: !extras;
           decr remaining
         end
       end
@@ -56,13 +88,21 @@ let tournament_select rng input =
     | Some groups_count ->
         let assignment = T.assign rng input.candidates groups_count in
         let base = T.edges_of_assignment assignment in
-        let asked = Hashtbl.create (List.length base * 2) in
-        List.iter (fun (a, b) -> Hashtbl.add asked (norm_pair a b) ()) base;
         let leftover = input.budget - List.length base in
-        let extras =
-          cross_group_extras rng assignment.T.groups leftover asked
-        in
-        base @ extras
+        if leftover <= 0 || groups_count < 2 then base
+          (* No extras are possible: either the tournament itself filled
+             the budget, or there is a single group and hence no cross
+             pair. Both make the asked-set and the final append pure
+             overhead, and cross_group_extras draws nothing in either
+             case, so skipping them cannot shift the RNG stream. *)
+        else begin
+          let asked = Pair_set.create ~expected:input.budget (universe input) in
+          List.iter (fun (a, b) -> ignore (Pair_set.add asked a b)) base;
+          let extras =
+            cross_group_extras rng assignment.T.groups leftover asked
+          in
+          base @ extras
+        end
 
 let tournament = { name = "Tournament"; select = tournament_select }
 
@@ -72,7 +112,7 @@ let spread_select rng input =
   let c = Array.length input.candidates in
   if c <= 1 || input.budget < 1 then []
   else begin
-    let asked = Hashtbl.create 64 in
+    let asked = Pair_set.create ~expected:input.budget (universe input) in
     let picked = ref [] in
     let remaining = ref input.budget in
     let stalled = ref false in
@@ -84,10 +124,8 @@ let spread_select rng input =
       let added_this_pass = ref 0 in
       let i = ref 0 in
       while !i + 1 < c && !remaining > 0 do
-        let pair = norm_pair order.(!i) order.(!i + 1) in
-        if not (Hashtbl.mem asked pair) then begin
-          Hashtbl.add asked pair ();
-          picked := pair :: !picked;
+        if Pair_set.add asked order.(!i) order.(!i + 1) then begin
+          picked := norm_pair order.(!i) order.(!i + 1) :: !picked;
           decr remaining;
           incr added_this_pass
         end;
@@ -100,10 +138,9 @@ let spread_select rng input =
         (try
            for a = 0 to c - 1 do
              for b = a + 1 to c - 1 do
-               let pair = norm_pair input.candidates.(a) input.candidates.(b) in
-               if (not (Hashtbl.mem asked pair)) && !remaining > 0 then begin
-                 Hashtbl.add asked pair ();
-                 picked := pair :: !picked;
+               let x = input.candidates.(a) and y = input.candidates.(b) in
+               if !remaining > 0 && Pair_set.add asked x y then begin
+                 picked := norm_pair x y :: !picked;
                  decr remaining;
                  found := true;
                  raise Exit
@@ -124,16 +161,9 @@ let complete_select rng input =
   let c = Array.length input.candidates in
   if c <= 1 || input.budget < 1 then []
   else begin
-    let ranked = Array.of_list (Scoring.ranked_candidates input.history) in
     (* The history ranks all unbeaten elements; restrict to this round's
        candidate set (they coincide in the standard engine). *)
-    let in_round = Hashtbl.create c in
-    Array.iter (fun e -> Hashtbl.add in_round e ()) input.candidates;
-    let ranked =
-      Array.of_list
-        (List.filter (Hashtbl.mem in_round) (Array.to_list ranked))
-    in
-    let ranked = if Array.length ranked = c then ranked else input.candidates in
+    let ranked = ranked_in_round input in
     (* Largest clique k with choose2 k + (c - k) within budget; at least 2
        when any question fits. *)
     let k = ref (min c 2) in
@@ -145,14 +175,12 @@ let complete_select rng input =
     let k = if Ints.choose2 !k + (c - !k) <= input.budget then !k else min c 2 in
     let clique = Array.sub ranked 0 (min k (Array.length ranked)) in
     let rest = Array.sub ranked (Array.length clique) (c - Array.length clique) in
-    let asked = Hashtbl.create 64 in
+    let asked = Pair_set.create ~expected:input.budget (universe input) in
     let picked = ref [] in
     let remaining = ref input.budget in
     let add a b =
-      let pair = norm_pair a b in
-      if (not (Hashtbl.mem asked pair)) && !remaining > 0 then begin
-        Hashtbl.add asked pair ();
-        picked := pair :: !picked;
+      if !remaining > 0 && Pair_set.add asked a b then begin
+        picked := norm_pair a b :: !picked;
         decr remaining
       end
     in
@@ -205,14 +233,7 @@ let greedy_select rng input =
   let c = Array.length input.candidates in
   if c <= 1 || input.budget < 1 then []
   else begin
-    let ranked = Array.of_list (Scoring.ranked_candidates input.history) in
-    let in_round = Hashtbl.create c in
-    Array.iter (fun e -> Hashtbl.add in_round e ()) input.candidates;
-    let ranked =
-      Array.of_list
-        (List.filter (Hashtbl.mem in_round) (Array.to_list ranked))
-    in
-    let ranked = if Array.length ranked = c then ranked else input.candidates in
+    let ranked = ranked_in_round input in
     ignore rng;
     (* Clique over the strongest m candidates where choose2 m fits;
        leftover budget pairs the next-ranked candidates with the top
@@ -223,12 +244,10 @@ let greedy_select rng input =
     done;
     let picked = ref [] in
     let remaining = ref input.budget in
-    let asked = Hashtbl.create 64 in
+    let asked = Pair_set.create ~expected:input.budget (universe input) in
     let add a b =
-      let pair = norm_pair a b in
-      if (not (Hashtbl.mem asked pair)) && !remaining > 0 then begin
-        picked := pair :: !picked;
-        Hashtbl.add asked pair ();
+      if !remaining > 0 && Pair_set.add asked a b then begin
+        picked := norm_pair a b :: !picked;
         decr remaining
       end
     in
@@ -254,21 +273,13 @@ let hill_select rng input =
   if c <= 1 || input.budget < 1 then []
   else begin
     ignore rng;
-    let ranked = Array.of_list (Scoring.ranked_candidates input.history) in
-    let in_round = Hashtbl.create c in
-    Array.iter (fun e -> Hashtbl.add in_round e ()) input.candidates;
-    let ranked =
-      Array.of_list (List.filter (Hashtbl.mem in_round) (Array.to_list ranked))
-    in
-    let ranked = if Array.length ranked = c then ranked else input.candidates in
+    let ranked = ranked_in_round input in
     let picked = ref [] in
     let remaining = ref input.budget in
-    let asked = Hashtbl.create 64 in
+    let asked = Pair_set.create ~expected:input.budget (universe input) in
     let add a b =
-      let pair = norm_pair a b in
-      if (not (Hashtbl.mem asked pair)) && !remaining > 0 then begin
-        picked := pair :: !picked;
-        Hashtbl.replace asked pair ();
+      if !remaining > 0 && Pair_set.add asked a b then begin
+        picked := norm_pair a b :: !picked;
         decr remaining
       end
     in
@@ -311,21 +322,16 @@ let validate_round input pairs =
   else begin
     let cand = Hashtbl.create 64 in
     Array.iter (fun e -> Hashtbl.add cand e ()) input.candidates;
-    let seen = Hashtbl.create 64 in
+    let seen = Pair_set.create ~expected:n (universe input) in
     let rec loop = function
       | [] -> Ok "valid round"
       | (a, b) :: rest ->
           if a = b then Error "self-comparison"
           else if not (Hashtbl.mem cand a && Hashtbl.mem cand b) then
             Error "non-candidate element"
-          else begin
-            let pair = norm_pair a b in
-            if Hashtbl.mem seen pair then Error "duplicate pair in round"
-            else begin
-              Hashtbl.add seen pair ();
-              loop rest
-            end
-          end
+          else if not (Pair_set.add seen a b) then
+            Error "duplicate pair in round"
+          else loop rest
     in
     loop pairs
   end

@@ -1,10 +1,26 @@
-type t = { mutable state : int64 }
+(* The 64-bit splitmix state is stored as two 32-bit halves in immediate
+   ints: a [mutable state : int64] field holds a pointer to a boxed
+   value, so every draw would allocate a fresh box and pay a write
+   barrier — measurable on the engine hot path, which consumes a couple
+   of hundred draws per run. Reassembling the halves costs three
+   unboxed int64 ops; the stores are plain int stores. *)
+type t = { mutable hi : int; mutable lo : int }
 
 let golden_gamma = 0x9E3779B97F4A7C15L
 
-let create seed = { state = Int64.of_int seed }
+let state t =
+  Int64.logor (Int64.shift_left (Int64.of_int t.hi) 32) (Int64.of_int t.lo)
 
-let copy t = { state = t.state }
+let set_state t s =
+  t.hi <- Int64.to_int (Int64.shift_right_logical s 32);
+  t.lo <- Int64.to_int (Int64.logand s 0xFFFFFFFFL)
+
+let create seed =
+  let t = { hi = 0; lo = 0 } in
+  set_state t (Int64.of_int seed);
+  t
+
+let copy t = { hi = t.hi; lo = t.lo }
 
 (* splitmix64 finalizer: the state marches by a fixed gamma and each output
    is a strong mix of the new state value. *)
@@ -14,12 +30,15 @@ let mix64 z =
   Int64.logxor z (Int64.shift_right_logical z 31)
 
 let bits64 t =
-  t.state <- Int64.add t.state golden_gamma;
-  mix64 t.state
+  let s = Int64.add (state t) golden_gamma in
+  set_state t s;
+  mix64 s
 
 let split t =
   let s = bits64 t in
-  { state = s }
+  let u = { hi = 0; lo = 0 } in
+  set_state u s;
+  u
 
 (* Draws for [int] are 63-bit (the sign bit is shifted out), i.e. uniform
    on [0, 2^63). [accept_max bound] is the largest draw that keeps the
@@ -32,8 +51,11 @@ let split t =
 let accept_max bound =
   if bound <= 0 then invalid_arg "Rng.accept_max: bound must be positive";
   let b = Int64.of_int bound in
-  (* 2^63 mod b, computed without leaving signed int64 range *)
-  let r = Int64.rem (Int64.add (Int64.rem Int64.max_int b) 1L) b in
+  (* 2^63 mod b = ((2^63 - 1) mod b) + 1, folded back to 0 when it
+     reaches b. One division instead of two: [int] calls this on every
+     draw and idiv is the expensive instruction in it. *)
+  let r = Int64.add (Int64.rem Int64.max_int b) 1L in
+  let r = if Int64.equal r b then 0L else r in
   Int64.sub Int64.max_int r
 
 let int t bound =

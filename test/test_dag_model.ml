@@ -1,0 +1,198 @@
+(* Model-based property test for the flat Answer_dag representation.
+
+   The DAG stores adjacency in an intrusive edge pool, direct losses in a
+   32-bit-word bitset, and candidates in a bitset plus count — lots of
+   room for off-by-one bit errors. This suite replays random
+   conflict-free answer streams (winners drawn from a hidden total
+   order, so no stream can create a cycle) into both the real structure
+   and a trivial reference model built on Hashtbl + lists, and checks
+   that every observable agrees. Sizes are biased toward the bitset word
+   boundaries n = 1, 63, 64, 126, 127. *)
+
+module Q = QCheck
+module Dag = Crowdmax_graph.Answer_dag
+
+(* --- reference model ---------------------------------------------------- *)
+
+type model = {
+  m_n : int;
+  m_edges : (int * int, unit) Hashtbl.t; (* (winner, loser) *)
+  mutable m_order : (int * int) list; (* reverse insertion order *)
+}
+
+let model_create n = { m_n = n; m_edges = Hashtbl.create 16; m_order = [] }
+
+let model_add m ~winner ~loser =
+  if not (Hashtbl.mem m.m_edges (winner, loser)) then begin
+    Hashtbl.add m.m_edges (winner, loser) ();
+    m.m_order <- (winner, loser) :: m.m_order
+  end
+
+let model_candidates m =
+  let lost = Array.make m.m_n false in
+  Hashtbl.iter (fun (_, l) () -> lost.(l) <- true) m.m_edges;
+  let acc = ref [] in
+  for x = m.m_n - 1 downto 0 do
+    if not lost.(x) then acc := x :: !acc
+  done;
+  !acc
+
+let model_direct_wins m x =
+  Hashtbl.fold (fun (w, l) () acc -> if w = x then l :: acc else acc) m.m_edges []
+
+let model_losses m x =
+  Hashtbl.fold (fun (_, l) () acc -> if l = x then acc + 1 else acc) m.m_edges 0
+
+let model_beats m a b =
+  let visited = Array.make m.m_n false in
+  let rec dfs x =
+    x = b
+    || (not visited.(x))
+       && begin
+            visited.(x) <- true;
+            List.exists dfs (model_direct_wins m x)
+          end
+  in
+  a <> b && dfs a
+
+let model_transitive_win_counts m =
+  Array.init m.m_n (fun x ->
+      let c = ref 0 in
+      for y = 0 to m.m_n - 1 do
+        if y <> x && model_beats m x y then incr c
+      done;
+      !c)
+
+(* --- generator: conflict-free answer streams ---------------------------- *)
+
+(* (n, ranks, raw pairs): each pair (a, b), a <> b, is answered by the
+   hidden total order [ranks], so the resulting edge set is a subgraph
+   of a strict order and can never contain a cycle. *)
+let stream_gen =
+  Q.Gen.(
+    oneof [ oneofl [ 1; 63; 64; 126; 127 ]; int_range 1 130 ] >>= fun n ->
+    int_range 0 1_000_000 >>= fun seed ->
+    let max_pairs = if n < 2 then 0 else 4 * n in
+    int_range 0 max_pairs >>= fun pairs ->
+    return (n, seed, pairs))
+
+let stream =
+  Q.make
+    ~print:(fun (n, seed, pairs) ->
+      Printf.sprintf "(n=%d, seed=%d, pairs=%d)" n seed pairs)
+    stream_gen
+
+let build (n, seed, pairs) =
+  let rng = Crowdmax_util.Rng.create seed in
+  let ranks = Crowdmax_util.Rng.permutation rng n in
+  let dag = Dag.create n in
+  let m = model_create n in
+  for _ = 1 to pairs do
+    let a = Crowdmax_util.Rng.int rng n in
+    let b = Crowdmax_util.Rng.int rng n in
+    if a <> b then begin
+      let winner, loser = if ranks.(a) > ranks.(b) then (a, b) else (b, a) in
+      Dag.add_answer_unchecked dag ~winner ~loser;
+      model_add m ~winner ~loser
+    end
+  done;
+  (dag, m)
+
+let sorted l = List.sort Int.compare l
+
+(* --- properties --------------------------------------------------------- *)
+
+(* Cheap observables get many cases; properties whose reference model is
+   O(n^2) DFS get fewer so the suite stays fast. *)
+let count = 300
+let count_quadratic = 60
+
+let prop_candidates =
+  Q.Test.make ~count ~name:"model: candidates, count, singleton, winner"
+    stream (fun s ->
+      let dag, m = build s in
+      let expect = model_candidates m in
+      List.equal Int.equal (Dag.remaining_candidates dag) expect
+      && Array.to_list (Dag.candidates dag) = expect
+      && Dag.candidate_count dag = List.length expect
+      && Dag.is_singleton dag = (List.length expect = 1)
+      && Dag.winner dag
+         = (match expect with [ w ] -> Some w | _ -> None))
+
+let prop_edges =
+  Q.Test.make ~count:count_quadratic
+    ~name:"model: beats_directly, losses, adjacency" stream
+    (fun s ->
+      let dag, m = build s in
+      let n = (fun (n, _, _) -> n) s in
+      let sort_pairs l =
+        List.sort
+          (fun (a1, b1) (a2, b2) ->
+            let c = Int.compare a1 a2 in
+            if c <> 0 then c else Int.compare b1 b2)
+          l
+      in
+      Dag.answer_count dag = Hashtbl.length m.m_edges
+      && sort_pairs (Dag.answers dag) = sort_pairs m.m_order
+      && List.for_all
+           (fun x ->
+             Dag.losses dag x = model_losses m x
+             && sorted (Dag.direct_wins dag x) = sorted (model_direct_wins m x)
+             && List.for_all
+                  (fun y ->
+                    Dag.beats_directly dag x y
+                    = Hashtbl.mem m.m_edges (x, y))
+                  (List.init n Fun.id))
+           (List.init n Fun.id))
+
+let prop_beats =
+  Q.Test.make ~count:count_quadratic
+    ~name:"model: transitive beats + win counts" stream
+    (fun s ->
+      let dag, m = build s in
+      let n = (fun (n, _, _) -> n) s in
+      let counts = Dag.transitive_win_counts dag in
+      counts = model_transitive_win_counts m
+      && List.for_all
+           (fun a ->
+             List.for_all
+               (fun b -> Dag.beats dag a b = model_beats m a b)
+               (List.init (min n 20) Fun.id))
+           (List.init (min n 20) Fun.id))
+
+let prop_topo =
+  Q.Test.make ~count ~name:"model: topological_order is a valid topo order"
+    stream (fun s ->
+      let dag, m = build s in
+      let order = Dag.topological_order dag in
+      let pos = Array.make m.m_n (-1) in
+      Array.iteri (fun i x -> pos.(x) <- i) order;
+      (* a permutation of 0..n-1 with every winner before its loser *)
+      Array.for_all (fun p -> p >= 0) pos
+      && Hashtbl.fold
+           (fun (w, l) () ok -> ok && pos.(w) < pos.(l))
+           m.m_edges true)
+
+let prop_copy =
+  Q.Test.make ~count:100
+    ~name:"model: copy observes same state, then diverges independently"
+    stream (fun s ->
+      let dag, m = build s in
+      let c = Dag.copy dag in
+      let same =
+        Dag.remaining_candidates c = model_candidates m
+        && Dag.answer_count c = Hashtbl.length m.m_edges
+      in
+      (* Divergence: new answers to the copy must not leak back. *)
+      let before = Dag.answer_count dag in
+      let cands = Dag.candidates c in
+      if Array.length cands >= 2 then
+        Dag.add_answer_unchecked c ~winner:cands.(0) ~loser:cands.(1);
+      same && Dag.answer_count dag = before)
+
+let suite =
+  [
+    ( "dag-model",
+      List.map QCheck_alcotest.to_alcotest
+        [ prop_candidates; prop_edges; prop_beats; prop_topo; prop_copy ] );
+  ]
