@@ -1,4 +1,4 @@
-.PHONY: all build test bench ci clean
+.PHONY: all build test bench lint ci clean
 
 all: build
 
@@ -11,13 +11,24 @@ test:
 bench:
 	dune exec bench/main.exe
 
-# The CI gate: full build, the whole test suite, and a smoke-scale pass
-# through the bechamel harness so the bench executable stays runnable.
-# The engine-throughput pass prints current-vs-committed runs/sec
-# (informational, never failing) without touching BENCH_engine.json.
+# Static analysis gate: runs crowdmax-lint (tools/lint/) over every
+# typedtree in lib/, enforcing the comparison/determinism/domain-safety
+# rules documented in CONTRIBUTING.md. Fails on any finding not
+# suppressed in tools/lint/allow.txt.
+lint:
+	dune build @lint
+
+# The CI gate: warnings-as-errors build (the ci dune profile promotes
+# the lib/ warning set to errors), the whole test suite, the lint gate,
+# and a smoke-scale pass through the bechamel harness so the bench
+# executable stays runnable. The engine-throughput pass prints
+# current-vs-committed runs/sec (informational, never failing) without
+# touching BENCH_engine.json.
 ci:
+	dune build @all --profile ci
 	dune build @all
 	dune runtest
+	dune build @lint
 	CROWDMAX_BENCH_RUNS=2 dune exec bench/main.exe -- micro
 	CROWDMAX_ENGINE_BENCH_SECS=0.3 CROWDMAX_ENGINE_BENCH_WRITE=0 \
 		dune exec bench/main.exe -- engine

@@ -44,8 +44,8 @@ let frontier ?(pricing = mturk_pricing) ~latency ~elements ~budgets () =
   let sorted =
     List.sort
       (fun a b ->
-        match compare a.dollars b.dollars with
-        | 0 -> compare a.latency b.latency
+        match Float.compare a.dollars b.dollars with
+        | 0 -> Float.compare a.latency b.latency
         | c -> c)
       raw
   in

@@ -104,7 +104,7 @@ let simulate t rng q ~on_complete =
   if q = 0 then cfg.post_overhead
   else begin
     let events =
-      Heap.create ~cmp:(fun a b -> compare (event_time a) (event_time b))
+      Heap.create ~cmp:(fun a b -> Float.compare (event_time a) (event_time b))
     in
     Heap.push events (Arrival (next_arrival rng cfg q 0.0));
     let next_question = ref 0 in

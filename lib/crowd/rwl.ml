@@ -62,15 +62,19 @@ let scc_of ~nodes ~succ =
    were flipped. *)
 let break_cycles voted =
   let succ_tbl = Hashtbl.create 64 in
-  let nodes_tbl = Hashtbl.create 64 in
   List.iter
     (fun (w, l) ->
-      Hashtbl.replace nodes_tbl w ();
-      Hashtbl.replace nodes_tbl l ();
       let cur = Option.value ~default:[] (Hashtbl.find_opt succ_tbl w) in
       Hashtbl.replace succ_tbl w (l :: cur))
     voted;
-  let nodes = Hashtbl.fold (fun v () acc -> v :: acc) nodes_tbl [] in
+  (* Visit nodes in sorted order: SCC component numbering then depends
+     only on the voted edge set, never on hash-table iteration order
+     (lint R2). Only component *equality* is consumed downstream, but a
+     deterministic visit order keeps replicated runs bit-identical. *)
+  let nodes =
+    List.sort_uniq Int.compare
+      (List.concat_map (fun (w, l) -> [ w; l ]) voted)
+  in
   let succ v = Option.value ~default:[] (Hashtbl.find_opt succ_tbl v) in
   let comp = scc_of ~nodes ~succ in
   let score = Hashtbl.create 64 in

@@ -45,13 +45,18 @@ let measure ?(jobs = 1) ~runs ~seed ~elements ~budget ~model combo =
 
 type series = { name : string; points : (float * float) list }
 
+(* x-major, then y: the typed replacement for the polymorphic [compare]
+   the figure modules used to sort their (x, y) curves with. *)
+let compare_points (x1, y1) (x2, y2) =
+  match Float.compare x1 x2 with 0 -> Float.compare y1 y2 | c -> c
+
 let series_table ?title ~x_label series =
   let headers =
     (x_label, Table.Right) :: List.map (fun s -> (s.name, Table.Right)) series
   in
   let t = Table.create ?title headers in
   let xs =
-    List.sort_uniq compare
+    List.sort_uniq Float.compare
       (List.concat_map (fun s -> List.map fst s.points) series)
   in
   List.iter
@@ -60,7 +65,11 @@ let series_table ?title ~x_label series =
         Printf.sprintf "%g" x
         :: List.map
              (fun s ->
-               match List.assoc_opt x s.points with
+               match
+                 List.find_map
+                   (fun (k, v) -> if Float.equal k x then Some v else None)
+                   s.points
+               with
                | Some y -> Printf.sprintf "%.1f" y
                | None -> "-")
              series

@@ -44,6 +44,10 @@ val measure :
 type series = { name : string; points : (float * float) list }
 (** A labelled curve, x ascending — one line of a paper figure. *)
 
+val compare_points : float * float -> float * float -> int
+(** Order curve points by x, then y, with [Float.compare] (total, no
+    polymorphic-comparison NaN traps). *)
+
 val series_table :
   ?title:string -> x_label:string -> series list -> Crowdmax_util.Table.t
 (** Tabulate curves side by side (x column + one column per series). *)

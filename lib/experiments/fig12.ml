@@ -53,7 +53,7 @@ let run ?(jobs = 1) ?(runs = 100) ?(seed = 23) ?(elements = 500) () =
 
 let series_of t value =
   let labels =
-    List.sort_uniq compare (List.map (fun c -> c.label) t.cells)
+    List.sort_uniq String.compare (List.map (fun c -> c.label) t.cells)
   in
   List.map
     (fun label ->
@@ -62,10 +62,11 @@ let series_of t value =
         points =
           List.filter_map
             (fun c ->
-              if c.label = label then Some (float_of_int c.budget, value c)
+              if String.equal c.label label then
+                Some (float_of_int c.budget, value c)
               else None)
             t.cells
-          |> List.sort compare;
+          |> List.sort Common.compare_points;
       })
     labels
 

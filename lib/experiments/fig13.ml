@@ -55,7 +55,9 @@ let run_b ?(jobs = 1) ?(runs = 100) ?(seed = 31) ?(elements = 500) () =
     (List.map (fun b -> (b, elements, b)) budget_sweep)
 
 let series t =
-  let labels = List.sort_uniq compare (List.map (fun c -> c.label) t.cells) in
+  let labels =
+    List.sort_uniq String.compare (List.map (fun c -> c.label) t.cells)
+  in
   List.map
     (fun label ->
       {
@@ -63,10 +65,11 @@ let series t =
         points =
           List.filter_map
             (fun c ->
-              if c.label = label then Some (float_of_int c.x, c.mean_latency)
+              if String.equal c.label label then
+                Some (float_of_int c.x, c.mean_latency)
               else None)
             t.cells
-          |> List.sort compare;
+          |> List.sort Common.compare_points;
       })
     labels
 

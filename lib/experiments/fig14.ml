@@ -60,7 +60,9 @@ let run_b ?(elements = 500) () =
   { curves; others; elements }
 
 let print_a t =
-  let labels = List.sort_uniq compare (List.map (fun (l, _, _) -> l) t.cells) in
+  let labels =
+    List.sort_uniq String.compare (List.map (fun (l, _, _) -> l) t.cells)
+  in
   let series =
     List.map
       (fun label ->
@@ -68,9 +70,10 @@ let print_a t =
           Common.name = label;
           points =
             List.filter_map
-              (fun (l, p, y) -> if l = label then Some (p, y) else None)
+              (fun (l, p, y) ->
+                if String.equal l label then Some (p, y) else None)
               t.cells
-            |> List.sort compare;
+            |> List.sort Common.compare_points;
         })
       labels
   in

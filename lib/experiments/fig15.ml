@@ -49,9 +49,9 @@ let print t =
       (("b/c0", Table.Right)
       :: List.map
            (fun c -> (Printf.sprintf "c0=%d" c, Table.Right))
-           (List.sort_uniq compare (List.map (fun p -> p.elements) t.points)))
+           (List.sort_uniq Int.compare (List.map (fun p -> p.elements) t.points)))
   in
-  let sizes = List.sort_uniq compare (List.map (fun p -> p.elements) t.points) in
+  let sizes = List.sort_uniq Int.compare (List.map (fun p -> p.elements) t.points) in
   List.iter
     (fun m ->
       let cells =
@@ -68,5 +68,5 @@ let print t =
              sizes
       in
       Table.add_row table cells)
-    (List.sort_uniq compare (List.map (fun p -> p.budget_multiple) t.points));
+    (List.sort_uniq Int.compare (List.map (fun p -> p.budget_multiple) t.points));
   Table.print table

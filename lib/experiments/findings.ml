@@ -33,7 +33,12 @@ let run ?(jobs = 1) ?(runs = 30) ?(seed = 41) ?(elements = 200) ?(budget = 1600)
       match Hashtbl.find_opt memo key with
       | Some a -> a
       | None ->
-          let allocate = List.assoc alloc_name allocators in
+          let allocate =
+            snd
+              (List.find
+                 (fun (n, _) -> String.equal n alloc_name)
+                 allocators)
+          in
           let allocation = allocate ~elements ~budget in
           let cfg =
             Engine.config ~allocation ~selection:sel ~latency_model:model ()
@@ -52,7 +57,8 @@ let run ?(jobs = 1) ?(runs = 30) ?(seed = 41) ?(elements = 200) ?(budget = 1600)
     let others =
       List.filter_map
         (fun (n, _) ->
-          if n = "tDP" then None else Some (n, lat n Selection.ct25))
+          if String.equal n "tDP" then None
+          else Some (n, lat n Selection.ct25))
         allocators
     in
     let worst_margin =
@@ -69,7 +75,8 @@ let run ?(jobs = 1) ?(runs = 30) ?(seed = 41) ?(elements = 200) ?(budget = 1600)
           (tdp +. worst_margin)
           (100.0 *. single "tDP" Selection.tournament);
       holds =
-        worst_margin >= -1e-6 && single "tDP" Selection.tournament = 1.0;
+        worst_margin >= -1e-6
+        && Float.equal (single "tDP" Selection.tournament) 1.0;
     }
   in
   (* (2) tDP limits the budget used via L(q). *)

@@ -72,7 +72,7 @@ let print t =
              (fun v ->
                match
                  List.find_opt
-                   (fun c -> c.error_rate = e && c.votes = v)
+                   (fun c -> Float.equal c.error_rate e && c.votes = v)
                    t.cells
                with
                | Some c -> Printf.sprintf "%.0f%%" (100.0 *. c.correct_rate)

@@ -289,6 +289,139 @@ let topological_order t =
   assert (!k = t.n);
   order
 
+let check_invariants t =
+  let fail fmt = Printf.ksprintf failwith fmt in
+  let popcount x =
+    let c = ref 0 in
+    let b = ref x in
+    while !b <> 0 do
+      b := !b land (!b - 1);
+      incr c
+    done;
+    !c
+  in
+  (* A word may only use the bits that correspond to elements < n. *)
+  let check_tail_bits what w word =
+    let live = t.n - (w lsl 5) in
+    if live < 32 && word land lnot ((1 lsl max live 0) - 1) <> 0 then
+      fail "Answer_dag.check_invariants: %s word %d sets bits beyond n" what w
+  in
+  if t.answer_count < 0 || t.answer_count > Array.length t.edge_winner then
+    fail "Answer_dag.check_invariants: answer_count %d outside pool capacity %d"
+      t.answer_count
+      (Array.length t.edge_winner);
+  (* Loss bitset rows recount to the maintained loss_count. *)
+  for b = 0 to t.n - 1 do
+    let c = ref 0 in
+    for w = 0 to t.words - 1 do
+      let word = t.loss_bits.((b * t.words) + w) in
+      check_tail_bits "loss_bits" w word;
+      c := !c + popcount word
+    done;
+    if !c <> t.loss_count.(b) then
+      fail "Answer_dag.check_invariants: loss_count.(%d) = %d but bitset row \
+            holds %d"
+        b t.loss_count.(b) !c;
+    if mem_edge t ~winner:b ~loser:b then
+      fail "Answer_dag.check_invariants: self-loss bit set for %d" b
+  done;
+  (* Candidate bitset: bit x iff x has no loss; popcount = cand_count. *)
+  let cc = ref 0 in
+  for w = 0 to t.words - 1 do
+    let word = t.cand_bits.(w) in
+    check_tail_bits "cand_bits" w word;
+    cc := !cc + popcount word
+  done;
+  if !cc <> t.cand_count then
+    fail "Answer_dag.check_invariants: cand_count = %d but bitset holds %d"
+      t.cand_count !cc;
+  for x = 0 to t.n - 1 do
+    let bit = t.cand_bits.(x lsr 5) land (1 lsl (x land 31)) <> 0 in
+    if bit <> (t.loss_count.(x) = 0) then
+      fail "Answer_dag.check_invariants: candidate bit of %d disagrees with \
+            its loss count"
+        x
+  done;
+  (* Every pool entry is a real, in-range, bitset-backed edge. *)
+  for e = 0 to t.answer_count - 1 do
+    let w = t.edge_winner.(e) and l = t.edge_loser.(e) in
+    if w < 0 || w >= t.n || l < 0 || l >= t.n then
+      fail "Answer_dag.check_invariants: edge %d endpoints (%d, %d) out of \
+            range"
+        e w l;
+    if w = l then fail "Answer_dag.check_invariants: edge %d is a self-loop" e;
+    if not (mem_edge t ~winner:w ~loser:l) then
+      fail "Answer_dag.check_invariants: edge %d (%d beats %d) missing from \
+            the loss bitset"
+        e w l
+  done;
+  (* Chain integrity: the win chains partition the used pool by winner,
+     the loss chains by loser, each loss chain as long as the loss count
+     and free of duplicate winners. *)
+  let seen = Bytes.make (max t.answer_count 1) '\000' in
+  let walk what head next endpoint owner_of per_chain =
+    Bytes.fill seen 0 (Bytes.length seen) '\000';
+    let visited = ref 0 in
+    for x = 0 to t.n - 1 do
+      let here = ref 0 in
+      let e = ref head.(x) in
+      while !e >= 0 do
+        if !e >= t.answer_count then
+          fail "Answer_dag.check_invariants: %s chain of %d reaches unused \
+                edge %d"
+            what x !e;
+        if owner_of !e <> x then
+          fail "Answer_dag.check_invariants: edge %d on the %s chain of %d \
+                belongs to %d"
+            !e what x (owner_of !e);
+        if Bytes.get seen !e <> '\000' then
+          fail "Answer_dag.check_invariants: edge %d appears on two %s chains"
+            !e what;
+        Bytes.set seen !e '\001';
+        incr visited;
+        incr here;
+        if !here > t.answer_count then
+          fail "Answer_dag.check_invariants: %s chain of %d cycles" what x;
+        ignore (endpoint !e);
+        e := next.(!e)
+      done;
+      per_chain x !here
+    done;
+    if !visited <> t.answer_count then
+      fail "Answer_dag.check_invariants: %s chains cover %d of %d edges" what
+        !visited t.answer_count
+  in
+  walk "win" t.win_head t.win_next
+    (fun e -> t.edge_loser.(e))
+    (fun e -> t.edge_winner.(e))
+    (fun _ _ -> ());
+  walk "loss" t.loss_head t.loss_next
+    (fun e -> t.edge_winner.(e))
+    (fun e -> t.edge_loser.(e))
+    (fun x len ->
+      if len <> t.loss_count.(x) then
+        fail "Answer_dag.check_invariants: loss chain of %d has %d edges but \
+              loss_count says %d"
+          x len t.loss_count.(x));
+  (* No duplicate (winner, loser) pairs in the pool: within each loss
+     chain every winner must be distinct. *)
+  let mark = Bytes.make t.n '\000' in
+  for x = 0 to t.n - 1 do
+    let e = ref t.loss_head.(x) in
+    while !e >= 0 do
+      let w = t.edge_winner.(!e) in
+      if Bytes.get mark w <> '\000' then
+        fail "Answer_dag.check_invariants: duplicate edge %d beats %d" w x;
+      Bytes.set mark w '\001';
+      e := t.loss_next.(!e)
+    done;
+    let e = ref t.loss_head.(x) in
+    while !e >= 0 do
+      Bytes.set mark t.edge_winner.(!e) '\000';
+      e := t.loss_next.(!e)
+    done
+  done
+
 let transitive_win_counts t =
   (* Process in reverse topological order (losers first) accumulating
      descendant sets as flat 32-bit-word bitsets; the per-dag scratch is

@@ -106,6 +106,15 @@ val topological_order : t -> int array
 (** Elements ordered winners-first: if [a] beats [b] then [a] appears
     before [b]. *)
 
+val check_invariants : t -> unit
+(** Recounts every piece of maintained state against first principles:
+    loss-bitset rows vs. the loss counts, the candidate bitset and its
+    count vs. the loss counts, edge-pool entries vs. the bitset, and the
+    intrusive win/loss chains (partition of the used pool, per-loser
+    length, no cycles, no duplicate pairs, no stray bits beyond [n]).
+    Raises [Failure] with a description of the first violation.
+    O(n·words + edges) — a test hook, not a hot-path call. *)
+
 type ext = ..
 (** Extension slot for caches of derived data (e.g. {!Scoring}'s ranking
     cache). The DAG itself never interprets the value; [copy] resets it

@@ -83,7 +83,7 @@ let exact g =
     end
   in
   search [] 0;
-  List.sort compare !best
+  List.sort Int.compare !best
 
 let exact_size g = List.length (exact g)
 
@@ -115,7 +115,7 @@ let greedy g =
       List.iter (fun u -> alive.(u) <- false) (Undirected.neighbors g !pick)
     end
   done;
-  List.sort compare !result
+  List.sort Int.compare !result
 
 let max_rc_brute g =
   let n = Undirected.size g in
@@ -143,5 +143,5 @@ let max_rc_brute g =
   in
   if n = 0 then [] else begin
     permute n;
-    List.sort compare !best
+    List.sort Int.compare !best
   end

@@ -1,12 +1,23 @@
+(* Adjacency is kept twice: a hash table per vertex for O(1) membership,
+   and an insertion-ordered list per vertex that [neighbors] / [edges]
+   read. Iterating the hash tables would tie observable order to
+   unspecified bucket layout (lint R2); the lists depend only on the
+   order edges were added. *)
 type t = {
   n : int;
   adj : (int, unit) Hashtbl.t array;
+  adj_list : int list array; (* most recently added first *)
   mutable edge_count : int;
 }
 
 let create n =
   if n < 0 then invalid_arg "Undirected.create: negative size";
-  { n; adj = Array.init n (fun _ -> Hashtbl.create 4); edge_count = 0 }
+  {
+    n;
+    adj = Array.init n (fun _ -> Hashtbl.create 4);
+    adj_list = Array.make n [];
+    edge_count = 0;
+  }
 
 let size t = t.n
 let edge_count t = t.edge_count
@@ -25,6 +36,8 @@ let add_edge t a b =
   if not (Hashtbl.mem t.adj.(a) b) then begin
     Hashtbl.replace t.adj.(a) b ();
     Hashtbl.replace t.adj.(b) a ();
+    t.adj_list.(a) <- b :: t.adj_list.(a);
+    t.adj_list.(b) <- a :: t.adj_list.(b);
     t.edge_count <- t.edge_count + 1
   end
 
@@ -35,14 +48,14 @@ let of_edges n es =
 
 let edges t =
   let acc = ref [] in
-  Array.iteri
-    (fun a tbl -> Hashtbl.iter (fun b () -> if a < b then acc := (a, b) :: !acc) tbl)
-    t.adj;
+  for a = t.n - 1 downto 0 do
+    List.iter (fun b -> if a < b then acc := (a, b) :: !acc) t.adj_list.(a)
+  done;
   !acc
 
 let neighbors t x =
   check t x;
-  Hashtbl.fold (fun y () acc -> y :: acc) t.adj.(x) []
+  t.adj_list.(x)
 
 let degree t x =
   check t x;

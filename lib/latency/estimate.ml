@@ -13,12 +13,19 @@ let average_by_size obs =
       in
       Hashtbl.replace tbl batch_size (sum, count))
     obs;
-  let pairs =
-    Hashtbl.fold (fun size (sum, count) acc -> (size, sum /. float_of_int count) :: acc) tbl []
+  (* Iterate the sorted distinct sizes rather than folding the table:
+     hash-table order is unspecified (lint R2), and the sizes are known
+     from the observations themselves. *)
+  let sizes =
+    List.sort_uniq Int.compare
+      (List.map (fun { batch_size; _ } -> batch_size) obs)
   in
-  let arr = Array.of_list pairs in
-  Array.sort (fun (a, _) (b, _) -> compare a b) arr;
-  arr
+  Array.of_list
+    (List.map
+       (fun size ->
+         let sum, count = Hashtbl.find tbl size in
+         (size, sum /. float_of_int count))
+       sizes)
 
 let to_points obs =
   Array.of_list

@@ -47,7 +47,7 @@ let run_all_pairs latency_model truth =
     done
   done;
   let order = Array.init n (fun i -> i) in
-  Array.sort (fun a b -> compare wins.(b) wins.(a)) order;
+  Array.sort (fun a b -> Int.compare wins.(b) wins.(a)) order;
   let latency = if !q = 0 then 0.0 else Model.eval latency_model !q in
   finish truth ~order ~rounds:(if !q = 0 then 0 else 1) ~questions:!q ~latency
     ~round_questions:(if !q = 0 then [] else [ !q ])

@@ -144,7 +144,11 @@ let run rng ~k ~problem ~selection truth =
           (* budget ran dry mid-pass: fall back to the strongest score *)
           exact := false;
           let ranked = Scoring.ranked_candidates dag in
-          (match List.find_opt (fun e -> List.mem e several) ranked with
+          (match
+             List.find_opt
+               (fun e -> List.exists (Int.equal e) several)
+               ranked
+           with
           | Some best -> best
           | None -> List.hd several)
     in

@@ -27,7 +27,7 @@ let escape_into buf s =
   Buffer.add_char buf '"'
 
 let float_into buf f =
-  if Float.is_nan f || Float.abs f = infinity then
+  if Float.is_nan f || Float.equal (Float.abs f) infinity then
     invalid_arg "Json.to_string: non-finite float";
   if Float.is_integer f && Float.abs f < 1e15 then
     Buffer.add_string buf (Printf.sprintf "%.0f" f)
@@ -98,7 +98,7 @@ let of_string s =
   in
   let literal word value =
     let l = String.length word in
-    if !pos + l <= n && String.sub s !pos l = word then begin
+    if !pos + l <= n && String.equal (String.sub s !pos l) word then begin
       pos := !pos + l;
       value
     end
@@ -239,7 +239,10 @@ let of_string s =
 (* --- accessors ------------------------------------------------------------ *)
 
 let member key = function
-  | Obj fields -> List.assoc_opt key fields
+  | Obj fields ->
+      List.find_map
+        (fun (k, v) -> if String.equal k key then Some v else None)
+        fields
   | _ -> None
 
 let to_float = function Float f -> Some f | _ -> None

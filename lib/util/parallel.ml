@@ -105,7 +105,7 @@ let map pool f arr =
       Mutex.lock pool.mutex;
       (match outcome with
       | Ok out -> slots.(i) <- Some out
-      | Error e -> if !failure = None then failure := Some e);
+      | Error e -> if Option.is_none !failure then failure := Some e);
       decr remaining;
       if !remaining = 0 then Condition.broadcast settled;
       Mutex.unlock pool.mutex

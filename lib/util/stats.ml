@@ -67,11 +67,12 @@ let linear_regression pts =
       sxy := !sxy +. (dx *. dy);
       syy := !syy +. (dy *. dy))
     pts;
-  if !sxx = 0.0 then invalid_arg "Stats.linear_regression: zero x-variance";
+  if Float.equal !sxx 0.0 then
+    invalid_arg "Stats.linear_regression: zero x-variance";
   let slope = !sxy /. !sxx in
   let intercept = my -. (slope *. mx) in
   let r_squared =
-    if !syy = 0.0 then 1.0 else !sxy *. !sxy /. (!sxx *. !syy)
+    if Float.equal !syy 0.0 then 1.0 else !sxy *. !sxy /. (!sxx *. !syy)
   in
   { intercept; slope; r_squared }
 

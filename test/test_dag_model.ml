@@ -96,6 +96,9 @@ let build (n, seed, pairs) =
       model_add m ~winner ~loser
     end
   done;
+  (* Every generated stream also exercises the self-check: maintained
+     counts, bitsets and intrusive chains must agree with a recount. *)
+  Dag.check_invariants dag;
   (dag, m)
 
 let sorted l = List.sort Int.compare l
@@ -173,6 +176,26 @@ let prop_topo =
            (fun (w, l) () ok -> ok && pos.(w) < pos.(l))
            m.m_edges true)
 
+let prop_invariants_incremental =
+  Q.Test.make ~count:count_quadratic
+    ~name:"model: check_invariants holds after every single add" stream
+    (fun (n, seed, pairs) ->
+      let rng = Crowdmax_util.Rng.create seed in
+      let ranks = Crowdmax_util.Rng.permutation rng n in
+      let dag = Dag.create n in
+      for _ = 1 to min pairs 64 do
+        let a = Crowdmax_util.Rng.int rng n in
+        let b = Crowdmax_util.Rng.int rng n in
+        if a <> b then begin
+          let winner, loser =
+            if ranks.(a) > ranks.(b) then (a, b) else (b, a)
+          in
+          Dag.add_answer_unchecked dag ~winner ~loser;
+          Dag.check_invariants dag
+        end
+      done;
+      true)
+
 let prop_copy =
   Q.Test.make ~count:100
     ~name:"model: copy observes same state, then diverges independently"
@@ -188,11 +211,20 @@ let prop_copy =
       let cands = Dag.candidates c in
       if Array.length cands >= 2 then
         Dag.add_answer_unchecked c ~winner:cands.(0) ~loser:cands.(1);
+      Dag.check_invariants c;
+      Dag.check_invariants dag;
       same && Dag.answer_count dag = before)
 
 let suite =
   [
     ( "dag-model",
       List.map QCheck_alcotest.to_alcotest
-        [ prop_candidates; prop_edges; prop_beats; prop_topo; prop_copy ] );
+        [
+          prop_candidates;
+          prop_edges;
+          prop_beats;
+          prop_topo;
+          prop_invariants_incremental;
+          prop_copy;
+        ] );
   ]

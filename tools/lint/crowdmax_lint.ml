@@ -1,0 +1,177 @@
+(* crowdmax-lint — typedtree static analysis gate for the crowdmax repo.
+
+   Reads the .cmt files dune emits, reconstructs typing environments
+   from their summaries, and enforces the repo-specific rules R1-R4
+   (see rules.ml and CONTRIBUTING.md). Findings print one per line as
+
+       file:line:col RULE message
+
+   sorted and deduplicated, so output is stable enough to diff against
+   a golden file. Suppressions live in a checked-in allowlist (see
+   allowlist.ml). Exit status: 0 clean, 1 unsuppressed findings,
+   2 usage or I/O error.
+
+   Usage:
+     crowdmax_lint [--allow FILE] [--require-mli] [-I DIR] PATH...
+
+   Each PATH is a .cmt file or a directory scanned recursively
+   (dune hides them under lib/<x>/.<lib>.objs/byte/). *)
+
+let usage = "usage: crowdmax_lint [--allow FILE] [--require-mli] [-I DIR] PATH..."
+
+let fail fmt =
+  Printf.ksprintf
+    (fun s ->
+      prerr_endline ("crowdmax-lint: error: " ^ s);
+      exit 2)
+    fmt
+
+(* --- cmt discovery ------------------------------------------------------ *)
+
+let rec scan_path acc path =
+  match (Unix.stat path).Unix.st_kind with
+  | Unix.S_DIR ->
+      let entries = Sys.readdir path in
+      Array.sort String.compare entries;
+      Array.fold_left
+        (fun acc entry -> scan_path acc (Filename.concat path entry))
+        acc entries
+  | Unix.S_REG when Filename.check_suffix path ".cmt" -> path :: acc
+  | _ -> acc
+  | exception Unix.Unix_error (e, _, _) ->
+      fail "cannot stat %s: %s" path (Unix.error_message e)
+
+let collect_cmts paths =
+  let files = List.fold_left scan_path [] paths in
+  List.sort_uniq String.compare files
+
+(* --- per-cmt analysis --------------------------------------------------- *)
+
+let is_generated source =
+  (* dune's library alias modules come from generated .ml-gen files and
+     carry no user code. *)
+  Filename.check_suffix source ".ml-gen"
+
+let source_of (cmt : Cmt_format.cmt_infos) =
+  match cmt.Cmt_format.cmt_sourcefile with
+  | Some s -> s
+  | None -> cmt.Cmt_format.cmt_modname
+
+let env_of summary_env =
+  try Envaux.env_of_only_summary summary_env with _ -> Env.initial
+
+let analyze ~require_mli ~report (cmt_path, cmt) =
+  let source = source_of cmt in
+  if not (is_generated source) then begin
+    if require_mli && not (Sys.file_exists (Filename.remove_extension cmt_path ^ ".cmti"))
+    then
+      report
+        {
+          Finding.file = source;
+          line = 1;
+          col = 0;
+          rule = "R4";
+          message =
+            "module has no .mli interface (every lib module must declare its \
+             surface)";
+        };
+    match cmt.Cmt_format.cmt_annots with
+    | Cmt_format.Implementation str ->
+        Rules.run { Rules.report; env_of } str
+    | _ -> ()
+  end
+
+(* --- driver ------------------------------------------------------------- *)
+
+let () =
+  let allow_file = ref None in
+  let require_mli = ref false in
+  let includes = ref [] in
+  let paths = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--allow" :: f :: rest ->
+        allow_file := Some f;
+        parse rest
+    | "--require-mli" :: rest ->
+        require_mli := true;
+        parse rest
+    | "-I" :: d :: rest ->
+        includes := d :: !includes;
+        parse rest
+    | ("--allow" | "-I") :: [] -> fail "%s" usage
+    | ("--help" | "-help") :: _ ->
+        print_endline usage;
+        exit 0
+    | p :: rest ->
+        paths := p :: !paths;
+        parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  if !paths = [] then fail "%s" usage;
+  let allow =
+    match !allow_file with
+    | None -> Allowlist.empty
+    | Some f -> (
+        try Allowlist.load f with
+        | Allowlist.Malformed msg -> fail "%s" msg
+        | Sys_error msg -> fail "%s" msg)
+  in
+  let cmt_files = collect_cmts (List.rev !paths) in
+  if cmt_files = [] then fail "no .cmt files under the given paths";
+  let cmts =
+    List.map
+      (fun f ->
+        match Cmt_format.read_cmt f with
+        | cmt -> (f, cmt)
+        | exception _ -> fail "cannot read cmt file %s" f)
+      cmt_files
+  in
+  (* Load path for environment reconstruction: the directories holding
+     the scanned cmts (their cmis live alongside), any -I extras, plus
+     whatever absolute paths the compiler itself was invoked with
+     (external deps such as fmt/unix), and the stdlib. *)
+  let dirs =
+    let tbl = Hashtbl.create 16 in
+    let out = ref [] in
+    let add d =
+      if d <> "" && (not (Hashtbl.mem tbl d)) && Sys.file_exists d then begin
+        Hashtbl.add tbl d ();
+        out := d :: !out
+      end
+    in
+    List.iter (fun f -> add (Filename.dirname f)) cmt_files;
+    List.iter add (List.rev !includes);
+    List.iter
+      (fun (_, cmt) ->
+        List.iter
+          (fun d -> if Filename.is_relative d then () else add d)
+          cmt.Cmt_format.cmt_loadpath)
+      cmts;
+    add Config.standard_library;
+    List.rev !out
+  in
+  Load_path.init ~auto_include:Load_path.no_auto_include dirs;
+  Envaux.reset_cache ();
+  let findings = ref [] in
+  let report f = findings := f :: !findings in
+  List.iter (analyze ~require_mli:!require_mli ~report) cmts;
+  let all =
+    let sorted = List.sort_uniq Finding.compare !findings in
+    sorted
+  in
+  let kept, suppressed =
+    List.partition (fun f -> not (Allowlist.suppresses allow f)) all
+  in
+  List.iter (fun f -> print_endline (Finding.to_string f)) kept;
+  List.iter
+    (fun e ->
+      Printf.printf
+        "crowdmax-lint: warning: unused allowlist entry '%s' (%s:%d)\n"
+        (Allowlist.describe e) allow.Allowlist.file e.Allowlist.e_source_line)
+    (Allowlist.unused allow);
+  Printf.printf "crowdmax-lint: %d module(s), %d finding(s), %d suppressed\n"
+    (List.length
+       (List.filter (fun (_, c) -> not (is_generated (source_of c))) cmts))
+    (List.length kept) (List.length suppressed);
+  exit (if kept = [] then 0 else 1)

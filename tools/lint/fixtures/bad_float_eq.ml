@@ -1,0 +1,11 @@
+(* R1: the exact bug shape fixed in PR 2 — summary statistics held as
+   floats and compared with polymorphic [=]. Polymorphic equality at
+   float is NaN-hostile ([nan = nan] is false, so a single propagated
+   NaN makes "unchanged" checks spin) and at a float-carrying record it
+   is both that and boxed-traversal slow. *)
+
+type stats = { mean : float; stddev : float }
+
+let same_mean (a : stats) (b : stats) = a.mean = b.mean
+let same (a : stats) (b : stats) = a = b
+let converged prev cur = Float.equal prev cur || prev = cur

@@ -1,0 +1,5 @@
+type stats = { mean : float; stddev : float }
+
+val same_mean : stats -> stats -> bool
+val same : stats -> stats -> bool
+val converged : float -> float -> bool

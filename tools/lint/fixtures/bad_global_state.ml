@@ -1,0 +1,12 @@
+(* R3: top-level mutable state. Module-level refs, tables and buffers
+   are shared across the Crowdmax_util.Parallel domain pool without any
+   synchronization. The [scratch] buffer is suppressed by a pinned-line
+   entry in allow.txt to exercise the suppression path. *)
+
+let counter = ref 0
+let cache : (int, float) Hashtbl.t = Hashtbl.create 16
+let scratch = Buffer.create 256
+let table = Array.make 64 0.0
+
+let bump () = incr counter
+let remember k v = Hashtbl.replace cache k v

@@ -1,0 +1,6 @@
+val counter : int ref
+val cache : (int, float) Hashtbl.t
+val scratch : Buffer.t
+val table : float array
+val bump : unit -> unit
+val remember : int -> float -> unit

@@ -1,0 +1,13 @@
+(* R2: accumulating over Hashtbl iteration, whose order is unspecified
+   and changes with the hash seed — results differ across runs even with
+   identical inputs. The function-local Buffer is an R3 negative:
+   mutable state confined to one call is fine. *)
+
+let total tbl = Hashtbl.fold (fun _ v acc -> acc +. v) tbl 0.0
+
+let dump tbl =
+  let buf = Buffer.create 64 in
+  Hashtbl.iter
+    (fun k v -> Buffer.add_string buf (Printf.sprintf "%d=%f;" k v))
+    tbl;
+  Buffer.contents buf

@@ -1,0 +1,2 @@
+val total : ('a, float) Hashtbl.t -> float
+val dump : (int, float) Hashtbl.t -> string

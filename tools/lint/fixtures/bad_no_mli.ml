@@ -1,0 +1,5 @@
+(* R4: the only fixture module without an .mli — the interface rule
+   must fire exactly once, on this module. The body is otherwise clean. *)
+
+let version = 3
+let name = "bad_no_mli"

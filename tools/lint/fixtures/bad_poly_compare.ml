@@ -1,0 +1,9 @@
+(* R1: polymorphic comparison operators instantiated at non-immediate
+   types. Includes [compare] passed as a function argument — the linter
+   must catch occurrences, not just direct applications. *)
+
+let sort_points (ps : (float * float) list) = List.sort compare ps
+let worst (a : float) b = max a b
+let member (x : float) xs = List.mem x xs
+let lookup (k : string) tbl = List.assoc k tbl
+let bucket (p : float * float) = Hashtbl.hash p

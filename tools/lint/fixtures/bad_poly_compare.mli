@@ -1,0 +1,5 @@
+val sort_points : (float * float) list -> (float * float) list
+val worst : float -> float -> float
+val member : float -> float list -> bool
+val lookup : string -> (string * 'a) list -> 'a
+val bucket : float * float -> int

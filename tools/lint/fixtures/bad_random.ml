@@ -1,0 +1,8 @@
+(* R2: hidden-state RNG and wall-clock reads. Both break the replayable
+   determinism the replication engine depends on: Stdlib.Random shares
+   one mutable state across domains, and clock reads differ run to run. *)
+
+let flip () = Random.bool ()
+let jitter n = Random.int n
+let cpu_now () = Sys.time ()
+let wall_now () = Unix.gettimeofday ()

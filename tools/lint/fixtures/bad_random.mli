@@ -1,0 +1,4 @@
+val flip : unit -> bool
+val jitter : int -> int
+val cpu_now : unit -> float
+val wall_now : unit -> float

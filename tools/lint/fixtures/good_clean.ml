@@ -1,0 +1,22 @@
+(* Negative control: typed comparators, explicit float comparisons,
+   int-instantiated [min]/[max] (immediate, hence allowed), and mutable
+   state that never escapes a function. Must produce zero findings. *)
+
+let close a b = Float.abs (a -. b) < 1e-9
+
+let best xs =
+  List.fold_left
+    (fun acc x -> if Float.compare x acc > 0 then x else acc)
+    neg_infinity xs
+
+let clamp ~lo ~hi (x : int) = min hi (max lo x)
+
+let histogram (xs : int list) =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun x ->
+      let c = match Hashtbl.find_opt tbl x with Some c -> c | None -> 0 in
+      Hashtbl.replace tbl x (c + 1))
+    xs;
+  let keys = List.sort_uniq Int.compare xs in
+  List.map (fun k -> (k, Hashtbl.find tbl k)) keys

@@ -1,0 +1,4 @@
+val close : float -> float -> bool
+val best : float list -> float
+val clamp : lo:int -> hi:int -> int -> int
+val histogram : int list -> (int * int) list
