@@ -458,7 +458,27 @@ let engine_bench_cases () =
           ~allocation:sol.Tdp.allocation ~selection:Selection.tournament
           ~latency_model:model ()
       in
-      [ (n, "oracle", oracle); (n, "simulated", simulated) ])
+      (* the finite-deadline path adds per-round bookkeeping (pending
+         queue, partial consensus); a cut-off Fixed deadline with
+         carry-forward exercises all of it, and doubles as the CI smoke
+         for deadline-bounded rounds *)
+      let deadlined =
+        Engine.config
+          ~source:
+            (Engine.Simulated
+               {
+                 platform = P.create ();
+                 rwl = { Rwl.votes = 3; error = W.Uniform 0.15 };
+               })
+          ~deadline:(Engine.Fixed 200.0) ~straggler:Engine.Carry_forward
+          ~allocation:sol.Tdp.allocation ~selection:Selection.tournament
+          ~latency_model:model ()
+      in
+      [
+        (n, "oracle", oracle);
+        (n, "simulated", simulated);
+        (n, "simulated+deadline", deadlined);
+      ])
     [ 50; 100; 500 ]
 
 (* Three equal measurement windows per case; the reported runs/sec is the
@@ -627,6 +647,7 @@ let selection_test name sel c0 b =
       history = Dag.create c0;
       round_index = 0;
       total_rounds = 1;
+      carried = [];
     }
   in
   Test.make ~name (Staged.stage (fun () ->

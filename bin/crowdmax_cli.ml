@@ -90,6 +90,81 @@ let selection_arg =
           (Printf.sprintf "Question selection algorithm: %s."
              (String.concat ", " (List.map fst all))))
 
+(* Deadline policy syntax: "wait" (default), "qP" for Quantile P in
+   (0, 1], or a positive float for Fixed seconds. *)
+let deadline_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "wait" | "wait-all" -> Ok Engine.Wait_all
+    | low when String.length low > 1 && low.[0] = 'q' -> (
+        match float_of_string_opt (String.sub low 1 (String.length low - 1)) with
+        | Some p when p > 0.0 && p <= 1.0 -> Ok (Engine.Quantile p)
+        | _ -> Error (`Msg (Printf.sprintf "quantile out of (0, 1]: %s" s)))
+    | low -> (
+        match float_of_string_opt low with
+        | Some d when d > 0.0 -> Ok (Engine.Fixed d)
+        | _ ->
+            Error
+              (`Msg
+                (Printf.sprintf
+                   "bad deadline %S: expected 'wait', 'qP' (quantile), or \
+                    positive seconds"
+                   s)))
+  in
+  let print ppf = function
+    | Engine.Wait_all -> Format.pp_print_string ppf "wait"
+    | Engine.Fixed d -> Format.fprintf ppf "%g" d
+    | Engine.Quantile p -> Format.fprintf ppf "q%g" p
+  in
+  Arg.conv (parse, print)
+
+let deadline_arg =
+  Arg.(
+    value & opt deadline_conv Engine.Wait_all
+    & info [ "deadline" ] ~docv:"POLICY"
+        ~doc:
+          "Per-round answer-collection cutoff: $(b,wait) (block for every \
+           raw answer; default), $(b,qP) (cut at the latency model's \
+           predicted P-quantile completion, e.g. q0.95), or positive \
+           seconds for a fixed cutoff. Needs $(b,--simulated).")
+
+(* Straggler policy syntax: "drop" (default), "carry", or "reissue:N". *)
+let straggler_conv =
+  let parse s =
+    let low = String.lowercase_ascii s in
+    let reissue = "reissue:" in
+    if String.equal low "drop" then Ok Engine.Drop
+    else if String.equal low "carry" || String.equal low "carry-forward" then
+      Ok Engine.Carry_forward
+    else if String.starts_with ~prefix:reissue low then (
+      let n = String.sub low (String.length reissue)
+                (String.length low - String.length reissue) in
+      match int_of_string_opt n with
+      | Some n when n >= 0 -> Ok (Engine.Reissue n)
+      | _ -> Error (`Msg (Printf.sprintf "bad reissue count in %S" s)))
+    else
+      Error
+        (`Msg
+          (Printf.sprintf
+             "bad straggler policy %S: expected drop, carry, or reissue:N" s))
+  in
+  let print ppf = function
+    | Engine.Drop -> Format.pp_print_string ppf "drop"
+    | Engine.Carry_forward -> Format.pp_print_string ppf "carry"
+    | Engine.Reissue n -> Format.fprintf ppf "reissue:%d" n
+  in
+  Arg.conv (parse, print)
+
+let straggler_arg =
+  Arg.(
+    value & opt straggler_conv Engine.Drop
+    & info [ "straggler" ] ~docv:"POLICY"
+        ~doc:
+          "What happens to questions with zero votes when a deadline cuts a \
+           round off: $(b,drop) (default), $(b,carry) (repost in later \
+           rounds while both elements survive), or $(b,reissue:N) (repost \
+           at most N times).")
+
 (* --- allocate ----------------------------------------------------------- *)
 
 let json_flag =
@@ -278,22 +353,79 @@ let frontier_cmd =
 (* --- run ----------------------------------------------------------------- *)
 
 let run_cmd =
-  let run elements budget delta alpha p seed runs jobs selection =
+  let simulated_arg =
+    Arg.(
+      value & flag
+      & info [ "simulated" ]
+          ~doc:
+            "Answer through the discrete-event platform and the RWL (worker \
+             errors, real batch latency) instead of the instant oracle.")
+  in
+  let votes_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "votes" ] ~docv:"V"
+          ~doc:"RWL repetitions per question (with $(b,--simulated)).")
+  in
+  let worker_error_arg =
+    Arg.(
+      value & opt float 0.15
+      & info [ "worker-error" ] ~docv:"E"
+          ~doc:
+            "Uniform worker error rate in [0, 0.5) (with $(b,--simulated)).")
+  in
+  let run elements budget delta alpha p seed runs jobs selection simulated
+      votes worker_error deadline straggler =
     let jobs = resolve_jobs jobs in
+    let finite_deadline =
+      match deadline with Engine.Wait_all -> false | _ -> true
+    in
+    if finite_deadline && not simulated then begin
+      Printf.eprintf
+        "crowdmax: --deadline needs --simulated (the oracle answers \
+         instantly; there is nothing to cut off)\n";
+      exit 2
+    end;
     let model = model_of delta alpha p in
     let problem = Problem.create ~elements ~budget ~latency:model in
     let sol = Tdp.solve problem in
+    let source =
+      if simulated then
+        Engine.Simulated
+          {
+            platform = Crowdmax_crowd.Platform.create ();
+            rwl =
+              {
+                Crowdmax_crowd.Rwl.votes;
+                error = Crowdmax_crowd.Worker.Uniform worker_error;
+              };
+          }
+      else Engine.Oracle
+    in
     let cfg =
-      Engine.config ~allocation:sol.Tdp.allocation ~selection
-        ~latency_model:model ()
+      Engine.config ~source ~deadline ~straggler
+        ~allocation:sol.Tdp.allocation ~selection ~latency_model:model ()
     in
     let agg = Engine.replicate ~jobs ~runs ~seed cfg ~elements in
-    Format.printf "%a, selection = %s@." Problem.pp problem
-      selection.Selection.name;
+    Format.printf "%a, selection = %s, source = %s@." Problem.pp problem
+      selection.Selection.name
+      (if simulated then
+         Printf.sprintf "simulated (%d votes, error %g)" votes worker_error
+       else "oracle");
     Format.printf "allocation: %a@." Allocation.pp sol.Tdp.allocation;
+    if finite_deadline then
+      Format.printf "deadline: %s, stragglers: %s@."
+        (match deadline with
+        | Engine.Wait_all -> "wait-all"
+        | Engine.Fixed d -> Printf.sprintf "fixed %gs" d
+        | Engine.Quantile q -> Printf.sprintf "quantile %g" q)
+        (match straggler with
+        | Engine.Drop -> "drop"
+        | Engine.Carry_forward -> "carry forward"
+        | Engine.Reissue n -> Printf.sprintf "reissue at most %d times" n);
     Format.printf
-      "mean latency %.1f s (stddev %.1f); singleton %.0f%%; correct %.0f%%; mean questions %.0f; mean rounds %.1f@."
-      agg.Engine.mean_latency agg.Engine.stddev_latency
+      "mean latency %.1f s (stddev %.1f, p95 %.1f); singleton %.0f%%; correct %.0f%%; mean questions %.0f; mean rounds %.1f@."
+      agg.Engine.mean_latency agg.Engine.stddev_latency agg.Engine.p95_latency
       (100.0 *. agg.Engine.singleton_rate)
       (100.0 *. agg.Engine.correct_rate)
       agg.Engine.mean_questions agg.Engine.mean_rounds;
@@ -305,7 +437,8 @@ let run_cmd =
   let term =
     Term.(
       const run $ elements_arg $ budget_arg $ delta_arg $ alpha_arg $ p_arg
-      $ seed_arg $ runs_arg $ jobs_arg $ selection_arg)
+      $ seed_arg $ runs_arg $ jobs_arg $ selection_arg $ simulated_arg
+      $ votes_arg $ worker_error_arg $ deadline_arg $ straggler_arg)
   in
   Cmd.v
     (Cmd.info "run"
@@ -331,7 +464,7 @@ let experiment_cmd =
     [
       ("fig11a", `Fig11a); ("fig11b", `Fig11b); ("fig12", `Fig12);
       ("fig13a", `Fig13a); ("fig13b", `Fig13b); ("fig14a", `Fig14a);
-      ("fig14b", `Fig14b); ("fig15", `Fig15);
+      ("fig14b", `Fig14b); ("fig15", `Fig15); ("fig_deadline", `Fig_deadline);
     ]
   in
   let figure_arg =
@@ -354,6 +487,8 @@ let experiment_cmd =
     | `Fig14a -> X.Fig14.print_a (X.Fig14.run_a ~jobs ~runs ~seed ())
     | `Fig14b -> X.Fig14.print_b (X.Fig14.run_b ())
     | `Fig15 -> X.Fig15.print (X.Fig15.run ())
+    | `Fig_deadline ->
+        X.Fig_deadline.print (X.Fig_deadline.run ~jobs ~runs ~seed ())
   in
   let term = Term.(const run $ figure_arg $ runs_arg $ seed_arg $ jobs_arg) in
   Cmd.v

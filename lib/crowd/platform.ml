@@ -97,11 +97,30 @@ type sim_event = Arrival of float | Completion of float * int * int
 
 let event_time = function Arrival t -> t | Completion (t, _, _) -> t
 
-let simulate t rng q ~on_complete =
+type report = {
+  latency : float;
+  completed : int;
+  in_flight : int;
+  unassigned : int;
+  deadline_hit : bool;
+}
+
+let simulate ?(deadline = Float.infinity) t rng q ~on_complete =
   let cfg = t.cfg in
   if q < 0 then invalid_arg "Platform: negative batch size";
   if cfg.tail_rate <= 0.0 then invalid_arg "Platform: tail_rate must be > 0";
-  if q = 0 then cfg.post_overhead
+  if Float.is_nan deadline || deadline <= 0.0 then
+    invalid_arg "Platform: deadline must be > 0";
+  if q = 0 then begin
+    let latency = Float.min cfg.post_overhead deadline in
+    {
+      latency;
+      completed = 0;
+      in_flight = 0;
+      unassigned = 0;
+      deadline_hit = deadline < cfg.post_overhead;
+    }
+  end
   else begin
     let events =
       Heap.create ~cmp:(fun a b -> Float.compare (event_time a) (event_time b))
@@ -110,6 +129,7 @@ let simulate t rng q ~on_complete =
     let next_question = ref 0 in
     let answered = ref 0 in
     let last_time = ref cfg.post_overhead in
+    let deadline_hit = ref false in
     let take_question time patience =
       if !next_question < q && patience > 0 then begin
         let idx = !next_question in
@@ -118,29 +138,42 @@ let simulate t rng q ~on_complete =
         Heap.push events (Completion (done_at, idx, patience - 1))
       end
     in
-    while !answered < q do
-      match Heap.pop_exn events with
-      | Arrival time ->
-          (* Keep the arrival stream alive only while questions remain
-             unassigned; later arrivals would find nothing to do. *)
-          if !next_question < q then begin
-            Heap.push events (Arrival (next_arrival rng cfg q time));
-            take_question time (draw_patience rng cfg)
-          end
-      | Completion (time, idx, patience) ->
-          incr answered;
-          last_time := Float.max !last_time time;
-          on_complete idx time;
-          take_question time patience
+    (* An event past the deadline ends the round: with the default
+       infinite deadline the guard never fires and the loop — and its
+       rng draw sequence — is exactly the historical one. *)
+    while (not !deadline_hit) && !answered < q do
+      let ev = Heap.pop_exn events in
+      if event_time ev > deadline then deadline_hit := true
+      else
+        match ev with
+        | Arrival time ->
+            (* Keep the arrival stream alive only while questions remain
+               unassigned; later arrivals would find nothing to do. *)
+            if !next_question < q then begin
+              Heap.push events (Arrival (next_arrival rng cfg q time));
+              take_question time (draw_patience rng cfg)
+            end
+        | Completion (time, idx, patience) ->
+            incr answered;
+            last_time := Float.max !last_time time;
+            on_complete idx time;
+            take_question time patience
     done;
-    !last_time
+    {
+      latency = (if !deadline_hit then deadline else !last_time);
+      completed = !answered;
+      in_flight = !next_question - !answered;
+      unassigned = q - !next_question;
+      deadline_hit = !deadline_hit;
+    }
   end
 
-let batch_latency t rng q = simulate t rng q ~on_complete:(fun _ _ -> ())
+let batch_latency ?deadline t rng q =
+  (simulate ?deadline t rng q ~on_complete:(fun _ _ -> ())).latency
 
 type answered = { question : int * int; winner : int; completed_at : float }
 
-let answer_batch t rng ~error ~truth questions =
+let answer_batch ?deadline t rng ~error ~truth questions =
   let arr = Array.of_list questions in
   let results = ref [] in
   let on_complete idx time =
@@ -148,5 +181,5 @@ let answer_batch t rng ~error ~truth questions =
     let winner = Worker.answer rng error truth a b in
     results := { question = (a, b); winner; completed_at = time } :: !results
   in
-  let latency = simulate t rng (Array.length arr) ~on_complete in
-  (List.rev !results, latency)
+  let report = simulate ?deadline t rng (Array.length arr) ~on_complete in
+  (List.rev !results, report)

@@ -49,10 +49,46 @@ type t
 val create : ?config:config -> unit -> t
 val config : t -> config
 
-val batch_latency : t -> Crowdmax_util.Rng.t -> int -> float
+type report = {
+  latency : float;
+      (** seconds from posting until the last answer — or until the
+          deadline, when it was hit (the caller waited that long) *)
+  completed : int;  (** questions answered by the cutoff *)
+  in_flight : int;
+      (** questions a worker had picked up whose service time ran past
+          the deadline (their answers never count) *)
+  unassigned : int;  (** questions no worker ever picked up *)
+  deadline_hit : bool;
+      (** the event loop was cut off; [completed < q] is possible (but
+          an exactly-at-deadline last answer also sets this false) *)
+}
+(** What a batch run produced. [completed + in_flight + unassigned = q].
+    Without a deadline, [completed = q] and [deadline_hit = false]. *)
+
+val simulate :
+  ?deadline:float ->
+  t ->
+  Crowdmax_util.Rng.t ->
+  int ->
+  on_complete:(int -> float -> unit) ->
+  report
+(** Run the event loop for a [q]-question batch. [on_complete idx time]
+    fires for every answer in completion order; question indices are
+    assigned to arriving workers sequentially ([0, 1, ...]).
+
+    [deadline] (simulated seconds after posting, default infinity) stops
+    the loop at the first event strictly past it: answers already in
+    are kept, [on_complete] never fires for later ones, and the report
+    says what was cut off. [deadline = infinity] follows the exact
+    historical code path — same rng draw sequence, bit-identical
+    results. Raises [Invalid_argument] on negative [q], a non-positive
+    [tail_rate], or a NaN/non-positive [deadline]. *)
+
+val batch_latency : ?deadline:float -> t -> Crowdmax_util.Rng.t -> int -> float
 (** Time (seconds) from posting a [q]-question batch until the last
-    answer returns. [q = 0] costs just the posting overhead. Raises
-    [Invalid_argument] on negative [q] or a non-positive [tail_rate]. *)
+    answer returns ([report.latency]). [q = 0] costs just the posting
+    overhead. Raises [Invalid_argument] on negative [q] or a
+    non-positive [tail_rate]. *)
 
 type answered = {
   question : int * int;
@@ -61,13 +97,15 @@ type answered = {
 }
 
 val answer_batch :
+  ?deadline:float ->
   t ->
   Crowdmax_util.Rng.t ->
   error:Worker.error_model ->
   truth:Ground_truth.t ->
   (int * int) list ->
-  answered list * float
-(** Simulate one round: every question is answered exactly once by a raw
-    worker under [error]; returns the answers (in completion order) and
-    the batch latency. Question repetition for reliability is the RWL's
-    job ({!Rwl}). *)
+  answered list * report
+(** Simulate one round: every question that completes by the deadline
+    (all of them, when no deadline is given) is answered exactly once by
+    a raw worker under [error]; returns the answers (in completion
+    order) and the batch report. Question repetition for reliability is
+    the RWL's job ({!Rwl}). *)

@@ -1,9 +1,12 @@
+open Crowdmax_util
+
 type config = { votes : int; error : Worker.error_model }
 
 let default_config = { votes = 3; error = Worker.Uniform 0.1 }
 
 type outcome = {
   answers : (int * int) list;
+  unanswered : (int * int) list;
   raw_questions : int;
   vote_flips : int;
   cycle_edges_flipped : int;
@@ -93,7 +96,10 @@ let break_cycles voted =
         else begin
           let sw = Option.value ~default:0 (Hashtbl.find_opt score w) in
           let sl = Option.value ~default:0 (Hashtbl.find_opt score l) in
-          if (sw, w) > (sl, l) then (w, l)
+          (* Lexicographic (score, id): explicit [Int.compare], not a
+             polymorphic [>] on a boxed tuple (lint R1). *)
+          let c = Int.compare sw sl in
+          if c > 0 || (c = 0 && Int.compare w l > 0) then (w, l)
           else begin
             incr flipped;
             (l, w)
@@ -103,22 +109,23 @@ let break_cycles voted =
   in
   (final, !flipped)
 
-let outcome_of ~truth ~raw_questions ~vote_flips ~questions voted =
+let outcome_of ~truth ~raw_questions ~vote_flips ~unanswered voted =
   let final, flipped = break_cycles voted in
   let correct =
     List.fold_left
       (fun acc (w, l) -> if Ground_truth.better truth w l = w then acc + 1 else acc)
       0 final
   in
-  let n_questions = List.length questions in
+  let n_answered = List.length final in
   {
     answers = final;
+    unanswered;
     raw_questions;
     vote_flips;
     cycle_edges_flipped = flipped;
     accuracy =
-      (if n_questions = 0 then 1.0
-       else float_of_int correct /. float_of_int n_questions);
+      (if n_answered = 0 then 1.0
+       else float_of_int correct /. float_of_int n_answered);
   }
 
 let check_questions name questions =
@@ -126,35 +133,83 @@ let check_questions name questions =
     (fun (a, b) -> if a = b then invalid_arg (name ^ ": self-comparison"))
     questions
 
-let resolve rng cfg ~truth questions =
+(* Validate an optional per-question received-vote vector (deadline
+   support): when absent, every question got its full [votes]. *)
+let check_received name votes questions = function
+  | None -> fun _ -> votes
+  | Some received ->
+      if Array.length received <> List.length questions then
+        invalid_arg (name ^ ": votes_received length mismatch");
+      Array.iter
+        (fun v ->
+          if v < 0 || v > votes then
+            invalid_arg (name ^ ": votes_received out of [0, votes]"))
+        received;
+      fun qi -> received.(qi)
+
+(* An exact split: award the question by a fair draw rather than the
+   historical (biased) award-to-[b]. Only consulted on actual ties, so
+   odd full-vote configurations never touch the rng here. *)
+let fair_tie rng a b = if Rng.bool rng then a else b
+
+let resolve ?votes_received rng cfg ~truth questions =
   if cfg.votes < 1 then invalid_arg "Rwl.resolve: votes < 1";
   check_questions "Rwl.resolve" questions;
+  let received = check_received "Rwl.resolve" cfg.votes questions votes_received in
   (* Repetition + majority vote per question. *)
   let vote_flips = ref 0 in
-  let voted =
-    List.map
-      (fun (a, b) ->
+  let unanswered = ref [] in
+  let voted = ref [] in
+  List.iteri
+    (fun qi (a, b) ->
+      let v = received qi in
+      if v = 0 then unanswered := (a, b) :: !unanswered
+      else begin
         let wins_a = ref 0 in
-        for _ = 1 to cfg.votes do
+        for _ = 1 to v do
           if Worker.answer rng cfg.error truth a b = a then incr wins_a
         done;
-        let winner = if 2 * !wins_a > cfg.votes then a else b in
+        let winner =
+          if 2 * !wins_a > v then a
+          else if 2 * !wins_a < v then b
+          else fair_tie rng a b
+        in
         if winner <> Ground_truth.better truth a b then incr vote_flips;
         let loser = if winner = a then b else a in
-        (winner, loser))
-      questions
-  in
+        voted := (winner, loser) :: !voted
+      end)
+    questions;
   outcome_of ~truth
     ~raw_questions:(cfg.votes * List.length questions)
-    ~vote_flips:!vote_flips ~questions voted
+    ~vote_flips:!vote_flips
+    ~unanswered:(List.rev !unanswered)
+    (List.rev !voted)
 
-let resolve_pool rng ~pool ~votes ~truth questions =
+(* Keep, per question, only the first [received qi] collected votes —
+   under a deadline the earliest-assigned workers are the ones whose
+   answers made it back. *)
+let truncate_votes received votes =
+  let kept = Hashtbl.create 64 in
+  List.filter
+    (fun v ->
+      let qi = v.Worker_pool.question in
+      let k = Option.value ~default:0 (Hashtbl.find_opt kept qi) in
+      if k < received qi then begin
+        Hashtbl.replace kept qi (k + 1);
+        true
+      end
+      else false)
+    votes
+
+let resolve_pool ?votes_received rng ~pool ~votes ~truth questions =
   if votes < 1 then invalid_arg "Rwl.resolve_pool: votes < 1";
   check_questions "Rwl.resolve_pool" questions;
+  let received = check_received "Rwl.resolve_pool" votes questions votes_received in
   match questions with
   | [] ->
       {
         answers = [];
+        unanswered = [];
         raw_questions = 0;
         vote_flips = 0;
         cycle_edges_flipped = 0;
@@ -166,23 +221,51 @@ let resolve_pool rng ~pool ~votes ~truth questions =
         Worker_pool.collect_votes pool rng ~truth ~votes_per_question:votes
           question_array
       in
-      let est =
-        Worker_pool.estimate_accuracies ~questions:question_array
-          ~workers:(Worker_pool.size pool) raw_votes
+      let raw_votes =
+        match votes_received with
+        | None -> raw_votes
+        | Some _ -> truncate_votes received raw_votes
       in
-      let vote_flips = ref 0 in
-      let voted =
-        List.mapi
+      if List.compare_length_with raw_votes 0 = 0 then
+        {
+          answers = [];
+          unanswered = questions;
+          raw_questions = votes * List.length questions;
+          vote_flips = 0;
+          cycle_edges_flipped = 0;
+          accuracy = 1.0;
+        }
+      else begin
+        (* Zero-vote questions stay in the array (they contribute
+           nothing to the EM) and are reported unanswered below. *)
+        let est =
+          Worker_pool.estimate_accuracies ~questions:question_array
+            ~workers:(Worker_pool.size pool) raw_votes
+        in
+        let vote_flips = ref 0 in
+        let unanswered = ref [] in
+        let voted = ref [] in
+        List.iteri
           (fun qi (a, b) ->
-            let winner = est.Worker_pool.consensus.(qi) in
-            if winner <> Ground_truth.better truth a b then incr vote_flips;
-            let loser = if winner = a then b else a in
-            (winner, loser))
-          questions
-      in
-      outcome_of ~truth
-        ~raw_questions:(votes * List.length questions)
-        ~vote_flips:!vote_flips ~questions voted
+            if received qi = 0 then unanswered := (a, b) :: !unanswered
+            else begin
+              let winner =
+                (* The estimator's exactly-zero scores fall back to a
+                   deterministic award-to-[a]; re-break them fairly. *)
+                if est.Worker_pool.tied.(qi) then fair_tie rng a b
+                else est.Worker_pool.consensus.(qi)
+              in
+              if winner <> Ground_truth.better truth a b then incr vote_flips;
+              let loser = if winner = a then b else a in
+              voted := (winner, loser) :: !voted
+            end)
+          questions;
+        outcome_of ~truth
+          ~raw_questions:(votes * List.length questions)
+          ~vote_flips:!vote_flips
+          ~unanswered:(List.rev !unanswered)
+          (List.rev !voted)
+      end
 
 let is_conflict_free ~n answers =
   let dag = Crowdmax_graph.Answer_dag.create n in

@@ -21,26 +21,48 @@ val default_config : config
 
 type outcome = {
   answers : (int * int) list;
-      (** one conflict-free [(winner, loser)] per input question *)
+      (** one conflict-free [(winner, loser)] per answered question *)
+  unanswered : (int * int) list;
+      (** questions with zero received votes (deadline-truncated
+          rounds); empty without [?votes_received]. In input order. *)
   raw_questions : int;  (** questions actually sent to workers *)
   vote_flips : int;  (** majority answers that contradicted the truth *)
   cycle_edges_flipped : int;
       (** voted answers re-oriented by cycle resolution *)
-  accuracy : float;  (** fraction of final answers matching the truth *)
+  accuracy : float;
+      (** fraction of final answers matching the truth, over answered
+          questions (vacuously 1 when none were answered) *)
 }
 
 val resolve :
+  ?votes_received:int array ->
   Crowdmax_util.Rng.t ->
   config ->
   truth:Ground_truth.t ->
   (int * int) list ->
   outcome
 (** Answer a round's questions. The output orientation is guaranteed
-    acyclic (checked by construction; property-tested). Raises
-    [Invalid_argument] if [votes < 1] or a question is a
-    self-comparison. *)
+    acyclic (checked by construction; property-tested).
+
+    [votes_received] (one entry per question, each in [\[0, votes\]])
+    caps how many of a question's repetitions actually came back — the
+    deadline-bounded partial-vote path. Questions with zero received
+    votes are reported in [unanswered] instead of being answered;
+    majority is taken over the received votes only. When omitted, every
+    question gets its full [votes].
+
+    An exact vote split (possible whenever the effective vote count is
+    even) is broken by a fair draw from the rng — not, as a historical
+    bug had it, always awarded to the second element. Odd full-vote
+    configurations never consult the rng for tie-breaking, so their
+    draw streams are unchanged.
+
+    Raises [Invalid_argument] if [votes < 1], a question is a
+    self-comparison, or [votes_received] has the wrong length or an
+    out-of-range entry. *)
 
 val resolve_pool :
+  ?votes_received:int array ->
   Crowdmax_util.Rng.t ->
   pool:Worker_pool.t ->
   votes:int ->
@@ -51,7 +73,12 @@ val resolve_pool :
     {!Worker_pool} and the per-question consensus is formed by
     accuracy-weighted voting ([Worker_pool.estimate_accuracies]) instead
     of a plain majority — the [12]-style quality management the paper's
-    RWL assumes. Same conflict-free guarantee. *)
+    RWL assumes. Same conflict-free guarantee and the same
+    [votes_received] semantics: the first [votes_received.(i)] collected
+    votes of question [i] are kept (earliest-assigned workers answer
+    first). Estimator ties ([Worker_pool.estimate.tied] — an exactly-zero
+    weighted score) are re-broken with a fair draw instead of the
+    estimator's deterministic award to the first element. *)
 
 val is_conflict_free : n:int -> (int * int) list -> bool
 (** [true] iff the [(winner, loser)] pairs over elements [0..n-1] form no

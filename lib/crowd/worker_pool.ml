@@ -54,6 +54,7 @@ let collect_votes t rng ~truth ~votes_per_question questions =
 type estimate = {
   worker_accuracy : float array;
   consensus : int array;
+  tied : bool array;
   iterations : int;
 }
 
@@ -75,6 +76,7 @@ let estimate_accuracies ~questions ~workers votes =
     votes;
   let accuracy = Array.make workers 0.7 in
   let consensus = Array.make nq (-1) in
+  let tied = Array.make nq false in
   let by_question = Array.make nq [] in
   List.iter (fun v -> by_question.(v.question) <- v :: by_question.(v.question)) votes;
   let iterations = ref 0 in
@@ -93,8 +95,12 @@ let estimate_accuracies ~questions ~workers votes =
             if v.choice = a then score := !score +. weight
             else score := !score -. weight)
           by_question.(qi);
-        (* deterministic tie-break toward the lower id *)
+        (* The tie-break toward [a] below is deterministic; [tied]
+           records when it actually fired (an exactly-zero final score:
+           weight-0 workers or symmetric cancellation) so callers can
+           substitute a fair draw. *)
         let winner = if !score >= 0.0 then a else b in
+        tied.(qi) <- Float.equal !score 0.0;
         if consensus.(qi) <> winner then begin
           consensus.(qi) <- winner;
           changed := true
@@ -113,4 +119,4 @@ let estimate_accuracies ~questions ~workers votes =
       accuracy.(w) <- (agree.(w) +. 1.0) /. (total.(w) +. 2.0)
     done
   done;
-  { worker_accuracy = accuracy; consensus; iterations = !iterations }
+  { worker_accuracy = accuracy; consensus; tied; iterations = !iterations }

@@ -50,6 +50,12 @@ val collect_votes :
 type estimate = {
   worker_accuracy : float array;  (** estimated accuracy per worker *)
   consensus : int array;  (** estimated winner per question index *)
+  tied : bool array;
+      (** per question: the final weighted score was exactly zero (no
+          votes, weight-0 workers, or symmetric cancellation), so
+          [consensus] is the deterministic tie-break toward the first
+          element rather than actual evidence. Callers wanting unbiased
+          consensus must re-break these with a fair draw ({!Rwl}). *)
   iterations : int;
 }
 

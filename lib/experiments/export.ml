@@ -123,6 +123,30 @@ let fig15 (f : Fig15.t) =
              f.Fig15.points) );
     ]
 
+let fig_deadline (f : Fig_deadline.t) =
+  J.Obj
+    [
+      ("figure", J.String "deadline");
+      ("elements", J.int f.Fig_deadline.elements);
+      ("budget", J.int f.Fig_deadline.budget);
+      ("runs", J.int f.Fig_deadline.runs);
+      ( "cells",
+        J.List
+          (List.map
+             (fun (c : Fig_deadline.cell) ->
+               J.Obj
+                 [
+                   ("deadline", J.String (Fig_deadline.deadline_label c.deadline));
+                   ( "straggler",
+                     J.String (Fig_deadline.straggler_label c.straggler) );
+                   ("mean_latency_seconds", J.Float c.mean_latency);
+                   ("p95_latency_seconds", J.Float c.p95_latency);
+                   ("correct_rate", J.Float c.correct_rate);
+                   ("singleton_rate", J.Float c.singleton_rate);
+                 ])
+             f.Fig_deadline.cells) );
+    ]
+
 let write ~path doc =
   let oc = open_out path in
   Fun.protect

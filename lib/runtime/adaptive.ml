@@ -51,6 +51,7 @@ let run rng ~problem ~selection truth =
             (* adaptive re-planning has no fixed horizon; report the
                current plan's length for phase-split selectors *)
             total_rounds = !rounds_run + Allocation.rounds plan.Tdp.allocation;
+            carried = [];
           }
         in
         let questions = selection.Selection.select rng input in
@@ -77,6 +78,11 @@ let run rng ~problem ~selection truth =
               candidates_before = c;
               candidates_after = after;
               round_latency = latency;
+              (* adaptive rounds are oracle-answered: nothing is ever
+                 cut off or reposted *)
+              unanswered_questions = 0;
+              reissued_questions = 0;
+              deadline_hit = false;
             }
             :: !trace;
           incr rounds_run

@@ -17,17 +17,45 @@ type answer_source =
       votes : int;
     }
 
+type deadline_policy = Wait_all | Fixed of float | Quantile of float
+type straggler_policy = Drop | Carry_forward | Reissue of int
+
 type config = {
   allocation : Allocation.t;
   selection : Selection.t;
   latency_model : Model.t;
   source : answer_source;
   pad_to_round_budget : bool;
+  deadline : deadline_policy;
+  straggler : straggler_policy;
 }
 
-let config ?(source = Oracle) ?(pad_to_round_budget = true) ~allocation
-    ~selection ~latency_model () =
-  { allocation; selection; latency_model; source; pad_to_round_budget }
+let config ?(source = Oracle) ?(pad_to_round_budget = true)
+    ?(deadline = Wait_all) ?(straggler = Drop) ~allocation ~selection
+    ~latency_model () =
+  {
+    allocation;
+    selection;
+    latency_model;
+    source;
+    pad_to_round_budget;
+    deadline;
+    straggler;
+  }
+
+let check_policies cfg =
+  (match cfg.deadline with
+  | Wait_all -> ()
+  | Fixed d ->
+      if Float.is_nan d || d <= 0.0 then
+        invalid_arg "Engine.run: Fixed deadline must be > 0"
+  | Quantile p ->
+      if Float.is_nan p || p <= 0.0 || p > 1.0 then
+        invalid_arg "Engine.run: Quantile must be in (0, 1]");
+  match cfg.straggler with
+  | Reissue n ->
+      if n < 0 then invalid_arg "Engine.run: Reissue retry cap < 0"
+  | Drop | Carry_forward -> ()
 
 type round_record = {
   round_index : int;
@@ -37,6 +65,9 @@ type round_record = {
   candidates_before : int;
   candidates_after : int;
   round_latency : float;
+  unanswered_questions : int;
+  reissued_questions : int;
+  deadline_hit : bool;
 }
 
 type result = {
@@ -49,15 +80,53 @@ type result = {
   trace : round_record list;
 }
 
-(* Answer a round's questions, record them in [dag], and return the
-   round latency. RWL / oracle answers are conflict-free by contract,
-   so the per-edge transitive cycle check would be pure overhead; the
-   Oracle path writes each answer straight into the DAG without
-   building an intermediate list. *)
-let apply_round rng cfg truth dag questions posted_count =
+(* The round deadline, if the policy imposes one. [Quantile p] waits
+   until the latency model's predicted completion time of the
+   ceil(p * raw)-th raw question — the modeled p-th completion time —
+   instead of the (tail-dominated) last one. *)
+let round_deadline cfg ~raw_posted =
+  match cfg.deadline with
+  | Wait_all -> None
+  | Fixed d -> Some d
+  | Quantile p ->
+      let k = max 1 (int_of_float (Float.ceil (p *. float_of_int raw_posted))) in
+      Some (Model.eval cfg.latency_model k)
+
+(* Answer a round's questions, record them in [dag], and return
+   [(round latency, unanswered questions, deadline_hit)]. RWL / oracle
+   answers are conflict-free by contract, so the per-edge transitive
+   cycle check would be pure overhead; the Oracle path writes each
+   answer straight into the DAG without building an intermediate list.
+
+   Draw-order contract: under [Wait_all] the rng is consumed exactly as
+   it always was — RWL votes first, then the platform's event stream —
+   so aggregates stay bit-identical to the pre-deadline engine. A
+   finite deadline needs the platform's completion report *before*
+   votes can be drawn (only received repetitions count), so that path
+   runs platform-first; it is a distinct, documented draw schedule.
+
+   Raw-slot layout under a deadline: repetition [i] of the raw batch
+   belongs to posted slot [i mod posted] — repetitions interleave
+   across the batch, so early completions spread over all questions
+   instead of finishing the first few in full. Slots past [distinct]
+   are padding and carry no information. *)
+let apply_round rng cfg truth dag questions ~distinct ~posted =
   let record (winner, loser) = Dag.add_answer_unchecked dag ~winner ~loser in
+  let partial_counts platform votes ~deadline =
+    let counts = Array.make distinct 0 in
+    let on_complete idx _time =
+      let slot = idx mod posted in
+      if slot < distinct then counts.(slot) <- counts.(slot) + 1
+    in
+    let report =
+      Platform.simulate ~deadline platform rng (votes * posted) ~on_complete
+    in
+    (counts, report)
+  in
   match cfg.source with
   | Oracle ->
+      (* Answers are instant and error-free; latency is purely the
+         model's, so deadline/straggler policies are no-ops here. *)
       let ranks = Ground_truth.ranks truth in
       List.iter
         (fun (a, b) ->
@@ -65,24 +134,57 @@ let apply_round rng cfg truth dag questions posted_count =
             Dag.add_answer_unchecked dag ~winner:a ~loser:b
           else Dag.add_answer_unchecked dag ~winner:b ~loser:a)
         questions;
-      Model.eval cfg.latency_model posted_count
-  | Simulated { platform; rwl } ->
-      let outcome = Rwl.resolve rng rwl ~truth questions in
-      (* Latency: all raw repetitions of all posted questions (padding
-         included) go to the platform as one batch. *)
-      let raw_posted = rwl.Rwl.votes * posted_count in
-      let latency = Platform.batch_latency platform rng raw_posted in
-      List.iter record outcome.Rwl.answers;
-      latency
-  | Simulated_pool { platform; pool; votes } ->
-      let outcome = Rwl.resolve_pool rng ~pool ~votes ~truth questions in
-      let latency =
-        Platform.batch_latency platform rng (votes * posted_count)
-      in
-      List.iter record outcome.Rwl.answers;
-      latency
+      (Model.eval cfg.latency_model posted, [], false)
+  | Simulated { platform; rwl } -> (
+      let raw_posted = rwl.Rwl.votes * posted in
+      match round_deadline cfg ~raw_posted with
+      | None ->
+          let outcome = Rwl.resolve rng rwl ~truth questions in
+          (* Latency: all raw repetitions of all posted questions
+             (padding included) go to the platform as one batch. *)
+          let latency = Platform.batch_latency platform rng raw_posted in
+          List.iter record outcome.Rwl.answers;
+          (latency, [], false)
+      | Some deadline ->
+          let counts, report = partial_counts platform rwl.Rwl.votes ~deadline in
+          let outcome =
+            Rwl.resolve ~votes_received:counts rng rwl ~truth questions
+          in
+          List.iter record outcome.Rwl.answers;
+          ( report.Platform.latency,
+            outcome.Rwl.unanswered,
+            report.Platform.deadline_hit ))
+  | Simulated_pool { platform; pool; votes } -> (
+      match round_deadline cfg ~raw_posted:(votes * posted) with
+      | None ->
+          let outcome = Rwl.resolve_pool rng ~pool ~votes ~truth questions in
+          let latency = Platform.batch_latency platform rng (votes * posted) in
+          List.iter record outcome.Rwl.answers;
+          (latency, [], false)
+      | Some deadline ->
+          let counts, report = partial_counts platform votes ~deadline in
+          let outcome =
+            Rwl.resolve_pool ~votes_received:counts rng ~pool ~votes ~truth
+              questions
+          in
+          List.iter record outcome.Rwl.answers;
+          ( report.Platform.latency,
+            outcome.Rwl.unanswered,
+            report.Platform.deadline_hit ))
+
+(* Split off the first [k] elements (all of them if fewer). *)
+let rec take_at_most k = function
+  | [] -> ([], [])
+  | x :: rest when k > 0 ->
+      let taken, dropped = take_at_most (k - 1) rest in
+      (x :: taken, dropped)
+  | rest -> ([], rest)
+
+let pair_eq (a, b) (c, d) = a = c && b = d
+let unordered_pair_eq (a, b) (c, d) = (a = c && b = d) || (a = d && b = c)
 
 let run rng cfg truth =
+  check_policies cfg;
   let n = Ground_truth.size truth in
   let budgets = Array.of_list (Allocation.round_budgets cfg.allocation) in
   (* At most one answer per posted question, so the total budget bounds
@@ -95,21 +197,47 @@ let run rng cfg truth =
   let rounds_run = ref 0 in
   let finished = ref false in
   let round = ref 0 in
+  (* Straggler queue: questions cut off with zero received votes, as
+     [(pair, remaining reissues)], oldest first. Always empty under
+     [Wait_all] (nothing is ever cut off) and under [Drop]. *)
+  let pending = ref [] in
   while (not !finished) && !round < total_rounds do
     let candidates = Dag.candidates dag in
     if Array.length candidates <= 1 then finished := true
     else begin
       let budget = budgets.(!round) in
+      (* Carried stragglers go out first, consuming round budget before
+         the selector sees it. Pairs whose elements lost meanwhile are
+         dead — comparing them again cannot change the RC set. *)
+      let live =
+        List.filter
+          (fun ((a, b), _) -> Dag.losses dag a = 0 && Dag.losses dag b = 0)
+          !pending
+      in
+      let carried, deferred = take_at_most budget live in
+      let carried_pairs = List.map fst carried in
+      let sel_budget = budget - List.length carried in
       let input =
         {
-          Selection.budget;
+          Selection.budget = sel_budget;
           candidates;
           history = dag;
           round_index = !round;
           total_rounds;
+          carried = carried_pairs;
         }
       in
-      let questions = cfg.selection.Selection.select rng input in
+      let selected =
+        if sel_budget = 0 then [] else cfg.selection.Selection.select rng input
+      in
+      (* A selector may independently re-pick a carried pair; keep the
+         carried copy only. *)
+      let selected =
+        List.filter
+          (fun q -> not (List.exists (unordered_pair_eq q) carried_pairs))
+          selected
+      in
+      let questions = carried_pairs @ selected in
       let distinct = List.length questions in
       let padded =
         if cfg.pad_to_round_budget && distinct < budget then budget - distinct
@@ -117,15 +245,53 @@ let run rng cfg truth =
       in
       let posted = distinct + padded in
       if posted = 0 then begin
-        (* A selector that asks nothing cannot make progress; skip the
-           round without charging latency. *)
+        (* A selector that asks nothing cannot make progress, but the
+           round still consumed its slot in the allocation vector:
+           record it (zero questions, zero latency) so trace indices
+           stay dense — trajectory/export consumers assume
+           [trace] covers every round run. *)
+        trace :=
+          {
+            round_index = !round;
+            round_budget = budget;
+            distinct_questions = 0;
+            padded_questions = 0;
+            candidates_before = Array.length candidates;
+            candidates_after = Array.length candidates;
+            round_latency = 0.0;
+            unanswered_questions = 0;
+            reissued_questions = 0;
+            deadline_hit = false;
+          }
+          :: !trace;
+        incr rounds_run;
         incr round
       end
       else begin
-        let latency = apply_round rng cfg truth dag questions posted in
+        let latency, unanswered, deadline_hit =
+          apply_round rng cfg truth dag questions ~distinct ~posted
+        in
         total_latency := !total_latency +. latency;
         questions_posted := !questions_posted + posted;
         incr rounds_run;
+        (* Straggler bookkeeping: a reposted pair spent one reissue; a
+           freshly cut-off pair gets the policy's full allowance. *)
+        let reissues_left pair =
+          match List.find_opt (fun (p, _) -> pair_eq p pair) carried with
+          | Some (_, r) -> if r = max_int then max_int else r - 1
+          | None -> (
+              match cfg.straggler with
+              | Drop -> 0
+              | Carry_forward -> max_int
+              | Reissue cap -> cap)
+        in
+        pending :=
+          deferred
+          @ List.filter_map
+              (fun pair ->
+                let r = reissues_left pair in
+                if r > 0 then Some (pair, r) else None)
+              unanswered;
         let after = Dag.candidate_count dag in
         trace :=
           {
@@ -136,6 +302,9 @@ let run rng cfg truth =
             candidates_before = Array.length candidates;
             candidates_after = after;
             round_latency = latency;
+            unanswered_questions = List.length unanswered;
+            reissued_questions = List.length carried;
+            deadline_hit;
           }
           :: !trace;
         incr round;

@@ -37,24 +37,58 @@ type answer_source =
           forms each round's answers by accuracy-weighted consensus
           ([Rwl.resolve_pool]); latency as in [Simulated] *)
 
+type deadline_policy =
+  | Wait_all
+      (** block until every raw question of the round is answered — the
+          paper's (and this engine's historical) behavior. Keeps rng
+          draw order and therefore aggregates bit-identical to the
+          pre-deadline engine. *)
+  | Fixed of float
+      (** cut every round off [d] simulated seconds after posting
+          (must be > 0) *)
+  | Quantile of float
+      (** [Quantile p], [p] in (0, 1]: cut the round off at the latency
+          model's predicted completion time of the ceil(p * raw)-th raw
+          question — wait for the modeled p-th completion instead of
+          the tail-dominated last one *)
+
+type straggler_policy =
+  | Drop  (** forget questions that got zero votes by the deadline *)
+  | Carry_forward
+      (** repost them in later rounds, ahead of the selector's picks,
+          for as long as both elements remain candidates *)
+  | Reissue of int
+      (** like [Carry_forward] but each question is reposted at most
+          that many times ([Reissue 0] = [Drop]) *)
+
 type config = {
   allocation : Crowdmax_core.Allocation.t;
   selection : Crowdmax_selection.Selection.t;
   latency_model : Crowdmax_latency.Model.t;
-      (** used for latency whenever [answer_source = Oracle] *)
+      (** used for latency whenever [answer_source = Oracle], and for
+          deriving [Quantile] deadlines *)
   source : answer_source;
   pad_to_round_budget : bool;
+  deadline : deadline_policy;
+      (** per-round answer-collection cutoff. Only meaningful for the
+          simulated sources: the [Oracle] answers instantly from the
+          ground truth, so there is nothing to cut off. *)
+  straggler : straggler_policy;
+      (** what happens to questions with zero received votes when a
+          finite deadline cuts a round off *)
 }
 
 val config :
   ?source:answer_source ->
   ?pad_to_round_budget:bool ->
+  ?deadline:deadline_policy ->
+  ?straggler:straggler_policy ->
   allocation:Crowdmax_core.Allocation.t ->
   selection:Crowdmax_selection.Selection.t ->
   latency_model:Crowdmax_latency.Model.t ->
   unit ->
   config
-(** Defaults: [Oracle] source, padding on. *)
+(** Defaults: [Oracle] source, padding on, [Wait_all], [Drop]. *)
 
 type round_record = {
   round_index : int;
@@ -64,6 +98,13 @@ type round_record = {
   candidates_before : int;
   candidates_after : int;
   round_latency : float;
+  unanswered_questions : int;
+      (** distinct questions cut off with zero received votes (0 under
+          [Wait_all]) *)
+  reissued_questions : int;
+      (** carried straggler questions reposted this round (0 under
+          [Wait_all] / [Drop]) *)
+  deadline_hit : bool;  (** the round's deadline cut the event loop *)
 }
 
 type result = {
@@ -78,7 +119,21 @@ type result = {
 
 val run :
   Crowdmax_util.Rng.t -> config -> Crowdmax_crowd.Ground_truth.t -> result
-(** One complete MAX computation. Deterministic given the rng state. *)
+(** One complete MAX computation. Deterministic given the rng state.
+
+    With a finite {!deadline_policy} on a simulated source, a round
+    stops collecting answers at its deadline: questions with a partial
+    vote set are decided by majority (or weighted consensus) over the
+    received votes, questions with zero votes are handled per the
+    {!straggler_policy}, and [round_latency] is the deadline rather
+    than the last completion. Rounds that post zero questions (a
+    selector with nothing useful to ask and padding off) still emit a
+    zero-latency [round_record], so [trace] is always dense:
+    [List.length trace = rounds_run] and record [i] has
+    [round_index = i].
+
+    Raises [Invalid_argument] on an invalid policy ([Fixed] deadline
+    not > 0, [Quantile] outside (0, 1], negative [Reissue] cap). *)
 
 type timing = {
   jobs : int;  (** domains the replicate call actually used *)

@@ -12,6 +12,9 @@ let round_to_json (r : Engine.round_record) =
       ("candidates_before", J.int r.Engine.candidates_before);
       ("candidates_after", J.int r.Engine.candidates_after);
       ("round_latency", J.Float r.Engine.round_latency);
+      ("unanswered_questions", J.int r.Engine.unanswered_questions);
+      ("reissued_questions", J.int r.Engine.reissued_questions);
+      ("deadline_hit", J.Bool r.Engine.deadline_hit);
     ]
 
 let result_to_json (r : Engine.result) =
@@ -56,6 +59,17 @@ let int_field name = field name J.to_int
 let float_field name = field name J.to_float
 let bool_field name = field name J.to_bool
 
+(* Fields added after a release default to their historical value, so
+   checkpoints written by older builds still load (the pattern the
+   timing fields established). *)
+let optional_field name conv ~default doc =
+  match J.member name doc with
+  | None -> Ok default
+  | Some v -> (
+      match conv v with
+      | Some v -> Ok v
+      | None -> Error (Printf.sprintf "ill-typed field %S" name))
+
 let round_of_json doc =
   let* round_index = int_field "round_index" doc in
   let* round_budget = int_field "round_budget" doc in
@@ -64,6 +78,17 @@ let round_of_json doc =
   let* candidates_before = int_field "candidates_before" doc in
   let* candidates_after = int_field "candidates_after" doc in
   let* round_latency = float_field "round_latency" doc in
+  (* Deadline-era fields: absent in pre-deadline dumps, where every
+     round waited for all answers. *)
+  let* unanswered_questions =
+    optional_field "unanswered_questions" J.to_int ~default:0 doc
+  in
+  let* reissued_questions =
+    optional_field "reissued_questions" J.to_int ~default:0 doc
+  in
+  let* deadline_hit =
+    optional_field "deadline_hit" J.to_bool ~default:false doc
+  in
   Ok
     {
       Engine.round_index;
@@ -73,6 +98,9 @@ let round_of_json doc =
       candidates_before;
       candidates_after;
       round_latency;
+      unanswered_questions;
+      reissued_questions;
+      deadline_hit;
     }
 
 let rec collect_rounds = function
@@ -101,16 +129,6 @@ let result_of_json doc =
       total_latency;
       trace;
     }
-
-(* Timing fields were added after 1.0.0; default them so checkpoints
-   written by older builds still load. *)
-let optional_field name conv ~default doc =
-  match J.member name doc with
-  | None -> Ok default
-  | Some v -> (
-      match conv v with
-      | Some v -> Ok v
-      | None -> Error (Printf.sprintf "ill-typed field %S" name))
 
 let aggregate_of_json doc =
   let* runs = int_field "runs" doc in

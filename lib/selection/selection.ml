@@ -9,6 +9,7 @@ type round_input = {
   history : Dag.t;
   round_index : int;
   total_rounds : int;
+  carried : (int * int) list;
 }
 
 type t = {

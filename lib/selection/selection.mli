@@ -7,12 +7,21 @@
     so selectors only have to avoid duplicates within the round. *)
 
 type round_input = {
-  budget : int;  (** b_j from the allocation vector *)
+  budget : int;
+      (** b_j from the allocation vector, minus any carried straggler
+          questions the engine already committed this round's budget to *)
   candidates : int array;  (** C_j *)
   history : Crowdmax_graph.Answer_dag.t;
       (** all answers from rounds 0..j-1 (over the full element space) *)
   round_index : int;  (** 0-based *)
   total_rounds : int;  (** length of the allocation vector *)
+  carried : (int * int) list;
+      (** straggler questions from earlier deadline-bounded rounds that
+          the engine reposts this round ahead of the selector's picks
+          (see [Engine.straggler_policy]); always [] under [Wait_all].
+          Selectors may use this to avoid duplicating them — the engine
+          also dedups its output against them — but the built-in
+          selectors ignore it. *)
 }
 
 type t = {

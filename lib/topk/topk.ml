@@ -110,6 +110,7 @@ let run rng ~k ~problem ~selection truth =
               round_index = !pass_rounds;
               total_rounds =
                 !pass_rounds + Allocation.rounds plan.Tdp.allocation;
+              carried = [];
             }
           in
           let questions = selection.Selection.select rng input in

@@ -92,6 +92,12 @@ let power_regression ~delta pts =
   { delta; alpha = exp fit.intercept; p = fit.slope }
 
 let weighted_mean pts =
+  (* A NaN weight still passes a [total_w > 0] test ([NaN > 0.0] is
+     false, but so is [NaN <= 0.0] — the guard's polarity decides), and
+     a NaN value poisons the sum outright; reject both loudly, like
+     [percentile] does for its data. *)
+  if Array.exists (fun (v, w) -> Float.is_nan v || Float.is_nan w) pts then
+    invalid_arg "Stats.weighted_mean: NaN in data";
   let total_w = Array.fold_left (fun acc (_, w) -> acc +. w) 0.0 pts in
   if total_w <= 0.0 then invalid_arg "Stats.weighted_mean: non-positive weight";
   Array.fold_left (fun acc (v, w) -> acc +. (v *. w)) 0.0 pts /. total_w

@@ -49,4 +49,5 @@ val power_regression : delta:float -> (float * float) array -> power_fit
 
 val weighted_mean : (float * float) array -> float
 (** [(value, weight)] pairs; raises [Invalid_argument] if total weight is
-    not positive. *)
+    not positive, or if any value or weight is NaN (a NaN weight slips
+    through the total-weight guard and silently poisons the result). *)

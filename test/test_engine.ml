@@ -195,10 +195,176 @@ let test_deterministic_given_seed () =
   in
   checkf 1e-12 "reproducible" (run ()) (run ())
 
+(* --- deadline-bounded rounds -------------------------------------------- *)
+
+let simulated_cfg ?(votes = 3) ?(err = 0.15) ~deadline ~straggler alloc =
+  E.config
+    ~source:
+      (E.Simulated
+         { platform = Platform.create (); rwl = { Rwl.votes; error = W.Uniform err } })
+    ~deadline ~straggler ~allocation:alloc ~selection:S.tournament
+    ~latency_model:model ()
+
+let test_policy_validation () =
+  let alloc = tdp_alloc 10 40 in
+  let rng = Rng.create 1 in
+  let truth = G.random rng 10 in
+  let raises msg deadline straggler =
+    Alcotest.check_raises msg (Invalid_argument msg) (fun () ->
+        ignore (E.run rng (simulated_cfg ~deadline ~straggler alloc) truth))
+  in
+  raises "Engine.run: Fixed deadline must be > 0" (E.Fixed 0.0) E.Drop;
+  raises "Engine.run: Fixed deadline must be > 0" (E.Fixed (-5.0)) E.Drop;
+  raises "Engine.run: Quantile must be in (0, 1]" (E.Quantile 0.0) E.Drop;
+  raises "Engine.run: Quantile must be in (0, 1]" (E.Quantile 1.5) E.Drop;
+  raises "Engine.run: Reissue retry cap < 0" E.Wait_all (E.Reissue (-1))
+
+let test_zero_question_rounds_keep_trace_dense () =
+  (* a selector that refuses to ask anything: every allocation slot must
+     still emit a (zero-question, zero-latency) trace record, so trace
+     density survives — consumers index records by round *)
+  let mute =
+    { S.name = "mute"; select = (fun _ _ -> []) }
+  in
+  let alloc = Allocation.of_round_budgets [ 7; 7; 7 ] in
+  let cfg =
+    E.config ~pad_to_round_budget:false ~allocation:alloc ~selection:mute
+      ~latency_model:model ()
+  in
+  let rng = Rng.create 63 in
+  let truth = G.random rng 6 in
+  let r = E.run rng cfg truth in
+  check_int "three rounds run" 3 r.E.rounds_run;
+  check_int "trace dense" 3 (List.length r.E.trace);
+  List.iteri
+    (fun i rr ->
+      check_int "round_index" i rr.E.round_index;
+      check_int "no questions" 0 rr.E.distinct_questions;
+      check_int "no padding" 0 rr.E.padded_questions;
+      checkf 1e-9 "no latency" 0.0 rr.E.round_latency;
+      check_int "candidates untouched" 6 rr.E.candidates_before;
+      check_int "still untouched" 6 rr.E.candidates_after)
+    r.E.trace;
+  check_bool "no singleton" false r.E.singleton;
+  checkf 1e-9 "zero latency total" 0.0 r.E.total_latency
+
+let test_wait_all_ignores_straggler_policy () =
+  (* under Wait_all nothing is ever cut off, so straggler policy cannot
+     matter: bit-identical runs *)
+  let alloc = tdp_alloc 20 100 in
+  let go straggler =
+    let rng = Rng.create 65 in
+    let truth = G.random rng 20 in
+    E.run rng (simulated_cfg ~deadline:E.Wait_all ~straggler alloc) truth
+  in
+  let a = go E.Drop and b = go E.Carry_forward in
+  check_int "same chosen" a.E.chosen b.E.chosen;
+  checkf 1e-12 "same latency" a.E.total_latency b.E.total_latency;
+  List.iter2
+    (fun ra rb ->
+      check_int "no unanswered" 0 ra.E.unanswered_questions;
+      check_int "no reissues" 0 rb.E.reissued_questions;
+      check_bool "no deadline hit" false ra.E.deadline_hit)
+    a.E.trace b.E.trace
+
+let test_deadline_cuts_round_latency () =
+  (* a fixed deadline bounds every round's recorded latency *)
+  let alloc = tdp_alloc 30 150 in
+  let rng = Rng.create 67 in
+  let truth = G.random rng 30 in
+  let r =
+    E.run rng (simulated_cfg ~deadline:(E.Fixed 250.0) ~straggler:E.Drop alloc) truth
+  in
+  List.iter
+    (fun rr ->
+      check_bool "bounded" true (rr.E.round_latency <= 250.0 +. 1e-9))
+    r.E.trace;
+  check_bool "some round hit the deadline" true
+    (List.exists (fun rr -> rr.E.deadline_hit) r.E.trace)
+
+let test_carry_forward_reissues () =
+  (* deadline short enough that round 1 strands questions: under
+     Carry_forward later rounds must repost them; under Drop they must
+     not *)
+  let alloc = tdp_alloc 60 400 in
+  let go straggler =
+    let rng = Rng.create 3 in
+    let truth = G.random rng 60 in
+    E.run rng (simulated_cfg ~deadline:(E.Fixed 200.0) ~straggler alloc) truth
+  in
+  let dropped = go E.Drop and carried = go E.Carry_forward in
+  check_bool "round 1 stranded questions" true
+    (match dropped.E.trace with
+    | rr :: _ -> rr.E.unanswered_questions > 0
+    | [] -> false);
+  check_bool "drop never reissues" true
+    (List.for_all (fun rr -> rr.E.reissued_questions = 0) dropped.E.trace);
+  check_bool "carry reissues" true
+    (List.exists (fun rr -> rr.E.reissued_questions > 0) carried.E.trace)
+
+let test_reissue_zero_equals_drop () =
+  let go straggler =
+    let rng = Rng.create 3 in
+    let truth = G.random rng 60 in
+    E.run rng
+      (simulated_cfg ~deadline:(E.Fixed 200.0) ~straggler (tdp_alloc 60 400))
+      truth
+  in
+  let a = go E.Drop and b = go (E.Reissue 0) in
+  check_int "same chosen" a.E.chosen b.E.chosen;
+  checkf 1e-12 "same latency" a.E.total_latency b.E.total_latency;
+  check_int "same questions" a.E.questions_posted b.E.questions_posted
+
+let test_reissue_cap_bounds_reposts () =
+  (* Reissue 1: a pair can be reposted at most once, so the total
+     reissued count never exceeds the total newly-stranded count, and
+     every reissued pair traces back to an unanswered one *)
+  let rng = Rng.create 3 in
+  let truth = G.random rng 60 in
+  let r =
+    E.run rng
+      (simulated_cfg ~deadline:(E.Fixed 200.0) ~straggler:(E.Reissue 1)
+         (tdp_alloc 60 400))
+      truth
+  in
+  let reissued =
+    List.fold_left (fun acc rr -> acc + rr.E.reissued_questions) 0 r.E.trace
+  in
+  let stranded =
+    List.fold_left (fun acc rr -> acc + rr.E.unanswered_questions) 0 r.E.trace
+  in
+  check_bool "cap respected" true (reissued <= stranded)
+
+let test_deadline_replicate_deterministic_across_jobs () =
+  (* the tentpole determinism contract extends to finite deadlines and
+     straggler queues: aggregates bit-identical for any jobs count *)
+  List.iter
+    (fun (deadline, straggler) ->
+      let cfg = simulated_cfg ~deadline ~straggler (tdp_alloc 25 140) in
+      let agg jobs = E.replicate ~jobs ~runs:12 ~seed:71 cfg ~elements:25 in
+      check_bool "jobs=1 = jobs=4" true (E.equal_stats (agg 1) (agg 4)))
+    [
+      (E.Fixed 220.0, E.Carry_forward);
+      (E.Quantile 0.9, E.Drop);
+      (E.Fixed 200.0, E.Reissue 2);
+    ]
+
 let suite =
   [
     ( "engine",
       [
+        tc "policy validation" `Quick test_policy_validation;
+        tc "zero-question rounds keep trace dense" `Quick
+          test_zero_question_rounds_keep_trace_dense;
+        tc "Wait_all ignores straggler policy" `Quick
+          test_wait_all_ignores_straggler_policy;
+        tc "deadline cuts round latency" `Quick test_deadline_cuts_round_latency;
+        tc "carry-forward reissues stranded questions" `Quick
+          test_carry_forward_reissues;
+        tc "Reissue 0 = Drop" `Quick test_reissue_zero_equals_drop;
+        tc "reissue cap bounds reposts" `Quick test_reissue_cap_bounds_reposts;
+        tc "deadline replicate deterministic across jobs" `Quick
+          test_deadline_replicate_deterministic_across_jobs;
         tc "finds the true max" `Quick test_finds_true_max;
         tc "latency matches tDP objective" `Quick test_latency_matches_tdp_prediction;
         tc "trace consistent" `Quick test_trace_is_consistent;

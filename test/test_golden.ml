@@ -9,6 +9,13 @@ module Tdp = Crowdmax_core.Tdp
 module Allocation = Crowdmax_core.Allocation
 module Heuristics = Crowdmax_core.Heuristics
 module T = Crowdmax_tournament.Tournament
+module E = Crowdmax_runtime.Engine
+module S = Crowdmax_selection.Selection
+module Platform = Crowdmax_crowd.Platform
+module Rwl = Crowdmax_crowd.Rwl
+module Worker = Crowdmax_crowd.Worker
+module Worker_pool = Crowdmax_crowd.Worker_pool
+module Rng = Crowdmax_util.Rng
 
 let tc = Alcotest.test_case
 let check_int = Alcotest.check Alcotest.int
@@ -81,6 +88,86 @@ let test_paper_22_example () =
        (Allocation.of_count_sequence [ 40; 20; 5; 1 ])
        l)
 
+(* Engine aggregates, pinned bit-for-bit.
+
+   Each line below is the IEEE-754 hex (Int64.bits_of_float) of every
+   statistical field of an [Engine.replicate] aggregate, captured from
+   the engine BEFORE the deadline/straggler machinery and the
+   majority-vote tie fix landed. The default config ([Wait_all] +
+   [Drop]) must keep reproducing them exactly, for any [jobs]: that is
+   the guarantee that the new code paths are truly dormant by default.
+   The simulated configs use odd vote counts (3, 5), so the even-vote
+   tie-break fix cannot perturb them either.
+
+   Field order: mean, stddev, median, p95 latency; singleton, correct
+   rate; mean questions, mean rounds. *)
+let golden_aggregates =
+  [
+    ( "oracle_tournament",
+      `Oracle, `Tournament, 40, 200, 1, 16,
+      [ "407e44cccccccccf"; "3d48c97ef43f7248"; "407e44cccccccccc";
+        "407e44cccccccccc"; "3ff0000000000000"; "3ff0000000000000";
+        "405a400000000000"; "4000000000000000" ] );
+    ( "oracle_ct25",
+      `Oracle, `Ct25, 30, 300, 7, 12,
+      [ "407e233333333331"; "3d491132de9a584c"; "407e233333333334";
+        "407e233333333334"; "3ff0000000000000"; "3ff0000000000000";
+        "4051800000000000"; "4000000000000000" ] );
+    ( "simulated_rwl",
+      `Simulated, `Tournament, 30, 200, 5, 10,
+      [ "4080cf7acd12537d"; "40355634e6725332"; "4080db8e8444bb7a";
+        "40817713733e804e"; "3ff0000000000000"; "3fe3333333333333";
+        "4051800000000000"; "4000000000000000" ] );
+    ( "simulated_pool",
+      `Pool, `Tournament, 25, 150, 9, 8,
+      [ "4080f108f15004ac"; "404bdfdf25ca4a80"; "408033bda5016482";
+        "408389add526ce15"; "3ff0000000000000"; "3fec000000000000";
+        "404b000000000000"; "4000000000000000" ] );
+  ]
+
+let golden_source = function
+  | `Oracle -> E.Oracle
+  | `Simulated ->
+      E.Simulated
+        {
+          platform = Platform.create ();
+          rwl = { Rwl.votes = 3; error = Worker.Uniform 0.15 };
+        }
+  | `Pool ->
+      let pool =
+        Worker_pool.create (Rng.create 4242) ~workers:40 ~good_fraction:0.8
+          ~good_accuracy:0.92 ~bad_accuracy:0.55
+      in
+      E.Simulated_pool { platform = Platform.create (); pool; votes = 5 }
+
+let test_engine_aggregate_hex () =
+  List.iter
+    (fun (name, src, sel, elements, budget, seed, runs, hex) ->
+      let sol = Tdp.solve (Problem.create ~elements ~budget ~latency:mturk) in
+      let selection =
+        match sel with `Tournament -> S.tournament | `Ct25 -> S.ct25
+      in
+      List.iter
+        (fun jobs ->
+          let cfg =
+            E.config ~source:(golden_source src)
+              ~allocation:sol.Tdp.allocation ~selection ~latency_model:mturk ()
+          in
+          let a = E.replicate ~jobs ~runs ~seed cfg ~elements in
+          let got =
+            List.map
+              (fun v -> Printf.sprintf "%Lx" (Int64.bits_of_float v))
+              [ a.E.mean_latency; a.E.stddev_latency; a.E.median_latency;
+                a.E.p95_latency; a.E.singleton_rate; a.E.correct_rate;
+                a.E.mean_questions; a.E.mean_rounds ]
+          in
+          Alcotest.check
+            Alcotest.(list string)
+            (Printf.sprintf "%s (jobs=%d)" name jobs)
+            hex got)
+        [ 1; 4 ])
+    golden_aggregates
+
 let suite =
   [
     ( "golden",
@@ -91,5 +178,7 @@ let suite =
         tc "tournament arithmetic" `Quick test_paper_graph_arithmetic;
         tc "Sec 5.1 heuristics" `Quick test_paper_51_heuristics;
         tc "Sec 2.2 example" `Quick test_paper_22_example;
+        tc "engine aggregates bit-identical to pre-deadline engine" `Quick
+          test_engine_aggregate_hex;
       ] );
   ]

@@ -65,8 +65,13 @@ let test_answer_batch_answers_everything () =
   let rng = Rng.create 11 in
   let truth = G.random rng 10 in
   let questions = [ (0, 1); (2, 3); (4, 5); (6, 7); (8, 9) ] in
-  let answers, latency = P.answer_batch p rng ~error:W.Perfect ~truth questions in
+  let answers, report = P.answer_batch p rng ~error:W.Perfect ~truth questions in
+  let latency = report.P.latency in
   check_int "one answer per question" 5 (List.length answers);
+  check_int "all completed" 5 report.P.completed;
+  check_int "none in flight" 0 report.P.in_flight;
+  check_int "none unassigned" 0 report.P.unassigned;
+  check_bool "no deadline hit" false report.P.deadline_hit;
   check_bool "positive latency" true (latency > 0.0);
   List.iter
     (fun a ->
@@ -80,9 +85,9 @@ let test_answer_batch_empty () =
   let p = P.create () in
   let rng = Rng.create 13 in
   let truth = G.random rng 4 in
-  let answers, latency = P.answer_batch p rng ~error:W.Perfect ~truth [] in
+  let answers, report = P.answer_batch p rng ~error:W.Perfect ~truth [] in
   check_int "no answers" 0 (List.length answers);
-  check_bool "just overhead" true (latency > 0.0)
+  check_bool "just overhead" true (report.P.latency > 0.0)
 
 let test_deterministic_given_seed () =
   let p = P.create () in
@@ -130,10 +135,127 @@ let test_diurnal_zero_amplitude_matches_steady_stats () =
     true
     (Float.abs (a -. b) /. a < 0.1)
 
+(* --- deadline edges ----------------------------------------------------- *)
+
+let test_deadline_before_first_arrival () =
+  (* a deadline tighter than the posting overhead: nothing can complete,
+     the caller waited exactly the deadline, and the whole batch is
+     reported unassigned *)
+  let p = P.create () in
+  let rng = Rng.create 41 in
+  let overhead = (P.config p).P.post_overhead in
+  let deadline = overhead /. 2.0 in
+  let fired = ref 0 in
+  let report =
+    P.simulate ~deadline p rng 8 ~on_complete:(fun _ _ -> incr fired)
+  in
+  check_int "nothing completed" 0 report.P.completed;
+  check_int "no callbacks" 0 !fired;
+  check_int "everything unassigned" 8 report.P.unassigned;
+  check_int "nothing in flight" 0 report.P.in_flight;
+  check_bool "deadline hit" true report.P.deadline_hit;
+  Alcotest.check (Alcotest.float 1e-9) "latency = deadline" deadline
+    report.P.latency
+
+let test_deadline_single_question () =
+  let p = P.create () in
+  (* generous deadline: the one question completes normally *)
+  let r1 =
+    P.simulate ~deadline:1.0e7 p (Rng.create 43) 1 ~on_complete:(fun _ _ -> ())
+  in
+  check_int "q=1 completed" 1 r1.P.completed;
+  check_bool "no deadline hit" false r1.P.deadline_hit;
+  (* and the partition identity holds when it is cut off instead *)
+  let r2 =
+    P.simulate ~deadline:10.0 p (Rng.create 43) 1 ~on_complete:(fun _ _ -> ())
+  in
+  check_int "partition" 1 (r2.P.completed + r2.P.in_flight + r2.P.unassigned)
+
+let test_deadline_infinity_bit_identical () =
+  (* deadline = infinity must follow the exact historical code path:
+     same draws, bit-identical latency *)
+  let p = P.create () in
+  let a = P.batch_latency p (Rng.create 47) 64 in
+  let b = P.batch_latency ~deadline:Float.infinity p (Rng.create 47) 64 in
+  check_bool "bit-identical" true (Float.equal a b);
+  let r = P.simulate ~deadline:Float.infinity p (Rng.create 47) 64
+      ~on_complete:(fun _ _ -> ()) in
+  check_bool "simulate agrees" true (Float.equal a r.P.latency);
+  check_int "all completed" 64 r.P.completed;
+  check_bool "no deadline hit" false r.P.deadline_hit
+
+let test_deadline_partition_and_monotone () =
+  (* completed + in_flight + unassigned = q at any cutoff, and a longer
+     deadline never completes fewer questions (same seed = same event
+     stream prefix) *)
+  let p = P.create () in
+  let completed_at deadline =
+    let r = P.simulate ~deadline p (Rng.create 53) 40
+        ~on_complete:(fun _ _ -> ()) in
+    check_int
+      (Printf.sprintf "partition at %.0f" deadline)
+      40
+      (r.P.completed + r.P.in_flight + r.P.unassigned);
+    check_bool "latency bounded by deadline" true (r.P.latency <= deadline);
+    r.P.completed
+  in
+  let prev = ref (-1) in
+  List.iter
+    (fun d ->
+      let c = completed_at d in
+      check_bool (Printf.sprintf "monotone at %.0f" d) true (c >= !prev);
+      prev := c)
+    [ 50.0; 150.0; 300.0; 600.0; 2000.0; 100000.0 ]
+
+let test_deadline_validation () =
+  let p = P.create () in
+  Alcotest.check_raises "zero deadline"
+    (Invalid_argument "Platform: deadline must be > 0") (fun () ->
+      ignore
+        (P.simulate ~deadline:0.0 p (Rng.create 3) 4
+           ~on_complete:(fun _ _ -> ())));
+  Alcotest.check_raises "nan deadline"
+    (Invalid_argument "Platform: deadline must be > 0") (fun () ->
+      ignore (P.batch_latency ~deadline:Float.nan p (Rng.create 3) 4))
+
+let test_answer_batch_deadline_partial_deterministic () =
+  (* answer_batch under a cutoff: answers are consistent with the
+     report, and the partial path is reproducible from the seed *)
+  let p = P.create () in
+  let truth = G.random (Rng.create 59) 20 in
+  let questions = List.init 10 (fun i -> (2 * i, (2 * i) + 1)) in
+  (* 165 s sits inside the burst window for this seed: some questions
+     are in, some in flight, some unassigned *)
+  let run () =
+    P.answer_batch ~deadline:165.0 p (Rng.create 61) ~error:W.Perfect ~truth
+      questions
+  in
+  let answers, report = run () in
+  check_int "answers = completed" report.P.completed (List.length answers);
+  check_bool "some made it" true (report.P.completed > 0);
+  check_bool "not everything made it" true (report.P.completed < 10);
+  List.iter
+    (fun a ->
+      check_bool "answered before deadline" true (a.P.completed_at <= 165.0))
+    answers;
+  let answers2, report2 = run () in
+  check_int "deterministic completed" report.P.completed report2.P.completed;
+  check_bool "deterministic latency" true
+    (Float.equal report.P.latency report2.P.latency);
+  check_int "deterministic answers" (List.length answers)
+    (List.length answers2)
+
 let suite =
   [
     ( "platform",
       [
+        tc "deadline before first arrival" `Quick test_deadline_before_first_arrival;
+        tc "deadline q=1" `Quick test_deadline_single_question;
+        tc "deadline infinity bit-identical" `Quick test_deadline_infinity_bit_identical;
+        tc "deadline partition + monotone" `Quick test_deadline_partition_and_monotone;
+        tc "deadline validation" `Quick test_deadline_validation;
+        tc "answer_batch partial deterministic" `Quick
+          test_answer_batch_deadline_partial_deterministic;
         tc "diurnal peak beats trough" `Slow test_diurnal_peak_beats_trough;
         tc "tiny amplitude ~ steady" `Slow test_diurnal_zero_amplitude_matches_steady_stats;
         tc "zero batch = overhead" `Quick test_zero_batch_costs_overhead;

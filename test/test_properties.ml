@@ -415,6 +415,7 @@ let prop_selection_rounds_valid =
           history = Dag.create n;
           round_index = 0;
           total_rounds = 2;
+          carried = [];
         }
       in
       List.for_all

@@ -115,6 +115,99 @@ let test_cycle_resolution_flips_some_edge () =
   done;
   check_bool "resolution exercised" true !saw_flip
 
+(* The tie-bias regression. With 2 votes and 50% worker error, exactly
+   half of all questions split 1-1, and a split must fall to either
+   element with equal probability: the historical bug awarded every
+   tie to the second element, making the first win only ~25% of the
+   time instead of ~50%. Seed-averaged so the check is about the
+   estimator, not one lucky stream. *)
+let test_even_vote_tie_fairness () =
+  let trials = 2000 in
+  let first_wins = ref 0 in
+  for seed = 1 to trials do
+    let rng = Rng.create seed in
+    let truth = G.of_ranks [| 1; 0 |] in
+    let o =
+      Rwl.resolve rng { Rwl.votes = 2; error = W.Uniform 0.5 } ~truth [ (0, 1) ]
+    in
+    match o.Rwl.answers with
+    | [ (w, _) ] -> if w = 0 then incr first_wins
+    | _ -> Alcotest.fail "expected one answer"
+  done;
+  let frac = float_of_int !first_wins /. float_of_int trials in
+  check_bool
+    (Printf.sprintf "first element wins %.3f of ties (want ~0.5)" frac)
+    true
+    (frac > 0.45 && frac < 0.55)
+
+let test_odd_votes_never_tie () =
+  (* an odd vote count cannot split evenly, so resolve must not consume
+     any tie-break draws: two rngs from the same seed, one used for an
+     odd-vote resolve, must stay in lockstep *)
+  let rng1 = Rng.create 31 and rng2 = Rng.create 31 in
+  let truth = G.random rng1 8 in
+  let _ = G.random rng2 8 in
+  let qs = all_pairs 8 in
+  let o1 = Rwl.resolve rng1 { Rwl.votes = 3; error = W.Uniform 0.3 } ~truth qs in
+  let o2 = Rwl.resolve rng2 { Rwl.votes = 3; error = W.Uniform 0.3 } ~truth qs in
+  Alcotest.check
+    Alcotest.(list (pair int int))
+    "identical streams" o1.Rwl.answers o2.Rwl.answers;
+  check_int "same draw position" (Rng.int rng1 1000000) (Rng.int rng2 1000000)
+
+let test_partial_votes_zero_is_unanswered () =
+  let rng = Rng.create 33 in
+  let truth = G.random rng 6 in
+  let qs = [ (0, 1); (2, 3); (4, 5) ] in
+  let o =
+    Rwl.resolve ~votes_received:[| 3; 0; 2 |] rng
+      { Rwl.votes = 3; error = W.Perfect }
+      ~truth qs
+  in
+  check_int "two answered" 2 (List.length o.Rwl.answers);
+  Alcotest.check
+    Alcotest.(list (pair int int))
+    "middle question unanswered" [ (2, 3) ] o.Rwl.unanswered;
+  (* every repetition was posted, whether or not it came back *)
+  check_int "raw counts posted repetitions" 9 o.Rwl.raw_questions;
+  Alcotest.check (Alcotest.float 1e-9) "accuracy over answered only" 1.0
+    o.Rwl.accuracy
+
+let test_all_votes_received_matches_plain () =
+  let run f =
+    let rng = Rng.create 35 in
+    let truth = G.random rng 7 in
+    f rng truth
+  in
+  let qs = all_pairs 7 in
+  let cfg = { Rwl.votes = 3; error = W.Uniform 0.2 } in
+  let plain = run (fun rng truth -> Rwl.resolve rng cfg ~truth qs) in
+  let full =
+    run (fun rng truth ->
+        Rwl.resolve
+          ~votes_received:(Array.make (List.length qs) 3)
+          rng cfg ~truth qs)
+  in
+  Alcotest.check
+    Alcotest.(list (pair int int))
+    "full votes_received = no votes_received" plain.Rwl.answers full.Rwl.answers
+
+let test_votes_received_validation () =
+  let rng = Rng.create 37 in
+  let truth = G.random rng 4 in
+  let cfg = { Rwl.votes = 3; error = W.Perfect } in
+  Alcotest.check_raises "wrong length"
+    (Invalid_argument "Rwl.resolve: votes_received length mismatch") (fun () ->
+      ignore (Rwl.resolve ~votes_received:[| 3 |] rng cfg ~truth [ (0, 1); (2, 3) ]));
+  Alcotest.check_raises "negative entry"
+    (Invalid_argument "Rwl.resolve: votes_received out of [0, votes]")
+    (fun () ->
+      ignore (Rwl.resolve ~votes_received:[| -1 |] rng cfg ~truth [ (0, 1) ]));
+  Alcotest.check_raises "entry above votes"
+    (Invalid_argument "Rwl.resolve: votes_received out of [0, votes]")
+    (fun () ->
+      ignore (Rwl.resolve ~votes_received:[| 4 |] rng cfg ~truth [ (0, 1) ]))
+
 module WP = Crowdmax_crowd.Worker_pool
 
 let mk_pool ?(workers = 40) ?(good_fraction = 0.5) ?(good = 0.95) ?(bad = 0.55)
@@ -177,10 +270,45 @@ let test_pool_raw_accounting () =
   let o = Rwl.resolve_pool rng ~pool ~votes:5 ~truth (all_pairs 5) in
   check_int "votes x questions" (5 * 10) o.Rwl.raw_questions
 
+let test_pool_partial_votes () =
+  let rng = Rng.create 39 in
+  let truth = G.random rng 6 in
+  let pool = mk_pool ~good_fraction:1.0 ~good:0.99 rng in
+  let qs = [ (0, 1); (2, 3); (4, 5) ] in
+  let o =
+    Rwl.resolve_pool ~votes_received:[| 3; 0; 1 |] rng ~pool ~votes:3 ~truth qs
+  in
+  check_int "two answered" 2 (List.length o.Rwl.answers);
+  Alcotest.check
+    Alcotest.(list (pair int int))
+    "zero-vote question unanswered" [ (2, 3) ] o.Rwl.unanswered;
+  check_int "raw counts posted repetitions" 9 o.Rwl.raw_questions
+
+let test_pool_all_zero_votes () =
+  let rng = Rng.create 41 in
+  let truth = G.random rng 4 in
+  let pool = mk_pool rng in
+  let qs = [ (0, 1); (2, 3) ] in
+  let o = Rwl.resolve_pool ~votes_received:[| 0; 0 |] rng ~pool ~votes:3 ~truth qs in
+  check_int "nothing answered" 0 (List.length o.Rwl.answers);
+  Alcotest.check
+    Alcotest.(list (pair int int))
+    "everything unanswered" qs o.Rwl.unanswered;
+  Alcotest.check (Alcotest.float 1e-9) "vacuous accuracy" 1.0 o.Rwl.accuracy
+
 let suite =
   [
     ( "rwl",
       [
+        tc "even-vote tie fairness" `Slow test_even_vote_tie_fairness;
+        tc "odd votes never consult tie-break rng" `Quick test_odd_votes_never_tie;
+        tc "partial votes: zero received is unanswered" `Quick
+          test_partial_votes_zero_is_unanswered;
+        tc "full votes_received matches plain resolve" `Quick
+          test_all_votes_received_matches_plain;
+        tc "votes_received validation" `Quick test_votes_received_validation;
+        tc "pool: partial votes" `Quick test_pool_partial_votes;
+        tc "pool: all votes cut off" `Quick test_pool_all_zero_votes;
         tc "pool: conflict-free" `Quick test_pool_conflict_free;
         tc "pool: weighting vs majority" `Slow test_pool_weighting_beats_majority;
         tc "pool: empty questions" `Quick test_pool_empty_questions;

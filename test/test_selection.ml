@@ -14,6 +14,7 @@ let fresh_input ?(budget = 10) ?(round_index = 0) ?(total_rounds = 1) n =
     history = Dag.create n;
     round_index;
     total_rounds;
+    carried = [];
   }
 
 let assert_valid input pairs =
@@ -143,6 +144,7 @@ let test_complete_uses_scores () =
       history;
       round_index = 3;
       total_rounds = 4;
+      carried = [];
     }
   in
   let pairs = S.complete.S.select rng input in

@@ -93,6 +93,70 @@ let test_aggregate_pre_timing_compat () =
   | Ok agg' -> check_bool "defaults applied" true (agg = agg')
   | Error e -> Alcotest.fail e
 
+(* The deadline fields round-trip, including through a run that
+   actually strands and reissues questions. *)
+let deadline_result () =
+  let rng = Rng.create 3 in
+  let sol = Tdp.solve (Problem.create ~elements:60 ~budget:400 ~latency:model) in
+  let cfg =
+    E.config
+      ~source:
+        (E.Simulated
+           {
+             platform = Crowdmax_crowd.Platform.create ();
+             rwl = { Crowdmax_crowd.Rwl.votes = 3; error = Crowdmax_crowd.Worker.Uniform 0.15 };
+           })
+      ~deadline:(E.Fixed 200.0) ~straggler:E.Carry_forward
+      ~allocation:sol.Tdp.allocation ~selection:S.tournament
+      ~latency_model:model ()
+  in
+  let truth = G.random rng 60 in
+  E.run rng cfg truth
+
+let test_deadline_result_roundtrip () =
+  let r = deadline_result () in
+  (* the sample must actually exercise the new fields *)
+  check_bool "has deadline hit" true
+    (List.exists (fun rr -> rr.E.deadline_hit) r.E.trace);
+  check_bool "has unanswered" true
+    (List.exists (fun rr -> rr.E.unanswered_questions > 0) r.E.trace);
+  check_bool "has reissued" true
+    (List.exists (fun rr -> rr.E.reissued_questions > 0) r.E.trace);
+  match Ser.result_of_json (Ser.result_to_json r) with
+  | Ok r' -> check_bool "roundtrip" true (r = r')
+  | Error e -> Alcotest.fail e
+
+(* Round records written before the deadline fields existed must still
+   load, defaulting to the historical semantics: nothing unanswered,
+   nothing reissued, no deadline hit. *)
+let test_round_pre_deadline_compat () =
+  let r = sample_result 5 in
+  let strip_round = function
+    | J.Obj fields ->
+        J.Obj
+          (List.filter
+             (fun (k, _) ->
+               k <> "unanswered_questions" && k <> "reissued_questions"
+               && k <> "deadline_hit")
+             fields)
+    | j -> j
+  in
+  let stripped =
+    match Ser.result_to_json r with
+    | J.Obj fields ->
+        J.Obj
+          (List.map
+             (fun (k, v) ->
+               match (k, v) with
+               | "trace", J.List rounds -> (k, J.List (List.map strip_round rounds))
+               | _ -> (k, v))
+             fields)
+    | _ -> assert false
+  in
+  match Ser.result_of_json stripped with
+  | Ok r' -> check_bool "old trace decodes with defaults" true (r = r')
+  | Error e -> Alcotest.fail e
+
 let test_missing_field_reported () =
   match Ser.result_of_json (J.Obj [ ("chosen", J.int 1) ]) with
   | Error e -> check_bool "names the field" true (String.length e > 0)
@@ -123,6 +187,8 @@ let suite =
         tc "aggregate roundtrip" `Quick test_aggregate_roundtrip;
         tc "aggregate pre-timing compat" `Quick
           test_aggregate_pre_timing_compat;
+        tc "deadline result roundtrip" `Quick test_deadline_result_roundtrip;
+        tc "round pre-deadline compat" `Quick test_round_pre_deadline_compat;
         tc "missing field" `Quick test_missing_field_reported;
         tc "ill-typed field" `Quick test_ill_typed_field_reported;
       ] );

@@ -125,6 +125,19 @@ let test_weighted_mean () =
     (Invalid_argument "Stats.weighted_mean: non-positive weight") (fun () ->
       ignore (Stats.weighted_mean [| (1.0, 0.0) |]))
 
+let test_weighted_mean_rejects_nan () =
+  (* a NaN weight would slip past the [total_w > 0] polarity check and a
+     NaN value would poison the sum; both must be loud errors *)
+  Alcotest.check_raises "NaN value"
+    (Invalid_argument "Stats.weighted_mean: NaN in data") (fun () ->
+      ignore (Stats.weighted_mean [| (Float.nan, 1.0); (2.0, 1.0) |]));
+  Alcotest.check_raises "NaN weight"
+    (Invalid_argument "Stats.weighted_mean: NaN in data") (fun () ->
+      ignore (Stats.weighted_mean [| (1.0, Float.nan); (2.0, 1.0) |]));
+  (* infinities are legitimate data, not rejected *)
+  checkf "inf value passes through" Float.infinity
+    (Stats.weighted_mean [| (Float.infinity, 1.0); (2.0, 1.0) |])
+
 let suite =
   [
     ( "stats",
@@ -145,5 +158,6 @@ let suite =
         tc "power regression filters" `Quick test_power_regression_filters;
         tc "power regression rejects" `Quick test_power_regression_rejects;
         tc "weighted mean" `Quick test_weighted_mean;
+        tc "weighted mean rejects NaN" `Quick test_weighted_mean_rejects_nan;
       ] );
   ]

@@ -150,10 +150,63 @@ let test_estimator_terminates () =
   let est = WP.estimate_accuracies ~questions ~workers:30 votes in
   check_bool "bounded iterations" true (est.WP.iterations <= 50)
 
+let test_estimator_flags_exact_ties () =
+  (* Crisscross: each worker agrees with the consensus on exactly one
+     of its two questions, so EM's Laplace-smoothed M-step pins both at
+     accuracy (1+1)/(2+2) = 0.5 exactly — log-odds weight zero — and
+     every question's final score is exactly zero. [tied] must say so,
+     because the consensus array then carries an arbitrary
+     (deterministic award-to-first) answer the caller must re-break. *)
+  let questions = [| (0, 1); (2, 3) |] in
+  let votes =
+    [
+      { WP.worker = 0; question = 0; choice = 0 };
+      { WP.worker = 0; question = 1; choice = 3 };
+      { WP.worker = 1; question = 0; choice = 1 };
+      { WP.worker = 1; question = 1; choice = 2 };
+    ]
+  in
+  let est = WP.estimate_accuracies ~questions ~workers:2 votes in
+  check_bool "q0 tied" true est.WP.tied.(0);
+  check_bool "q1 tied" true est.WP.tied.(1);
+  Alcotest.check (Alcotest.float 1e-12) "w0 pinned at 1/2" 0.5
+    est.WP.worker_accuracy.(0);
+  Alcotest.check (Alcotest.float 1e-12) "w1 pinned at 1/2" 0.5
+    est.WP.worker_accuracy.(1)
+
+let test_estimator_agreement_not_tied () =
+  let questions = [| (0, 1) |] in
+  let votes =
+    [
+      { WP.worker = 0; question = 0; choice = 0 };
+      { WP.worker = 1; question = 0; choice = 0 };
+    ]
+  in
+  let est = WP.estimate_accuracies ~questions ~workers:2 votes in
+  check_bool "agreement is not a tie" false est.WP.tied.(0);
+  check_int "consensus follows the agreement" 0 est.WP.consensus.(0)
+
+let test_estimator_zero_vote_question_tied () =
+  (* a question no vote mentions keeps score zero: flagged tied *)
+  let questions = [| (0, 1); (2, 3) |] in
+  let votes =
+    [
+      { WP.worker = 0; question = 0; choice = 0 };
+      { WP.worker = 1; question = 0; choice = 0 };
+    ]
+  in
+  let est = WP.estimate_accuracies ~questions ~workers:2 votes in
+  check_bool "answered question not tied" false est.WP.tied.(0);
+  check_bool "vote-less question tied" true est.WP.tied.(1)
+
 let suite =
   [
     ( "worker_pool",
       [
+        tc "estimator flags exact ties" `Quick test_estimator_flags_exact_ties;
+        tc "estimator agreement not tied" `Quick test_estimator_agreement_not_tied;
+        tc "estimator zero-vote question tied" `Quick
+          test_estimator_zero_vote_question_tied;
         tc "populations" `Quick test_create_populations;
         tc "create validation" `Quick test_create_validation;
         tc "answer rate tracks accuracy" `Quick test_answer_rates_track_accuracy;

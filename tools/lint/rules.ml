@@ -8,7 +8,13 @@
         partial applications — e.g. [List.sort compare] — are seen
         too). This is the exact bug class PR 1 and PR 2 fixed by hand
         in Stats.percentile, Engine.equal_stats and the Scoring /
-        Ground_truth sorts.
+        Ground_truth sorts. The ordering operators [<] [>] [<=] [>=]
+        are checked too, under a relaxed verdict: boxed scalars
+        (float, string, ...) are fine — their order is the intended
+        one and direct applications specialize — but structured types
+        are not. [(sw, w) > (sl, l)] on int pairs, the escape
+        [Rwl.break_cycles] shipped with, silently means lexicographic
+        comparison; spell that out with [Int.compare].
 
    R2 — determinism. The deterministic-replication guarantee (same
         seed + same jobs count => bit-identical aggregates) dies the
@@ -63,6 +69,10 @@ let r1_ops =
     "List.mem_assoc";
   ]
 
+(* Ordering operators get the relaxed (relational) verdict: boxed
+   scalars are allowed, structured types flagged. *)
+let r1_relational_ops = [ "<"; ">"; "<="; ">=" ]
+
 (* The instantiated type of the flagged ident is an arrow whose first
    parameter is the compared/hashed/searched value ('a for all r1_ops),
    so that parameter tells us what 'a became at this use site. *)
@@ -71,12 +81,12 @@ let first_param env ty =
   | Types.Tarrow (_, a, _, _) -> Some a
   | _ -> None
 
-let check_r1 ctx op e =
+let check_r1 ctx ~relational op e =
   let env = ctx.env_of e.exp_env in
   match first_param env e.exp_type with
   | None -> ()
   | Some arg -> (
-      match Type_safety.poly_verdict env arg with
+      match Type_safety.poly_verdict ~relational env arg with
       | Type_safety.Safe -> ()
       | Type_safety.Unsafe why ->
           report ctx ~loc:e.exp_loc ~rule:"R1"
@@ -125,7 +135,10 @@ let check_ident ctx path e =
   let op =
     match stdlib_suffix path with Some op -> op | None -> Path.name path
   in
-  if List.exists (String.equal op) r1_ops then check_r1 ctx op e;
+  if List.exists (String.equal op) r1_ops then
+    check_r1 ctx ~relational:false op e
+  else if List.exists (String.equal op) r1_relational_ops then
+    check_r1 ctx ~relational:true op e;
   check_r2 ctx op e.exp_loc
 
 let iterator ctx =

@@ -9,6 +9,15 @@
    [compare] / [min] / [max], and records / tuples / payload variants
    silently pick up field-order semantics nobody asked for.
 
+   [~relational:true] relaxes the verdict for the ordering operators
+   [<] [>] [<=] [>=]: boxed scalars (float, string, bytes, int32,
+   int64, nativeint) become Safe — the compiler specializes direct
+   applications to the primitive comparison and their total order is
+   the intended one — while structured types (tuples, records, payload
+   variants, abstract) stay Unsafe: ordering a boxed tuple with [>]
+   silently means lexicographic-by-field, the exact escape
+   [Rwl.break_cycles] shipped with.
+
    [mutable_verdict] answers "does this type denote shared mutable
    storage?" (rule R3): refs, arrays, bytes, hash tables, buffers,
    queues, stacks, RNG state, and records with mutable fields. Used on
@@ -34,10 +43,10 @@ let constant_only_variant cstrs =
     (fun c -> match c.cd_args with Cstr_tuple [] -> true | _ -> false)
     cstrs
 
-let rec poly_verdict ?(depth = 0) env ty =
+let rec poly_verdict ?(relational = false) ?(depth = 0) env ty =
   if depth > max_depth then Safe
   else
-    let descend t = poly_verdict ~depth:(depth + 1) env t in
+    let descend t = poly_verdict ~relational ~depth:(depth + 1) env t in
     let ty = expand env ty in
     match get_desc ty with
     | Tvar _ | Tunivar _ -> Safe (* still polymorphic here: judged at use sites *)
@@ -57,13 +66,21 @@ let rec poly_verdict ?(depth = 0) env ty =
         in
         if List.for_all constant (row_fields row) then Safe
         else Unsafe "a polymorphic variant with payloads"
-    | Tconstr (p, args, _) -> constr_verdict env depth p args
+    | Tconstr (p, args, _) -> constr_verdict ~relational env depth p args
 
-and constr_verdict env depth p args =
-  let descend t = poly_verdict ~depth:(depth + 1) env t in
+and constr_verdict ~relational env depth p args =
+  let descend t = poly_verdict ~relational ~depth:(depth + 1) env t in
   let is q = Path.same p q in
   if is Predef.path_int || is Predef.path_bool || is Predef.path_char
      || is Predef.path_unit
+  then Safe
+  else if
+    (* Ordering operators at boxed scalars are deliberate and
+       compiler-specialized; equality/hashing there is still banned. *)
+    relational
+    && (is Predef.path_float || is Predef.path_string || is Predef.path_bytes
+       || is Predef.path_int32 || is Predef.path_int64
+       || is Predef.path_nativeint)
   then Safe
   else if is Predef.path_float then
     Unsafe "float (NaN-hostile; use Float.equal/Float.compare/Float.min/Float.max)"
@@ -76,7 +93,15 @@ and constr_verdict env depth p args =
   else if is Predef.path_floatarray then Unsafe "a float array (float-bearing)"
   else if is Predef.path_lazy_t then Unsafe "a lazy value (forcing under compare)"
   else if is Predef.path_list || is Predef.path_array || is Predef.path_option
-  then match args with t :: _ -> descend t | [] -> Safe
+  then
+    if relational then
+      (* Equality at containers-of-immediates is honest elementwise
+         equality, but *ordering* one silently means lexicographic —
+         the same implicit-semantics trap as a tuple. *)
+      Unsafe
+        "a structured container (ordering is silently lexicographic; write \
+         an explicit comparator)"
+    else match args with t :: _ -> descend t | [] -> Safe
   else
     match Env.find_type p env with
     | exception _ -> Safe (* unknown type: don't guess *)
