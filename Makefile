@@ -20,8 +20,11 @@ lint:
 
 # The CI gate: warnings-as-errors build (the ci dune profile promotes
 # the lib/ warning set to errors), the whole test suite, the lint gate,
-# and a smoke-scale pass through the bechamel harness so the bench
-# executable stays runnable. The engine-throughput pass prints
+# a metrics round-trip smoke (a simulated run dumps --metrics JSON,
+# metrics-check must accept it — exercises the full
+# planner/engine/platform document, not just the library tests), and a
+# smoke-scale pass through the bechamel harness so the bench executable
+# stays runnable. The engine-throughput pass prints
 # current-vs-committed runs/sec (informational, never failing) without
 # touching BENCH_engine.json.
 ci:
@@ -29,6 +32,10 @@ ci:
 	dune build @all
 	dune runtest
 	dune build @lint
+	dune exec bin/crowdmax_cli.exe -- run --elements 20 --budget 120 \
+		--runs 3 --simulated --metrics _build/ci_metrics_smoke.json
+	dune exec bin/crowdmax_cli.exe -- metrics-check _build/ci_metrics_smoke.json
+	rm -f _build/ci_metrics_smoke.json
 	CROWDMAX_BENCH_RUNS=2 dune exec bench/main.exe -- micro
 	CROWDMAX_ENGINE_BENCH_SECS=0.3 CROWDMAX_ENGINE_BENCH_WRITE=0 \
 		dune exec bench/main.exe -- engine

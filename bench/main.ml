@@ -22,6 +22,7 @@ module G = Crowdmax_crowd.Ground_truth
 module Rwl = Crowdmax_crowd.Rwl
 module W = Crowdmax_crowd.Worker
 module Rng = Crowdmax_util.Rng
+module Metrics = Crowdmax_obs.Metrics
 
 (* A malformed CROWDMAX_BENCH_RUNS used to fall back to 30 silently,
    which made typos indistinguishable from the default. Fail loudly. *)
@@ -523,12 +524,89 @@ let engine_bench_measure (n, source, cfg) =
     eb_rps = !best_rps;
   }
 
-let engine_bench_json rows =
+(* Observability-layer overhead on the hot path: [Engine.replicate]
+   vs [Engine.replicate_with_metrics] at n=100 Oracle/Tournament — the
+   cheapest per-run config and therefore the worst case for fixed
+   per-run instrumentation cost, measured through the replication API
+   that real callers (the CLI's --metrics path) actually use.
+
+   The estimator is deliberately paranoid about the box. CPU frequency
+   on shared machines drifts by double-digit percentages over the
+   seconds separating two bench cases, so comparing two sequential
+   table rows measures the drift, not the code. Instead the two sides
+   alternate in small blocks (a couple of hundred runs, a few
+   milliseconds each) over the whole measurement budget, with the
+   within-pair order itself alternating so monotone drift biases
+   even and odd pairs in opposite directions; the accumulated per-side
+   totals then give one stable ratio instead of a noisy per-window
+   comparison. *)
+type metrics_overhead = {
+  mo_off_rps : float; (* metrics disabled, runs over accumulated time *)
+  mo_on_rps : float; (* metrics enabled, runs over accumulated time *)
+  mo_overhead_pct : float; (* time-on / time-off - 1, as % *)
+}
+
+let engine_metrics_overhead () =
+  let n = 100 in
+  let b = 8 * n in
+  let sol = Tdp.solve (Problem.create ~elements:n ~budget:b ~latency:model) in
+  let cfg =
+    Engine.config ~allocation:sol.Tdp.allocation ~selection:Selection.tournament
+      ~latency_model:model ()
+  in
+  let block = 200 in
+  let timed f =
+    let t0 = Unix.gettimeofday () in
+    ignore (f ());
+    Unix.gettimeofday () -. t0
+  in
+  let off seed () = Engine.replicate ~runs:block ~seed cfg ~elements:n in
+  let on seed () =
+    Engine.replicate_with_metrics ~runs:block ~seed cfg ~elements:n
+  in
+  (* warm both paths *)
+  ignore (off 1 ());
+  ignore (on 1 ());
+  let t_off = ref 0.0 in
+  let t_on = ref 0.0 in
+  let blocks = ref 0 in
+  let deadline = Unix.gettimeofday () +. (2.0 *. engine_bench_secs) in
+  let continue_ = ref true in
+  while !continue_ do
+    let seed = 100 + !blocks in
+    if !blocks mod 2 = 0 then begin
+      t_off := !t_off +. timed (off seed);
+      t_on := !t_on +. timed (on seed)
+    end
+    else begin
+      t_on := !t_on +. timed (on seed);
+      t_off := !t_off +. timed (off seed)
+    end;
+    incr blocks;
+    if Unix.gettimeofday () >= deadline then continue_ := false
+  done;
+  let total_runs = float_of_int (block * !blocks) in
+  {
+    mo_off_rps = total_runs /. Float.max !t_off 1e-9;
+    mo_on_rps = total_runs /. Float.max !t_on 1e-9;
+    mo_overhead_pct = ((!t_on /. Float.max !t_off 1e-9) -. 1.0) *. 100.0;
+  }
+
+let engine_bench_json rows overhead =
   let module J = Crowdmax_util.Json in
   J.Obj
     [
       ("schema", J.String "crowdmax-bench-engine/v1");
       ("windows_per_case", J.int engine_bench_windows);
+      ( "metrics_overhead",
+        J.Obj
+          [
+            ("n", J.int 100);
+            ("source", J.String "oracle");
+            ("off_runs_per_sec", J.Float overhead.mo_off_rps);
+            ("on_runs_per_sec", J.Float overhead.mo_on_rps);
+            ("overhead_pct", J.Float overhead.mo_overhead_pct);
+          ] );
       ( "results",
         J.List
           (List.map
@@ -612,10 +690,15 @@ let engine_bench () =
         ])
     rows;
   Crowdmax_util.Table.print table;
+  let overhead = engine_metrics_overhead () in
+  Printf.printf
+    "metrics overhead (replicate, oracle, n=100, interleaved blocks): %+.2f%% (%.1f off vs %.1f on runs/sec)\n"
+    overhead.mo_overhead_pct overhead.mo_off_rps overhead.mo_on_rps;
   if engine_bench_write then begin
     let oc = open_out engine_bench_file in
     output_string oc
-      (Crowdmax_util.Json.to_string ~pretty:true (engine_bench_json rows));
+      (Crowdmax_util.Json.to_string ~pretty:true
+         (engine_bench_json rows overhead));
     output_char oc '\n';
     close_out oc;
     Printf.printf "wrote %s\n%!" engine_bench_file

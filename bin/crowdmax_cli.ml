@@ -6,7 +6,8 @@
      topk        - top-k by successive MAX passes with answer reuse
      frontier    - the cost-latency Pareto frontier of a budget sweep
      estimate    - run the Sec. 6.1 latency-estimation pipeline
-     experiment  - regenerate a paper figure (fig11a .. fig15) *)
+     experiment  - regenerate a paper figure (fig11a .. fig15)
+     metrics-check - validate a `run --metrics` JSON document *)
 
 open Cmdliner
 module Model = Crowdmax_latency.Model
@@ -16,6 +17,8 @@ module Allocation = Crowdmax_core.Allocation
 module Heuristics = Crowdmax_core.Heuristics
 module Selection = Crowdmax_selection.Selection
 module Engine = Crowdmax_runtime.Engine
+module Serialize = Crowdmax_runtime.Serialize
+module Metrics = Crowdmax_obs.Metrics
 module X = Crowdmax_experiments
 
 (* --- shared arguments -------------------------------------------------- *)
@@ -374,8 +377,18 @@ let run_cmd =
           ~doc:
             "Uniform worker error rate in [0, 0.5) (with $(b,--simulated)).")
   in
+  let metrics_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics" ] ~docv:"FILE"
+          ~doc:
+            "Collect planner/engine/platform metrics and write them (merged \
+             over all runs) as a JSON document to $(docv). Collection is \
+             deterministic: it cannot change the reported aggregates.")
+  in
   let run elements budget delta alpha p seed runs jobs selection simulated
-      votes worker_error deadline straggler =
+      votes worker_error deadline straggler metrics_out =
     let jobs = resolve_jobs jobs in
     let finite_deadline =
       match deadline with Engine.Wait_all -> false | _ -> true
@@ -388,7 +401,10 @@ let run_cmd =
     end;
     let model = model_of delta alpha p in
     let problem = Problem.create ~elements ~budget ~latency:model in
-    let sol = Tdp.solve problem in
+    let planner_metrics =
+      if Option.is_some metrics_out then Metrics.create () else Metrics.disabled
+    in
+    let sol = Tdp.solve ~metrics:planner_metrics problem in
     let source =
       if simulated then
         Engine.Simulated
@@ -406,7 +422,25 @@ let run_cmd =
       Engine.config ~source ~deadline ~straggler
         ~allocation:sol.Tdp.allocation ~selection ~latency_model:model ()
     in
-    let agg = Engine.replicate ~jobs ~runs ~seed cfg ~elements in
+    let agg =
+      match metrics_out with
+      | None -> Engine.replicate ~jobs ~runs ~seed cfg ~elements
+      | Some file ->
+          let agg, run_snapshot =
+            Engine.replicate_with_metrics ~jobs ~runs ~seed cfg ~elements
+          in
+          let snapshot =
+            Metrics.merge [ Metrics.snapshot planner_metrics; run_snapshot ]
+          in
+          let doc = Serialize.aggregate_to_json ~metrics:snapshot agg in
+          let oc = open_out file in
+          Fun.protect
+            (fun () ->
+              output_string oc (Crowdmax_util.Json.to_string ~pretty:true doc);
+              output_char oc '\n')
+            ~finally:(fun () -> close_out oc);
+          agg
+    in
     Format.printf "%a, selection = %s, source = %s@." Problem.pp problem
       selection.Selection.name
       (if simulated then
@@ -432,17 +466,81 @@ let run_cmd =
     Format.printf "wall %.2f s over %d domain%s (%.1f runs/s)@."
       agg.Engine.timing.Engine.wall_seconds agg.Engine.timing.Engine.jobs
       (if agg.Engine.timing.Engine.jobs = 1 then "" else "s")
-      agg.Engine.timing.Engine.runs_per_sec
+      agg.Engine.timing.Engine.runs_per_sec;
+    Option.iter
+      (fun file -> Format.printf "metrics written to %s@." file)
+      metrics_out
   in
   let term =
     Term.(
       const run $ elements_arg $ budget_arg $ delta_arg $ alpha_arg $ p_arg
       $ seed_arg $ runs_arg $ jobs_arg $ selection_arg $ simulated_arg
-      $ votes_arg $ worker_error_arg $ deadline_arg $ straggler_arg)
+      $ votes_arg $ worker_error_arg $ deadline_arg $ straggler_arg
+      $ metrics_arg)
   in
   Cmd.v
     (Cmd.info "run"
        ~doc:"Simulate MAX computations with the tDP allocation and report aggregates.")
+    term
+
+(* --- metrics-check -------------------------------------------------------- *)
+
+(* CI smoke: does a --metrics dump parse back into a snapshot with the
+   sections the observability layer promises? *)
+let metrics_check_cmd =
+  let file_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"A JSON document written by $(b,run --metrics).")
+  in
+  let run file =
+    let contents =
+      let ic = open_in_bin file in
+      Fun.protect
+        (fun () -> really_input_string ic (in_channel_length ic))
+        ~finally:(fun () -> close_in ic)
+    in
+    let doc =
+      try Crowdmax_util.Json.of_string contents
+      with Crowdmax_util.Json.Parse_error { position; message } ->
+        Printf.eprintf "crowdmax: %s: JSON parse error at byte %d: %s\n" file
+          position message;
+        exit 2
+    in
+    match Serialize.aggregate_metrics_of_json doc with
+    | Error e ->
+        Printf.eprintf "crowdmax: %s: bad metrics document: %s\n" file e;
+        exit 2
+    | Ok [] ->
+        Printf.eprintf "crowdmax: %s: no metrics field (was the run made with --metrics?)\n"
+          file;
+        exit 2
+    | Ok snapshot ->
+        let has section =
+          List.exists (fun e -> String.equal e.Metrics.section section) snapshot
+        in
+        (* Planner and engine report on every run; the platform section
+           only exists when an answer source actually drove the
+           simulated platform (--simulated), so its absence is
+           informational, not an error. *)
+        let missing = List.filter (fun s -> not (has s)) [ "planner"; "engine" ] in
+        if missing <> [] then begin
+          Printf.eprintf "crowdmax: %s: missing metric section(s): %s\n" file
+            (String.concat ", " missing);
+          exit 2
+        end;
+        Printf.printf "%s: ok (%d metrics across planner/engine%s)\n" file
+          (List.length snapshot)
+          (if has "platform" then "/platform" else "; no platform section — oracle run")
+  in
+  let term = Term.(const run $ file_arg) in
+  Cmd.v
+    (Cmd.info "metrics-check"
+       ~doc:
+         "Validate a metrics JSON document written by $(b,run --metrics): \
+          parse it and require the planner and engine sections (platform \
+          appears only for $(b,--simulated) runs).")
     term
 
 (* --- estimate ------------------------------------------------------------ *)
@@ -505,4 +603,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ allocate_cmd; run_cmd; topk_cmd; frontier_cmd; estimate_cmd;
-            experiment_cmd ]))
+            experiment_cmd; metrics_check_cmd ]))

@@ -1,5 +1,6 @@
 open Crowdmax_util
 module Model = Crowdmax_latency.Model
+module Metrics = Crowdmax_obs.Metrics
 module T = Crowdmax_tournament.Tournament
 
 type solution = {
@@ -19,6 +20,15 @@ module Memo = Hashtbl.Make (struct
 end)
 
 let clamp_budget c q = min q (Ints.choose2 c)
+
+(* A non-finite L(q) — e.g. a malformed latency model that slipped past
+   construction — would poison every DP value it touches and surface
+   only as a nonsense plan; fail at the first evaluation instead. *)
+let checked_latency_of fn latency q =
+  let l = Model.eval latency q in
+  if not (Float.is_finite l) then
+    invalid_arg (Printf.sprintf "Tdp.%s: L(%d) = %g is not finite" fn q l);
+  l
 
 (* Unconstrained optima: [ub.(c)] is OL(choose2 c, c) - the best latency
    reachable from [c] candidates when the budget never binds (any plan
@@ -44,8 +54,16 @@ let unconstrained_table latency_of c0 =
   done;
   (ub, ub_next)
 
-let solve (problem : Problem.t) =
-  let latency_of = Model.eval problem.Problem.latency in
+let solve ?(metrics = Metrics.disabled) (problem : Problem.t) =
+  let plan_span = Metrics.span metrics ~section:"planner" "plan_seconds" in
+  Metrics.time plan_span @@ fun () ->
+  (* Planner counters are pure functions of the problem (no randomness,
+     no clock), so they are part of the deterministic metrics document.
+     Memo hits include the sequence-reconstruction replay. *)
+  let m_hits = Metrics.counter metrics ~section:"planner" "memo_hits" in
+  let m_misses = Metrics.counter metrics ~section:"planner" "memo_misses" in
+  let m_pruned = Metrics.counter metrics ~section:"planner" "ub_pruned_branches" in
+  let latency_of = checked_latency_of "solve" problem.Problem.latency in
   let c0 = problem.Problem.elements in
   let b = problem.Problem.budget in
   let ub, ub_next = unconstrained_table latency_of c0 in
@@ -59,8 +77,11 @@ let solve (problem : Problem.t) =
     else if q >= Ints.choose2 c then (ub.(c), ub_next.(c))
     else
       match Memo.find_opt memo (c, q) with
-      | Some r -> r
+      | Some r ->
+          Metrics.incr m_hits;
+          r
       | None ->
+          Metrics.incr m_misses;
           let best = ref infinity in
           let best_next = ref 0 in
           for c' = 1 to c - 1 do
@@ -78,6 +99,7 @@ let solve (problem : Problem.t) =
                   best_next := c'
                 end
               end
+              else Metrics.incr m_pruned
             end
           done;
           let r = (!best, !best_next) in
@@ -96,6 +118,10 @@ let solve (problem : Problem.t) =
   in
   let sequence = rebuild c0 (clamp_budget c0 b) [ c0 ] in
   let allocation = Allocation.of_count_sequence sequence in
+  Metrics.incr (Metrics.counter metrics ~section:"planner" "plans");
+  Metrics.add
+    (Metrics.counter metrics ~section:"planner" "states_visited")
+    (Memo.length memo);
   {
     sequence;
     allocation;
@@ -107,7 +133,7 @@ let solve (problem : Problem.t) =
 let optimal_latency problem = (solve problem).latency
 
 let solve_bottom_up (problem : Problem.t) =
-  let latency_of = Model.eval problem.Problem.latency in
+  let latency_of = checked_latency_of "solve_bottom_up" problem.Problem.latency in
   let c0 = problem.Problem.elements in
   let b = clamp_budget c0 problem.Problem.budget in
   (* table.(c).(q): optimal latency and best next count from c candidates
@@ -159,7 +185,7 @@ let solve_bottom_up (problem : Problem.t) =
 let brute_force (problem : Problem.t) =
   if problem.Problem.elements > 14 then
     invalid_arg "Tdp.brute_force: instance too large";
-  let latency_of = Model.eval problem.Problem.latency in
+  let latency_of = checked_latency_of "brute_force" problem.Problem.latency in
   let best = ref None in
   let states = ref 0 in
   (* Enumerate every strictly decreasing sequence ending at 1 within the

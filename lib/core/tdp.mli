@@ -22,9 +22,21 @@ type solution = {
   states_visited : int;  (** memo entries created; Fig. 15 diagnostics *)
 }
 
-val solve : Problem.t -> solution
+val solve : ?metrics:Crowdmax_obs.Metrics.t -> Problem.t -> solution
 (** Optimal solution. The problem is feasible by construction
-    ([Problem.create] enforces Theorem 1). *)
+    ([Problem.create] enforces Theorem 1).
+
+    [metrics] (default disabled) registers planner instruments in the
+    ["planner"] section: [plans], [states_visited], [memo_hits] /
+    [memo_misses] (hits include the sequence-reconstruction replay),
+    [ub_pruned_branches] (branches whose unconstrained lower bound
+    could not beat the incumbent), and the [plan_seconds] real-time
+    span. All counters are pure functions of the problem, so they are
+    deterministic; only [plan_seconds] is machine-dependent.
+
+    Raises [Invalid_argument] if the latency model evaluates to a
+    non-finite value at any batch size the search touches (a NaN would
+    otherwise silently poison the whole DP table). *)
 
 val optimal_latency : Problem.t -> float
 (** Just the objective value. *)

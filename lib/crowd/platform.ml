@@ -1,4 +1,5 @@
 open Crowdmax_util
+module Metrics = Crowdmax_obs.Metrics
 
 type config = {
   post_overhead : float;
@@ -105,12 +106,21 @@ type report = {
   deadline_hit : bool;
 }
 
-let simulate ?(deadline = Float.infinity) t rng q ~on_complete =
+(* Fixed arrival-time buckets (simulated seconds): the first bound sits
+   just past [post_overhead], the rest trace the burst window and the
+   tail. Fixed bounds keep the exported histogram schema-stable. *)
+let arrival_buckets () =
+  [| 160.0; 180.0; 210.0; 240.0; 300.0; 420.0; 600.0; 900.0; 1800.0 |]
+
+let simulate ?(deadline = Float.infinity) ?(metrics = Metrics.disabled) t rng q
+    ~on_complete =
   let cfg = t.cfg in
   if q < 0 then invalid_arg "Platform: negative batch size";
   if cfg.tail_rate <= 0.0 then invalid_arg "Platform: tail_rate must be > 0";
   if Float.is_nan deadline || deadline <= 0.0 then
     invalid_arg "Platform: deadline must be > 0";
+  let m_batches = Metrics.counter metrics ~section:"platform" "batches" in
+  Metrics.incr m_batches;
   if q = 0 then begin
     let latency = Float.min cfg.post_overhead deadline in
     {
@@ -122,6 +132,18 @@ let simulate ?(deadline = Float.infinity) t rng q ~on_complete =
     }
   end
   else begin
+    (* All platform metrics record *simulated* quantities (event times,
+       queue depths), never the wall clock, so they are deterministic
+       given the rng — and every recording call is a no-op branch when
+       [metrics] is disabled. *)
+    let m_events = Metrics.counter metrics ~section:"platform" "events_drained" in
+    let m_arrivals = Metrics.counter metrics ~section:"platform" "worker_arrivals" in
+    let m_completions = Metrics.counter metrics ~section:"platform" "completions" in
+    let m_peak = Metrics.peak metrics ~section:"platform" "in_flight_peak" in
+    let m_arrival_h =
+      Metrics.histogram metrics ~section:"platform" "arrival_seconds"
+        ~buckets:(arrival_buckets ())
+    in
     let events =
       Heap.create ~cmp:(fun a b -> Float.compare (event_time a) (event_time b))
     in
@@ -134,6 +156,7 @@ let simulate ?(deadline = Float.infinity) t rng q ~on_complete =
       if !next_question < q && patience > 0 then begin
         let idx = !next_question in
         incr next_question;
+        Metrics.record_peak m_peak (!next_question - !answered);
         let done_at = time +. Worker.service_time rng cfg.service in
         Heap.push events (Completion (done_at, idx, patience - 1))
       end
@@ -143,6 +166,7 @@ let simulate ?(deadline = Float.infinity) t rng q ~on_complete =
        rng draw sequence — is exactly the historical one. *)
     while (not !deadline_hit) && !answered < q do
       let ev = Heap.pop_exn events in
+      Metrics.incr m_events;
       if event_time ev > deadline then deadline_hit := true
       else
         match ev with
@@ -150,11 +174,14 @@ let simulate ?(deadline = Float.infinity) t rng q ~on_complete =
             (* Keep the arrival stream alive only while questions remain
                unassigned; later arrivals would find nothing to do. *)
             if !next_question < q then begin
+              Metrics.incr m_arrivals;
+              Metrics.observe m_arrival_h time;
               Heap.push events (Arrival (next_arrival rng cfg q time));
               take_question time (draw_patience rng cfg)
             end
         | Completion (time, idx, patience) ->
             incr answered;
+            Metrics.incr m_completions;
             last_time := Float.max !last_time time;
             on_complete idx time;
             take_question time patience
@@ -168,12 +195,12 @@ let simulate ?(deadline = Float.infinity) t rng q ~on_complete =
     }
   end
 
-let batch_latency ?deadline t rng q =
-  (simulate ?deadline t rng q ~on_complete:(fun _ _ -> ())).latency
+let batch_latency ?deadline ?metrics t rng q =
+  (simulate ?deadline ?metrics t rng q ~on_complete:(fun _ _ -> ())).latency
 
 type answered = { question : int * int; winner : int; completed_at : float }
 
-let answer_batch ?deadline t rng ~error ~truth questions =
+let answer_batch ?deadline ?metrics t rng ~error ~truth questions =
   let arr = Array.of_list questions in
   let results = ref [] in
   let on_complete idx time =
@@ -181,5 +208,5 @@ let answer_batch ?deadline t rng ~error ~truth questions =
     let winner = Worker.answer rng error truth a b in
     results := { question = (a, b); winner; completed_at = time } :: !results
   in
-  let report = simulate ?deadline t rng (Array.length arr) ~on_complete in
+  let report = simulate ?deadline ?metrics t rng (Array.length arr) ~on_complete in
   (List.rev !results, report)

@@ -67,6 +67,7 @@ type report = {
 
 val simulate :
   ?deadline:float ->
+  ?metrics:Crowdmax_obs.Metrics.t ->
   t ->
   Crowdmax_util.Rng.t ->
   int ->
@@ -82,9 +83,23 @@ val simulate :
     says what was cut off. [deadline = infinity] follows the exact
     historical code path — same rng draw sequence, bit-identical
     results. Raises [Invalid_argument] on negative [q], a non-positive
-    [tail_rate], or a NaN/non-positive [deadline]. *)
+    [tail_rate], or a NaN/non-positive [deadline].
 
-val batch_latency : ?deadline:float -> t -> Crowdmax_util.Rng.t -> int -> float
+    [metrics] (default disabled) records into the ["platform"] section:
+    [batches], [events_drained], [worker_arrivals], [completions], the
+    [in_flight_peak] high-water mark, and the [arrival_seconds]
+    histogram of simulated worker-arrival times. All values are
+    simulated quantities — deterministic given the rng — and recording
+    never draws from [rng], so enabling metrics cannot perturb the
+    simulation. *)
+
+val batch_latency :
+  ?deadline:float ->
+  ?metrics:Crowdmax_obs.Metrics.t ->
+  t ->
+  Crowdmax_util.Rng.t ->
+  int ->
+  float
 (** Time (seconds) from posting a [q]-question batch until the last
     answer returns ([report.latency]). [q = 0] costs just the posting
     overhead. Raises [Invalid_argument] on negative [q] or a
@@ -98,6 +113,7 @@ type answered = {
 
 val answer_batch :
   ?deadline:float ->
+  ?metrics:Crowdmax_obs.Metrics.t ->
   t ->
   Crowdmax_util.Rng.t ->
   error:Worker.error_model ->

@@ -11,6 +11,10 @@ module Json = Crowdmax_util.Json
 module Heap = Crowdmax_util.Heap
 module Ints = Crowdmax_util.Ints
 
+(* observability *)
+module Metrics = Crowdmax_obs.Metrics
+module Clock = Crowdmax_obs.Clock
+
 (* graphs & theory *)
 module Answer_dag = Crowdmax_graph.Answer_dag
 module Undirected = Crowdmax_graph.Undirected

@@ -18,9 +18,9 @@ let time_solve repeats problem =
   let best = ref infinity in
   let states = ref 0 in
   for _ = 1 to repeats do
-    let t0 = Unix.gettimeofday () in
+    let t0 = Crowdmax_obs.Clock.now () in
     let sol = Tdp.solve problem in
-    let dt = Unix.gettimeofday () -. t0 in
+    let dt = Crowdmax_obs.Clock.now () -. t0 in
     states := sol.Tdp.states_visited;
     if dt < !best then best := dt
   done;

@@ -152,9 +152,9 @@ let run ?(jobs = 1) ?(runs = 30) ?(seed = 41) ?(elements = 200) ?(budget = 1600)
   in
   (* (6) tDP's computation is negligible next to the crowd's time. *)
   let f6 =
-    let t0 = Unix.gettimeofday () in
+    let t0 = Crowdmax_obs.Clock.now () in
     let _ = Tdp.solve (Problem.create ~elements ~budget ~latency:model) in
-    let solve_seconds = Unix.gettimeofday () -. t0 in
+    let solve_seconds = Crowdmax_obs.Clock.now () -. t0 in
     let crowd_seconds = lat "tDP" Selection.tournament in
     {
       id = 6;

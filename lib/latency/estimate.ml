@@ -39,7 +39,7 @@ let fit_power ~delta obs =
   let fit = Stats.power_regression ~delta (to_points obs) in
   Model.power ~delta:fit.Stats.delta ~alpha:fit.Stats.alpha ~p:fit.Stats.p
 
-let fit_piecewise obs = Model.Piecewise (average_by_size obs)
+let fit_piecewise obs = Model.piecewise (average_by_size obs)
 
 type linear_interval = {
   delta_low : float;

@@ -42,11 +42,55 @@ let paper_mturk = Linear { delta = 239.0; alpha = 0.06 }
 let linear ~delta ~alpha = Linear { delta; alpha }
 let power ~delta ~alpha ~p = Power { delta; alpha; p }
 
+(* Interpolation divides by [xh - xl] and extrapolation by [xn - xp]:
+   a duplicate x makes either quotient 0/0 = NaN, which then poisons
+   every tDP table entry it touches; unsorted knots silently break the
+   binary search. Reject both at construction instead. *)
+let piecewise knots =
+  let n = Array.length knots in
+  if n = 0 then invalid_arg "Latency.Model.piecewise: empty knot array";
+  Array.iteri
+    (fun i (x, y) ->
+      if x < 0 then
+        invalid_arg
+          (Printf.sprintf "Latency.Model.piecewise: negative batch size %d at knot %d" x i);
+      if not (Float.is_finite y) then
+        invalid_arg
+          (Printf.sprintf "Latency.Model.piecewise: non-finite latency %g at knot %d" y i);
+      if i > 0 && x <= fst knots.(i - 1) then
+        invalid_arg
+          (Printf.sprintf
+             "Latency.Model.piecewise: knot x-coordinates must be strictly \
+              increasing (knot %d: %d after %d)"
+             i x (fst knots.(i - 1))))
+    knots;
+  Piecewise (Array.copy knots)
+
 let per_round_overhead t = eval t 0
 
-let is_increasing_on t qmax =
-  let rec loop q = q >= qmax || (eval t q <= eval t (q + 1) && loop (q + 1)) in
-  loop 0
+(* One [eval] per step instead of two: carry the previous value along. *)
+let first_decrease t qmax =
+  if qmax < 0 then invalid_arg "Latency.Model.first_decrease: negative qmax";
+  let rec loop q prev =
+    if q > qmax then None
+    else
+      let cur = eval t q in
+      if prev > cur then Some (q - 1) else loop (q + 1) cur
+  in
+  if qmax = 0 then None else loop 1 (eval t 0)
+
+let is_increasing_on t qmax = Option.is_none (first_decrease t qmax)
+
+let check_increasing_on t qmax =
+  match first_decrease t qmax with
+  | None -> ()
+  | Some q ->
+      invalid_arg
+        (Printf.sprintf
+           "Latency.Model.check_increasing_on: model decreases between q=%d \
+            (L=%g) and q=%d (L=%g)"
+           q (eval t q) (q + 1)
+           (eval t (q + 1)))
 
 let pp fmt = function
   | Linear { delta; alpha } -> Format.fprintf fmt "L(q) = %g + %g q" delta alpha

@@ -29,11 +29,30 @@ val paper_mturk : t
 val linear : delta:float -> alpha:float -> t
 val power : delta:float -> alpha:float -> p:float -> t
 
+val piecewise : (int * float) array -> t
+(** Validating constructor for {!Piecewise} — always prefer it over the
+    bare variant. Raises [Invalid_argument] if the knot array is empty,
+    any batch size is negative, the x-coordinates are not strictly
+    increasing (a duplicate x makes [eval] divide by zero and return
+    NaN; unsorted knots break the interpolation search), or any latency
+    is NaN/infinite. The array is copied. *)
+
 val per_round_overhead : t -> float
 (** [eval t 0] — the cost of merely opening a round. *)
 
 val is_increasing_on : t -> int -> bool
 (** [is_increasing_on l qmax] checks [eval l q <= eval l (q+1)] for all
-    [q] in [0, qmax). *)
+    [q] in [0, qmax), with a single [eval] per step. *)
+
+val first_decrease : t -> int -> int option
+(** [first_decrease l qmax] is the smallest [q] in [0, qmax) with
+    [eval l q > eval l (q+1)], or [None] if the model is non-decreasing
+    on the range — the diagnosable form of {!is_increasing_on}. Raises
+    [Invalid_argument] on negative [qmax]. *)
+
+val check_increasing_on : t -> int -> unit
+(** Like {!is_increasing_on} but raises [Invalid_argument] naming the
+    first violating [q] and the two latencies, so a misconfigured
+    model is diagnosable from the error message alone. *)
 
 val pp : Format.formatter -> t -> unit

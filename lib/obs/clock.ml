@@ -1,0 +1,1 @@
+let now () = Unix.gettimeofday ()

@@ -1,0 +1,14 @@
+(** The one sanctioned wall-clock read.
+
+    Every real-time measurement in the tree — replicate timing records,
+    figure-label solver timings, {!Metrics} spans — goes through
+    [Clock.now], so the determinism lint (R2) can confine wall-clock
+    access to this single module: anything else calling
+    [Unix.gettimeofday] / [Sys.time] directly is a finding. Wall-clock
+    values must never feed replicated aggregates or any simulated
+    quantity; they exist only for throughput reporting and
+    [Real_seconds] metric entries, which are excluded from the
+    determinism contract. *)
+
+val now : unit -> float
+(** Seconds since the epoch, [Unix.gettimeofday] precision. *)

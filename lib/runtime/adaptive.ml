@@ -117,7 +117,7 @@ let run rng ~problem ~selection truth =
 let replicate ?(jobs = 1) ~runs ~seed ~problem ~selection () =
   if runs < 1 then invalid_arg "Adaptive.replicate: runs < 1";
   if jobs < 1 then invalid_arg "Adaptive.replicate: jobs < 1";
-  let t0 = Unix.gettimeofday () in
+  let t0 = Crowdmax_obs.Clock.now () in
   let rngs = Engine.per_run_rngs ~runs ~seed in
   let one rng =
     let truth = Ground_truth.random rng problem.Problem.elements in

@@ -1,4 +1,6 @@
 open Crowdmax_util
+module Clock = Crowdmax_obs.Clock
+module Metrics = Crowdmax_obs.Metrics
 module Dag = Crowdmax_graph.Answer_dag
 module Scoring = Crowdmax_graph.Scoring
 module Model = Crowdmax_latency.Model
@@ -93,7 +95,9 @@ let round_deadline cfg ~raw_posted =
       Some (Model.eval cfg.latency_model k)
 
 (* Answer a round's questions, record them in [dag], and return
-   [(round latency, unanswered questions, deadline_hit)]. RWL / oracle
+   [(round latency, answers recorded, unanswered questions,
+   deadline_hit)] — the answer count feeds the consensus-resolutions
+   metric without recomputation at the call site. RWL / oracle
    answers are conflict-free by contract, so the per-edge transitive
    cycle check would be pure overhead; the Oracle path writes each
    answer straight into the DAG without building an intermediate list.
@@ -110,7 +114,7 @@ let round_deadline cfg ~raw_posted =
    across the batch, so early completions spread over all questions
    instead of finishing the first few in full. Slots past [distinct]
    are padding and carry no information. *)
-let apply_round rng cfg truth dag questions ~distinct ~posted =
+let apply_round ~metrics rng cfg truth dag questions ~distinct ~posted =
   let record (winner, loser) = Dag.add_answer_unchecked dag ~winner ~loser in
   let partial_counts platform votes ~deadline =
     let counts = Array.make distinct 0 in
@@ -119,7 +123,8 @@ let apply_round rng cfg truth dag questions ~distinct ~posted =
       if slot < distinct then counts.(slot) <- counts.(slot) + 1
     in
     let report =
-      Platform.simulate ~deadline platform rng (votes * posted) ~on_complete
+      Platform.simulate ~deadline ~metrics platform rng (votes * posted)
+        ~on_complete
     in
     (counts, report)
   in
@@ -134,7 +139,7 @@ let apply_round rng cfg truth dag questions ~distinct ~posted =
             Dag.add_answer_unchecked dag ~winner:a ~loser:b
           else Dag.add_answer_unchecked dag ~winner:b ~loser:a)
         questions;
-      (Model.eval cfg.latency_model posted, [], false)
+      (Model.eval cfg.latency_model posted, distinct, [], false)
   | Simulated { platform; rwl } -> (
       let raw_posted = rwl.Rwl.votes * posted in
       match round_deadline cfg ~raw_posted with
@@ -142,9 +147,9 @@ let apply_round rng cfg truth dag questions ~distinct ~posted =
           let outcome = Rwl.resolve rng rwl ~truth questions in
           (* Latency: all raw repetitions of all posted questions
              (padding included) go to the platform as one batch. *)
-          let latency = Platform.batch_latency platform rng raw_posted in
+          let latency = Platform.batch_latency ~metrics platform rng raw_posted in
           List.iter record outcome.Rwl.answers;
-          (latency, [], false)
+          (latency, List.length outcome.Rwl.answers, [], false)
       | Some deadline ->
           let counts, report = partial_counts platform rwl.Rwl.votes ~deadline in
           let outcome =
@@ -152,15 +157,18 @@ let apply_round rng cfg truth dag questions ~distinct ~posted =
           in
           List.iter record outcome.Rwl.answers;
           ( report.Platform.latency,
+            List.length outcome.Rwl.answers,
             outcome.Rwl.unanswered,
             report.Platform.deadline_hit ))
   | Simulated_pool { platform; pool; votes } -> (
       match round_deadline cfg ~raw_posted:(votes * posted) with
       | None ->
           let outcome = Rwl.resolve_pool rng ~pool ~votes ~truth questions in
-          let latency = Platform.batch_latency platform rng (votes * posted) in
+          let latency =
+            Platform.batch_latency ~metrics platform rng (votes * posted)
+          in
           List.iter record outcome.Rwl.answers;
-          (latency, [], false)
+          (latency, List.length outcome.Rwl.answers, [], false)
       | Some deadline ->
           let counts, report = partial_counts platform votes ~deadline in
           let outcome =
@@ -169,6 +177,7 @@ let apply_round rng cfg truth dag questions ~distinct ~posted =
           in
           List.iter record outcome.Rwl.answers;
           ( report.Platform.latency,
+            List.length outcome.Rwl.answers,
             outcome.Rwl.unanswered,
             report.Platform.deadline_hit ))
 
@@ -183,8 +192,76 @@ let rec take_at_most k = function
 let pair_eq (a, b) (c, d) = a = c && b = d
 let unordered_pair_eq (a, b) (c, d) = (a = c && b = d) || (a = d && b = c)
 
-let run rng cfg truth =
-  check_policies cfg;
+(* Fixed simulated-round-latency buckets (seconds), sized for the
+   paper's platform scale (rounds cost hundreds to a few thousand
+   seconds). Fixed bounds keep the exported schema stable. *)
+let round_latency_buckets () =
+  [| 120.0; 180.0; 240.0; 300.0; 420.0; 600.0; 900.0; 1500.0; 3600.0 |]
+
+(* Engine instruments. Every value recorded is a simulated quantity
+   (question counts, simulated latencies) except [selector_seconds],
+   the lone real-time span — so the engine section minus its spans is
+   deterministic given the seed. Recording is a no-op branch when the
+   registry is disabled; the golden hex tests pin the disabled path
+   bit-identical to the historical engine.
+
+   The handles live in a record so replication loops can register once
+   per registry instead of once per run: handles survive
+   [Metrics.reset], and instrument lookup is a measurable share of the
+   per-run observability cost on cheap (oracle) configurations. *)
+type instruments = {
+  i_runs : Metrics.counter;
+  i_rounds : Metrics.counter;
+  i_posted : Metrics.counter;
+  i_distinct : Metrics.counter;
+  i_padded : Metrics.counter;
+  i_unanswered : Metrics.counter;
+  i_reissued : Metrics.counter;
+  i_consensus : Metrics.counter;
+  i_deadline_hits : Metrics.counter;
+  i_round_latency : Metrics.histogram;
+  i_sel_span : Metrics.span;
+}
+
+let make_instruments metrics =
+  {
+    i_runs = Metrics.counter metrics ~section:"engine" "runs";
+    i_rounds = Metrics.counter metrics ~section:"engine" "rounds_run";
+    i_posted = Metrics.counter metrics ~section:"engine" "questions_posted";
+    i_distinct = Metrics.counter metrics ~section:"engine" "questions_distinct";
+    i_padded = Metrics.counter metrics ~section:"engine" "questions_padded";
+    i_unanswered =
+      Metrics.counter metrics ~section:"engine" "questions_unanswered";
+    i_reissued = Metrics.counter metrics ~section:"engine" "questions_reissued";
+    i_consensus =
+      Metrics.counter metrics ~section:"engine" "consensus_resolutions";
+    i_deadline_hits = Metrics.counter metrics ~section:"engine" "deadline_hits";
+    i_round_latency =
+      Metrics.histogram metrics ~section:"engine" "round_latency_seconds"
+        ~buckets:(round_latency_buckets ());
+    i_sel_span = Metrics.span metrics ~section:"engine" "selector_seconds";
+  }
+
+(* The single-run engine proper. Callers must have run [check_policies]
+   and registered [instr] on [metrics] (the registry is still threaded
+   through for the platform's own instruments). *)
+let run_registered instr ~metrics rng cfg truth =
+  let {
+    i_runs = m_runs;
+    i_rounds = m_rounds;
+    i_posted = m_posted;
+    i_distinct = m_distinct;
+    i_padded = m_padded;
+    i_unanswered = m_unanswered;
+    i_reissued = m_reissued;
+    i_consensus = m_consensus;
+    i_deadline_hits = m_deadline_hits;
+    i_round_latency = m_round_latency;
+    i_sel_span = sel_span;
+  } =
+    instr
+  in
+  Metrics.incr m_runs;
   let n = Ground_truth.size truth in
   let budgets = Array.of_list (Allocation.round_budgets cfg.allocation) in
   (* At most one answer per posted question, so the total budget bounds
@@ -208,7 +285,12 @@ let run rng cfg truth =
       let budget = budgets.(!round) in
       (* Carried stragglers go out first, consuming round budget before
          the selector sees it. Pairs whose elements lost meanwhile are
-         dead — comparing them again cannot change the RC set. *)
+         dead — comparing them again cannot change the RC set — so they
+         must never reach [take_at_most]: a dead pair that consumed a
+         budget slot would crowd out a live selector question. The
+         queue is already pruned at insertion (below); this filter
+         restates the invariant at the consume site so correctness
+         never rests on the insertion discipline alone. *)
       let live =
         List.filter
           (fun ((a, b), _) -> Dag.losses dag a = 0 && Dag.losses dag b = 0)
@@ -228,7 +310,8 @@ let run rng cfg truth =
         }
       in
       let selected =
-        if sel_budget = 0 then [] else cfg.selection.Selection.select rng input
+        if sel_budget = 0 then []
+        else Metrics.time sel_span (fun () -> cfg.selection.Selection.select rng input)
       in
       (* A selector may independently re-pick a carried pair; keep the
          carried copy only. *)
@@ -264,18 +347,24 @@ let run rng cfg truth =
             deadline_hit = false;
           }
           :: !trace;
+        Metrics.incr m_rounds;
         incr rounds_run;
         incr round
       end
       else begin
-        let latency, unanswered, deadline_hit =
-          apply_round rng cfg truth dag questions ~distinct ~posted
+        let latency, answered, unanswered, deadline_hit =
+          apply_round ~metrics rng cfg truth dag questions ~distinct ~posted
         in
         total_latency := !total_latency +. latency;
         questions_posted := !questions_posted + posted;
         incr rounds_run;
         (* Straggler bookkeeping: a reposted pair spent one reissue; a
-           freshly cut-off pair gets the policy's full allowance. *)
+           freshly cut-off pair gets the policy's full allowance.
+           Invariant: [pending] holds only pairs of still-live
+           candidates at every round boundary — this round's answers
+           may have eliminated an element of a deferred or freshly
+           cut-off pair, so prune against the post-round DAG before
+           queueing. *)
         let reissues_left pair =
           match List.find_opt (fun (p, _) -> pair_eq p pair) carried with
           | Some (_, r) -> if r = max_int then max_int else r - 1
@@ -286,13 +375,26 @@ let run rng cfg truth =
               | Reissue cap -> cap)
         in
         pending :=
-          deferred
-          @ List.filter_map
-              (fun pair ->
-                let r = reissues_left pair in
-                if r > 0 then Some (pair, r) else None)
-              unanswered;
+          List.filter
+            (fun ((a, b), _) -> Dag.losses dag a = 0 && Dag.losses dag b = 0)
+            (deferred
+            @ List.filter_map
+                (fun pair ->
+                  let r = reissues_left pair in
+                  if r > 0 then Some (pair, r) else None)
+                unanswered);
+        let unanswered_count = List.length unanswered in
+        let reissued_count = List.length carried in
         let after = Dag.candidate_count dag in
+        Metrics.incr m_rounds;
+        Metrics.add m_posted posted;
+        Metrics.add m_distinct distinct;
+        Metrics.add m_padded padded;
+        Metrics.add m_unanswered unanswered_count;
+        Metrics.add m_reissued reissued_count;
+        Metrics.add m_consensus answered;
+        if deadline_hit then Metrics.incr m_deadline_hits;
+        Metrics.observe m_round_latency latency;
         trace :=
           {
             round_index = !round;
@@ -302,8 +404,8 @@ let run rng cfg truth =
             candidates_before = Array.length candidates;
             candidates_after = after;
             round_latency = latency;
-            unanswered_questions = List.length unanswered;
-            reissued_questions = List.length carried;
+            unanswered_questions = unanswered_count;
+            reissued_questions = reissued_count;
             deadline_hit;
           }
           :: !trace;
@@ -332,6 +434,10 @@ let run rng cfg truth =
     total_latency = !total_latency;
     trace = List.rev !trace;
   }
+
+let run ?(metrics = Metrics.disabled) rng cfg truth =
+  check_policies cfg;
+  run_registered (make_instruments metrics) ~metrics rng cfg truth
 
 type timing = { jobs : int; wall_seconds : float; runs_per_sec : float }
 
@@ -364,7 +470,7 @@ let equal_stats a b =
   && Float.equal a.mean_rounds b.mean_rounds
 
 let make_timing ~jobs ~runs t0 =
-  let wall_seconds = Unix.gettimeofday () -. t0 in
+  let wall_seconds = Clock.now () -. t0 in
   {
     jobs;
     wall_seconds;
@@ -405,7 +511,7 @@ let aggregate_results ~runs ~timing results =
 let replicate ?(jobs = 1) ~runs ~seed cfg ~elements =
   if runs < 1 then invalid_arg "Engine.replicate: runs < 1";
   if jobs < 1 then invalid_arg "Engine.replicate: jobs < 1";
-  let t0 = Unix.gettimeofday () in
+  let t0 = Clock.now () in
   let rngs = per_run_rngs ~runs ~seed in
   let one rng =
     let truth = Ground_truth.random rng elements in
@@ -416,3 +522,73 @@ let replicate ?(jobs = 1) ~runs ~seed cfg ~elements =
     else Parallel.with_pool ~jobs (fun pool -> Parallel.map pool one rngs)
   in
   aggregate_results ~runs ~timing:(make_timing ~jobs ~runs t0) results
+
+(* Metrics under parallel replication: a snapshot per run, merged in
+   run order on the caller. Counters/peaks/histograms commute under
+   merge and each per-run snapshot is a function of that run's rng
+   alone, so the merged simulated entries are bit-identical for any
+   [jobs]; only the [Real_seconds] spans vary between invocations.
+
+   Registries are single-domain mutable state, so each worker needs its
+   own — but a fresh registry per run would pay instrument registration
+   on every run, which is the bulk of the per-run observability cost on
+   cheap (oracle) configs. Instead each contiguous chunk of runs shares
+   one registry, [Metrics.reset] between runs. A reset registry
+   snapshots identically to a fresh one because [run] (and the platform
+   underneath) registers its instrument set unconditionally, so the
+   per-run snapshots — and hence the merged document — cannot depend on
+   where the chunk boundaries fall. *)
+let replicate_with_metrics ?(jobs = 1) ~runs ~seed cfg ~elements =
+  if runs < 1 then invalid_arg "Engine.replicate_with_metrics: runs < 1";
+  if jobs < 1 then invalid_arg "Engine.replicate_with_metrics: jobs < 1";
+  check_policies cfg;
+  let t0 = Clock.now () in
+  let rngs = per_run_rngs ~runs ~seed in
+  if jobs = 1 then (
+    (* Single chunk: one reused registry with instruments registered
+       once, absorbed into a mutable accumulator after every run.
+       [absorb]'s value grouping is the left-fold merge of the per-run
+       snapshots — exactly the parallel path's final fold — so the
+       merged document is bit-identical for any [jobs] while the
+       sequential path allocates no snapshots at all. *)
+    let metrics = Metrics.create () in
+    let acc = Metrics.create () in
+    let instr = make_instruments metrics in
+    let results =
+      Array.map
+        (fun rng ->
+          Metrics.reset metrics;
+          let truth = Ground_truth.random rng elements in
+          let result = run_registered instr ~metrics rng cfg truth in
+          Metrics.absorb ~into:acc metrics;
+          result)
+        rngs
+    in
+    ( aggregate_results ~runs ~timing:(make_timing ~jobs ~runs t0) results,
+      Metrics.snapshot acc ))
+  else
+    let nchunks = min runs jobs in
+    let bound i = i * runs / nchunks in
+    let chunk ci =
+      let lo = bound ci in
+      let metrics = Metrics.create () in
+      let instr = make_instruments metrics in
+      Array.init
+        (bound (ci + 1) - lo)
+        (fun k ->
+          let rng = rngs.(lo + k) in
+          Metrics.reset metrics;
+          let truth = Ground_truth.random rng elements in
+          let result = run_registered instr ~metrics rng cfg truth in
+          (result, Metrics.snapshot metrics))
+    in
+    let chunks =
+      Parallel.with_pool ~jobs (fun pool -> Parallel.init pool nchunks chunk)
+    in
+    let pairs = Array.concat (Array.to_list chunks) in
+    let results = Array.map fst pairs in
+    let snapshots = Array.to_list (Array.map snd pairs) in
+    let aggregate =
+      aggregate_results ~runs ~timing:(make_timing ~jobs ~runs t0) results
+    in
+    (aggregate, Metrics.merge snapshots)

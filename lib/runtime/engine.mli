@@ -118,8 +118,23 @@ type result = {
 }
 
 val run :
-  Crowdmax_util.Rng.t -> config -> Crowdmax_crowd.Ground_truth.t -> result
+  ?metrics:Crowdmax_obs.Metrics.t ->
+  Crowdmax_util.Rng.t ->
+  config ->
+  Crowdmax_crowd.Ground_truth.t ->
+  result
 (** One complete MAX computation. Deterministic given the rng state.
+
+    [metrics] (default disabled) records per-round counters in the
+    ["engine"] section ([runs], [rounds_run], [questions_posted] /
+    [_distinct] / [_padded] / [_unanswered] / [_reissued],
+    [consensus_resolutions], [deadline_hits]), the
+    [round_latency_seconds] histogram of simulated round latencies, and
+    the [selector_seconds] real-time span; simulated sources also fill
+    the ["platform"] section (see {!Crowdmax_crowd.Platform.simulate}).
+    Metrics recording never draws from [rng] and never reads the clock
+    on the simulated path, so enabling it cannot change the result —
+    the golden hex tests pin this.
 
     With a finite {!deadline_policy} on a simulated source, a round
     stops collecting answers at its deadline: questions with a partial
@@ -169,7 +184,7 @@ val per_run_rngs : runs:int -> seed:int -> Crowdmax_util.Rng.t array
 
 val make_timing : jobs:int -> runs:int -> float -> timing
 (** [make_timing ~jobs ~runs t0] closes a timing record opened at
-    [t0 = Unix.gettimeofday ()]. *)
+    [t0 = Crowdmax_obs.Clock.now ()]. *)
 
 val aggregate_results : runs:int -> timing:timing -> result array -> aggregate
 (** Fold per-run results (in run order) into an aggregate. Raises through
@@ -192,3 +207,18 @@ val replicate :
     the statistical fields of the result are bit-identical for every
     [jobs] value ({!equal_stats}). Raises [Invalid_argument] if
     [runs < 1] or [jobs < 1]. *)
+
+val replicate_with_metrics :
+  ?jobs:int ->
+  runs:int ->
+  seed:int ->
+  config ->
+  elements:int ->
+  aggregate * Crowdmax_obs.Metrics.snapshot
+(** {!replicate}, additionally collecting engine/platform metrics: each
+    run records into its own registry (registries must not cross
+    domains) and the per-run snapshots are merged in run order. The
+    aggregate is bit-identical to [replicate]'s on equal arguments, and
+    the merged snapshot minus its [Real_seconds] entries
+    ({!Crowdmax_obs.Metrics.simulated_only}) is bit-identical for every
+    [jobs] value and across repeat invocations with the same seed. *)

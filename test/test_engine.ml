@@ -335,6 +335,106 @@ let test_reissue_cap_bounds_reposts () =
   in
   check_bool "cap respected" true (reissued <= stranded)
 
+let test_dead_carried_pair_is_pruned () =
+  (* Regression for the carry-forward bookkeeping: a stranded pair whose
+     element is later eliminated must not occupy a slot of a later
+     round's budget (the selector's question has to go out instead of a
+     repost that can no longer carry information).
+
+     Script (elements ranked 0 best .. 3 worst, perfect workers):
+     - round 0 posts (3,2) and (3,1); the quantile deadline resolves to
+       L(2) = 100 s, inside the 150 s posting overhead, so both strand.
+     - round 1 (budget 1) reposts only (3,2); it completes (L(1) is
+       huge) and eliminates 3 — making the still-queued (3,1) dead.
+     - round 2 (budget 1) must skip the dead (3,1), reissue nothing,
+       and post the selector's (2,0). *)
+  let truth = G.of_ranks [| 3; 2; 1; 0 |] in
+  let scripted =
+    {
+      S.name = "scripted";
+      select =
+        (fun _ input ->
+          match input.S.round_index with
+          | 0 -> [ (3, 2); (3, 1) ]
+          | 2 -> [ (2, 0) ]
+          | _ -> []);
+    }
+  in
+  let slow_singles = Model.Custom (fun q -> if q >= 2 then 100.0 else 1e7) in
+  let cfg =
+    E.config
+      ~source:
+        (E.Simulated
+           { platform = Platform.create (); rwl = { Rwl.votes = 1; error = W.Perfect } })
+      ~pad_to_round_budget:false ~deadline:(E.Quantile 1.0)
+      ~straggler:E.Carry_forward
+      ~allocation:(Allocation.of_round_budgets [ 2; 1; 1 ])
+      ~selection:scripted ~latency_model:slow_singles ()
+  in
+  let rng = Rng.create 29 in
+  let r = E.run rng cfg truth in
+  match r.E.trace with
+  | [ r0; r1; r2 ] ->
+      check_int "r0 posts both" 2 r0.E.distinct_questions;
+      check_int "r0 strands both" 2 r0.E.unanswered_questions;
+      check_bool "r0 deadline hit" true r0.E.deadline_hit;
+      check_int "r0 eliminates nobody" 4 r0.E.candidates_after;
+      check_int "r1 reissues one" 1 r1.E.reissued_questions;
+      check_int "r1's only question is the repost" 1 r1.E.distinct_questions;
+      check_int "r1 eliminates element 3" 3 r1.E.candidates_after;
+      check_int "r2 reissues nothing (dead pair pruned)" 0
+        r2.E.reissued_questions;
+      check_int "r2 posts the selector's question" 1 r2.E.distinct_questions;
+      check_int "r2 eliminates element 2" 2 r2.E.candidates_after
+  | t -> Alcotest.fail (Printf.sprintf "expected 3 rounds, got %d" (List.length t))
+
+let test_run_metrics_instrumentation () =
+  (* The engine-section counters must agree with the result/trace the
+     same run reports, and enabling them must not change the run. *)
+  let module M = Crowdmax_obs.Metrics in
+  let cfg =
+    simulated_cfg ~deadline:(E.Fixed 200.0) ~straggler:E.Carry_forward
+      (tdp_alloc 30 150)
+  in
+  let go metrics =
+    let rng = Rng.create 31 in
+    let truth = G.random rng 30 in
+    E.run ?metrics rng cfg truth
+  in
+  let plain = go None in
+  let metrics = M.create () in
+  let r = go (Some metrics) in
+  checkf 1e-12 "metrics don't perturb the run" plain.E.total_latency
+    r.E.total_latency;
+  check_int "same chosen" plain.E.chosen r.E.chosen;
+  let snap = M.snapshot metrics in
+  let count name =
+    match M.find snap ~section:"engine" name with
+    | Some (M.Count n) -> n
+    | _ -> Alcotest.fail (Printf.sprintf "missing engine counter %s" name)
+  in
+  check_int "runs" 1 (count "runs");
+  check_int "rounds counted" r.E.rounds_run (count "rounds_run");
+  check_int "posted counted" r.E.questions_posted (count "questions_posted");
+  let sum f = List.fold_left (fun acc rr -> acc + f rr) 0 r.E.trace in
+  check_int "unanswered counted"
+    (sum (fun rr -> rr.E.unanswered_questions))
+    (count "questions_unanswered");
+  check_int "reissued counted"
+    (sum (fun rr -> rr.E.reissued_questions))
+    (count "questions_reissued");
+  check_int "deadline hits counted"
+    (List.length (List.filter (fun rr -> rr.E.deadline_hit) r.E.trace))
+    (count "deadline_hits");
+  (match M.find snap ~section:"engine" "round_latency_seconds" with
+  | Some (M.Histogram { total; _ }) ->
+      check_int "one histogram entry per round" r.E.rounds_run total
+  | _ -> Alcotest.fail "round latency histogram missing");
+  check_bool "platform section populated" true
+    (match M.find snap ~section:"platform" "batches" with
+    | Some (M.Count n) -> n > 0
+    | _ -> false)
+
 let test_deadline_replicate_deterministic_across_jobs () =
   (* the tentpole determinism contract extends to finite deadlines and
      straggler queues: aggregates bit-identical for any jobs count *)
@@ -363,6 +463,8 @@ let suite =
           test_carry_forward_reissues;
         tc "Reissue 0 = Drop" `Quick test_reissue_zero_equals_drop;
         tc "reissue cap bounds reposts" `Quick test_reissue_cap_bounds_reposts;
+        tc "dead carried pair is pruned" `Quick test_dead_carried_pair_is_pruned;
+        tc "run metrics instrumentation" `Quick test_run_metrics_instrumentation;
         tc "deadline replicate deterministic across jobs" `Quick
           test_deadline_replicate_deterministic_across_jobs;
         tc "finds the true max" `Quick test_finds_true_max;

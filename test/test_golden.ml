@@ -153,20 +153,53 @@ let test_engine_aggregate_hex () =
             E.config ~source:(golden_source src)
               ~allocation:sol.Tdp.allocation ~selection ~latency_model:mturk ()
           in
-          let a = E.replicate ~jobs ~runs ~seed cfg ~elements in
-          let got =
-            List.map
-              (fun v -> Printf.sprintf "%Lx" (Int64.bits_of_float v))
-              [ a.E.mean_latency; a.E.stddev_latency; a.E.median_latency;
-                a.E.p95_latency; a.E.singleton_rate; a.E.correct_rate;
-                a.E.mean_questions; a.E.mean_rounds ]
-          in
-          Alcotest.check
-            Alcotest.(list string)
-            (Printf.sprintf "%s (jobs=%d)" name jobs)
-            hex got)
+          (* Metrics collection must be invisible to the aggregates: the
+             plain path and the metrics-enabled path both have to keep
+             reproducing the pinned pre-observability hex. *)
+          List.iter
+            (fun (label, a) ->
+              let got =
+                List.map
+                  (fun v -> Printf.sprintf "%Lx" (Int64.bits_of_float v))
+                  [ a.E.mean_latency; a.E.stddev_latency; a.E.median_latency;
+                    a.E.p95_latency; a.E.singleton_rate; a.E.correct_rate;
+                    a.E.mean_questions; a.E.mean_rounds ]
+              in
+              Alcotest.check
+                Alcotest.(list string)
+                (Printf.sprintf "%s (jobs=%d, %s)" name jobs label)
+                hex got)
+            [
+              ("metrics off", E.replicate ~jobs ~runs ~seed cfg ~elements);
+              ( "metrics on",
+                fst (E.replicate_with_metrics ~jobs ~runs ~seed cfg ~elements)
+              );
+            ])
         [ 1; 4 ])
     golden_aggregates
+
+let test_metrics_snapshot_deterministic () =
+  (* The merged simulated-metric document is part of the determinism
+     contract: identical across repeat invocations and for any jobs. *)
+  let module M = Crowdmax_obs.Metrics in
+  let cfg =
+    E.config ~source:(golden_source `Simulated)
+      ~allocation:(tdp 30 200).Tdp.allocation ~selection:S.tournament
+      ~latency_model:mturk ()
+  in
+  let snap jobs =
+    M.simulated_only
+      (snd (E.replicate_with_metrics ~jobs ~runs:10 ~seed:5 cfg ~elements:30))
+  in
+  let reference = snap 1 in
+  Alcotest.check Alcotest.bool "non-empty" true (reference <> []);
+  List.iter
+    (fun jobs ->
+      Alcotest.check Alcotest.bool
+        (Printf.sprintf "jobs=%d snapshot identical" jobs)
+        true
+        (M.equal reference (snap jobs)))
+    [ 1; 2; 4 ]
 
 let suite =
   [
@@ -180,5 +213,7 @@ let suite =
         tc "Sec 2.2 example" `Quick test_paper_22_example;
         tc "engine aggregates bit-identical to pre-deadline engine" `Quick
           test_engine_aggregate_hex;
+        tc "metrics snapshot deterministic across jobs" `Quick
+          test_metrics_snapshot_deterministic;
       ] );
   ]

@@ -40,6 +40,76 @@ let test_piecewise_empty_rejected () =
   Alcotest.check_raises "empty" (Invalid_argument "Latency.Model.eval: empty piecewise model")
     (fun () -> ignore (Model.eval (Model.Piecewise [||]) 1))
 
+(* The failure mode the smart constructor exists for: a duplicate knot x
+   makes the extrapolation slope (yn - yp) / (xn - xp) divide by zero,
+   and the resulting NaN silently poisons every latency the model
+   produces (and, downstream, every tDP table entry touching it). *)
+let test_piecewise_duplicate_x_nan_regression () =
+  let bad = Model.Piecewise [| (0, 100.0); (5, 300.0); (5, 400.0) |] in
+  (* At the duplicated last knot the extrapolation slope is 100/0 = inf
+     and the offset is 0, so eval returns 400 + inf * 0 = NaN; past the
+     knot the same slope gives inf. *)
+  Alcotest.check Alcotest.bool "raw constructor still evals to NaN" true
+    (Float.is_nan (Model.eval bad 5));
+  Alcotest.check Alcotest.bool "and to inf past the knot" true
+    (Float.equal (Model.eval bad 7) Float.infinity);
+  Alcotest.check_raises "smart constructor rejects it"
+    (Invalid_argument
+       "Latency.Model.piecewise: knot x-coordinates must be strictly \
+        increasing (knot 2: 5 after 5)")
+    (fun () ->
+      ignore (Model.piecewise [| (0, 100.0); (5, 300.0); (5, 400.0) |]))
+
+let test_piecewise_constructor_validation () =
+  Alcotest.check_raises "empty"
+    (Invalid_argument "Latency.Model.piecewise: empty knot array") (fun () ->
+      ignore (Model.piecewise [||]));
+  Alcotest.check_raises "unsorted"
+    (Invalid_argument
+       "Latency.Model.piecewise: knot x-coordinates must be strictly \
+        increasing (knot 1: 10 after 20)")
+    (fun () -> ignore (Model.piecewise [| (20, 200.0); (10, 100.0) |]));
+  Alcotest.check_raises "negative x"
+    (Invalid_argument "Latency.Model.piecewise: negative batch size -1 at knot 0")
+    (fun () -> ignore (Model.piecewise [| (-1, 100.0) |]));
+  Alcotest.check_raises "NaN y"
+    (Invalid_argument "Latency.Model.piecewise: non-finite latency nan at knot 1")
+    (fun () -> ignore (Model.piecewise [| (1, 100.0); (2, Float.nan) |]));
+  Alcotest.check_raises "infinite y"
+    (Invalid_argument "Latency.Model.piecewise: non-finite latency inf at knot 0")
+    (fun () -> ignore (Model.piecewise [| (1, Float.infinity) |]))
+
+let test_piecewise_constructor_accepts_and_copies () =
+  let knots = [| (10, 100.0); (20, 200.0) |] in
+  let m = Model.piecewise knots in
+  checkf 1e-9 "interpolates" 150.0 (Model.eval m 15);
+  (* Defensive copy: mutating the caller's array cannot corrupt the model. *)
+  knots.(0) <- (20, 999.0);
+  checkf 1e-9 "still interpolates" 150.0 (Model.eval m 15)
+
+let test_first_decrease () =
+  Alcotest.check Alcotest.(option int) "linear never decreases" None
+    (Model.first_decrease Model.paper_mturk 1000);
+  Alcotest.check Alcotest.(option int) "decreasing custom at q=0" (Some 0)
+    (Model.first_decrease (Model.Custom (fun q -> -.float_of_int q)) 10);
+  let dip = Model.Custom (fun q -> if q = 4 then 1.0 else float_of_int q) in
+  Alcotest.check Alcotest.(option int) "first violating q reported" (Some 3)
+    (Model.first_decrease dip 10);
+  Alcotest.check Alcotest.(option int) "qmax=0 trivially increasing" None
+    (Model.first_decrease dip 0);
+  Alcotest.check_raises "negative qmax"
+    (Invalid_argument "Latency.Model.first_decrease: negative qmax") (fun () ->
+      ignore (Model.first_decrease dip (-1)))
+
+let test_check_increasing_on () =
+  Model.check_increasing_on Model.paper_mturk 1000;
+  let dip = Model.Custom (fun q -> if q = 4 then 1.0 else float_of_int q) in
+  Alcotest.check_raises "names the violation"
+    (Invalid_argument
+       "Latency.Model.check_increasing_on: model decreases between q=3 (L=3) \
+        and q=4 (L=1)")
+    (fun () -> Model.check_increasing_on dip 10)
+
 let test_custom () =
   let m = Model.Custom (fun q -> float_of_int (q * q)) in
   checkf 1e-9 "q=7" 49.0 (Model.eval m 7)
@@ -162,6 +232,14 @@ let suite =
         tc "piecewise interpolation" `Quick test_piecewise_interpolation;
         tc "piecewise single knot" `Quick test_piecewise_single_knot;
         tc "piecewise empty rejected" `Quick test_piecewise_empty_rejected;
+        tc "piecewise duplicate-x NaN regression" `Quick
+          test_piecewise_duplicate_x_nan_regression;
+        tc "piecewise constructor validation" `Quick
+          test_piecewise_constructor_validation;
+        tc "piecewise constructor accepts + copies" `Quick
+          test_piecewise_constructor_accepts_and_copies;
+        tc "first_decrease" `Quick test_first_decrease;
+        tc "check_increasing_on" `Quick test_check_increasing_on;
         tc "custom" `Quick test_custom;
         tc "per-round overhead" `Quick test_per_round_overhead;
         tc "is_increasing_on" `Quick test_is_increasing;

@@ -425,6 +425,92 @@ let prop_selection_rounds_valid =
           | Error _ -> false)
         S.all)
 
+(* --- latency models ------------------------------------------------------ *)
+
+let valid_knots_and_q =
+  (* Strictly increasing non-negative x, finite y — everything
+     [Model.piecewise] accepts — plus a query point reaching past the
+     last knot into extrapolation territory. *)
+  Q.make
+    ~print:(fun (knots, q) ->
+      Printf.sprintf "knots=[%s] q=%d"
+        (String.concat "; "
+           (Array.to_list
+              (Array.map (fun (x, y) -> Printf.sprintf "(%d, %g)" x y) knots)))
+        q)
+    Q.Gen.(
+      int_range 1 8 >>= fun n ->
+      int_range 0 10 >>= fun x0 ->
+      list_repeat n (pair (int_range 1 10) (float_range (-50.0) 500.0))
+      >>= fun steps ->
+      let knots =
+        let x = ref x0 and acc = ref [] in
+        List.iteri
+          (fun i (dx, y) ->
+            if i > 0 then x := !x + dx;
+            acc := (!x, y) :: !acc)
+          steps;
+        Array.of_list (List.rev !acc)
+      in
+      let xn = fst knots.(Array.length knots - 1) in
+      int_range 0 (xn + 20) >>= fun q -> return (knots, q))
+
+let prop_piecewise_eval_sane =
+  Q.Test.make ~name:"piecewise eval: finite, bounded, extrapolation exact"
+    ~count valid_knots_and_q (fun (knots, q) ->
+      let m = Model.piecewise knots in
+      let v = Model.eval m q in
+      let n = Array.length knots in
+      let xn, yn = knots.(n - 1) in
+      if not (Float.is_finite v) then false
+      else if q <= xn then begin
+        (* On [0, xn] the model interpolates (or clamps below the first
+           knot): values stay inside the knot-y envelope. *)
+        let lo = Array.fold_left (fun a (_, y) -> Float.min a y) infinity knots in
+        let hi =
+          Array.fold_left (fun a (_, y) -> Float.max a y) neg_infinity knots
+        in
+        lo -. 1e-9 <= v && v <= hi +. 1e-9
+      end
+      else if n = 1 then Float.equal v yn
+      else begin
+        (* Past the last knot: exactly the last segment's slope. *)
+        let xp, yp = knots.(n - 2) in
+        let slope = (yn -. yp) /. float_of_int (xn - xp) in
+        Float.equal v (yn +. (slope *. float_of_int (q - xn)))
+      end)
+
+(* --- metrics determinism -------------------------------------------------- *)
+
+let prop_metrics_deterministic =
+  (* Same seed => bit-identical simulated-metric documents, whatever the
+     parallelism. (Real-time spans are the documented exception.) *)
+  let module M = Crowdmax_obs.Metrics in
+  Q.Test.make ~name:"metrics documents deterministic given seed" ~count:10
+    (Q.make ~print:(Printf.sprintf "seed=%d") Q.Gen.(int_range 0 10_000))
+    (fun seed ->
+      let sol =
+        Tdp.solve (Problem.create ~elements:12 ~budget:60 ~latency:Model.paper_mturk)
+      in
+      let cfg =
+        E.config
+          ~source:
+            (E.Simulated
+               {
+                 platform = Crowdmax_crowd.Platform.create ();
+                 rwl = { Rwl.votes = 3; error = W.Uniform 0.1 };
+               })
+          ~deadline:(E.Fixed 400.0) ~straggler:E.Carry_forward
+          ~allocation:sol.Tdp.allocation ~selection:S.tournament
+          ~latency_model:Model.paper_mturk ()
+      in
+      let snap jobs =
+        M.simulated_only
+          (snd (E.replicate_with_metrics ~jobs ~runs:4 ~seed cfg ~elements:12))
+      in
+      let a = snap 1 in
+      a <> [] && M.equal a (snap 1) && M.equal a (snap 2))
+
 let suite =
   [
     ( "properties",
@@ -451,5 +537,7 @@ let suite =
           prop_rng_int_rejection_bound;
           prop_rng_split_streams_independent;
           prop_selection_rounds_valid;
+          prop_piecewise_eval_sane;
+          prop_metrics_deterministic;
         ] );
   ]

@@ -157,6 +157,44 @@ let test_states_visited_positive () =
   let s = solve 30 100 in
   check_bool "some states" true (s.Tdp.states_visited >= 0)
 
+(* The first L evaluation is L(1) (the unconstrained table's c = 2 row),
+   so a model that is non-finite everywhere fails right there instead of
+   yielding a poisoned plan. *)
+let test_non_finite_latency_fails_loudly () =
+  Alcotest.check_raises "NaN model"
+    (Invalid_argument "Tdp.solve: L(1) = nan is not finite")
+    (fun () -> ignore (solve ~model:(Model.Custom (fun _ -> Float.nan)) 5 8));
+  Alcotest.check_raises "infinite model"
+    (Invalid_argument "Tdp.solve: L(1) = inf is not finite")
+    (fun () ->
+      ignore (solve ~model:(Model.Custom (fun _ -> Float.infinity)) 5 8))
+
+let test_planner_metrics () =
+  let module M = Crowdmax_obs.Metrics in
+  let p = Problem.create ~elements:40 ~budget:108 ~latency:(linear 100.0 1.0) in
+  let metrics = M.create () in
+  let s = Tdp.solve ~metrics p in
+  let plain = Tdp.solve p in
+  check_bool "metrics don't change the plan" true
+    (s.Tdp.sequence = plain.Tdp.sequence
+    && Float.equal s.Tdp.latency plain.Tdp.latency);
+  let snap = M.snapshot metrics in
+  let count name =
+    match M.find snap ~section:"planner" name with
+    | Some (M.Count n) -> n
+    | _ -> Alcotest.fail (Printf.sprintf "missing planner counter %s" name)
+  in
+  check_int "one plan" 1 (count "plans");
+  check_int "states = memoized misses" s.Tdp.states_visited
+    (count "memo_misses");
+  check_int "states counter agrees" s.Tdp.states_visited
+    (count "states_visited");
+  check_bool "reconstruction replays hits" true (count "memo_hits" > 0);
+  check_bool "plan span recorded" true
+    (match M.find snap ~section:"planner" "plan_seconds" with
+    | Some (M.Real_seconds t) -> t >= 0.0
+    | _ -> false)
+
 let suite =
   [
     ( "tdp",
@@ -177,5 +215,7 @@ let suite =
         tc "optimal_latency" `Quick test_optimal_latency_helper;
         tc "brute force guard" `Quick test_brute_force_guard;
         tc "states visited" `Quick test_states_visited_positive;
+        tc "non-finite L fails loudly" `Quick test_non_finite_latency_fails_loudly;
+        tc "planner metrics" `Quick test_planner_metrics;
       ] );
   ]
