@@ -8,8 +8,12 @@ build:
 test:
 	dune runtest
 
+# Benchmarks build with the release profile: the dev profile passes
+# -opaque, which disables the cross-module [@inline] the simulator and
+# rng hot paths rely on, so dev-profile numbers undersell the code and
+# BENCH_engine.json records which profile produced it.
 bench:
-	dune exec bench/main.exe
+	dune exec --profile release bench/main.exe -- $(ARGS)
 
 # Static analysis gate: runs crowdmax-lint (tools/lint/) over every
 # typedtree in lib/, enforcing the comparison/determinism/domain-safety
@@ -24,9 +28,11 @@ lint:
 # metrics-check must accept it — exercises the full
 # planner/engine/platform document, not just the library tests), and a
 # smoke-scale pass through the bechamel harness so the bench executable
-# stays runnable. The engine-throughput pass prints
-# current-vs-committed runs/sec (informational, never failing) without
-# touching BENCH_engine.json.
+# stays runnable. The engine-opcheck pass pins the simulated event
+# loop's deterministic operation counts (events drained, arrivals,
+# completions at a fixed seed) and fails on any drift; the
+# engine-throughput pass prints current-vs-committed runs/sec
+# (informational, never failing) without touching BENCH_engine.json.
 ci:
 	dune build @all --profile ci
 	dune build @all
@@ -37,6 +43,7 @@ ci:
 	dune exec bin/crowdmax_cli.exe -- metrics-check _build/ci_metrics_smoke.json
 	rm -f _build/ci_metrics_smoke.json
 	CROWDMAX_BENCH_RUNS=2 dune exec bench/main.exe -- micro
+	dune exec bench/main.exe -- engine-opcheck
 	CROWDMAX_ENGINE_BENCH_SECS=0.3 CROWDMAX_ENGINE_BENCH_WRITE=0 \
 		dune exec bench/main.exe -- engine
 

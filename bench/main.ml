@@ -438,6 +438,23 @@ type engine_bench_row = {
   eb_rps : float;
 }
 
+(* The canonical simulated bench config for [n] elements: budget 8n,
+   tDP allocation, tournament selection, 3-vote RWL at 15% worker
+   error. Shared between the throughput rows and the operation-count
+   gate below, so the gate pins exactly the work the bench times. *)
+let engine_sim_config n =
+  let b = 8 * n in
+  let sol = Tdp.solve (Problem.create ~elements:n ~budget:b ~latency:model) in
+  Engine.config
+    ~source:
+      (Engine.Simulated
+         {
+           platform = Crowdmax_crowd.Platform.create ();
+           rwl = { Rwl.votes = 3; error = W.Uniform 0.15 };
+         })
+    ~allocation:sol.Tdp.allocation ~selection:Selection.tournament
+    ~latency_model:model ()
+
 let engine_bench_cases () =
   let module P = Crowdmax_crowd.Platform in
   List.concat_map
@@ -448,17 +465,7 @@ let engine_bench_cases () =
         Engine.config ~allocation:sol.Tdp.allocation
           ~selection:Selection.tournament ~latency_model:model ()
       in
-      let simulated =
-        Engine.config
-          ~source:
-            (Engine.Simulated
-               {
-                 platform = P.create ();
-                 rwl = { Rwl.votes = 3; error = W.Uniform 0.15 };
-               })
-          ~allocation:sol.Tdp.allocation ~selection:Selection.tournament
-          ~latency_model:model ()
-      in
+      let simulated = engine_sim_config n in
       (* the finite-deadline path adds per-round bookkeeping (pending
          queue, partial consensus); a cut-off Fixed deadline with
          carry-forward exercises all of it, and doubles as the CI smoke
@@ -496,6 +503,11 @@ let engine_bench_measure (n, source, cfg) =
   let total_runs = ref 0 in
   let best_rps = ref 0.0 in
   let t0 = Unix.gettimeofday () in
+  (* [Engine.runner] is the replication-loop entry point: identical
+     draws and results to [Engine.run], with policy validation,
+     instrument registration and simulation scratch hoisted out of the
+     measured loop — the same shape [Engine.replicate] runs per worker. *)
+  let run = Engine.runner cfg in
   for _ = 1 to engine_bench_windows do
     let w0 = Unix.gettimeofday () in
     let deadline = w0 +. window_secs in
@@ -504,7 +516,7 @@ let engine_bench_measure (n, source, cfg) =
     while !continue_ do
       let rng = Rng.split master in
       let truth = G.random rng n in
-      ignore (Engine.run rng cfg truth);
+      ignore (run rng truth);
       incr count;
       if !count >= 3 && Unix.gettimeofday () >= deadline then
         continue_ := false
@@ -598,6 +610,11 @@ let engine_bench_json rows overhead =
     [
       ("schema", J.String "crowdmax-bench-engine/v1");
       ("windows_per_case", J.int engine_bench_windows);
+      (* Which dune profile produced the numbers: the dev profile
+         compiles with -opaque, which blocks the cross-module [@inline]
+         the simulator hot path depends on, so dev and release numbers
+         are not comparable. [make bench] builds release. *)
+      ("build_profile", J.String Build_profile.value);
       ( "metrics_overhead",
         J.Obj
           [
@@ -655,8 +672,9 @@ let engine_bench () =
   Gc.set { (Gc.get ()) with Gc.minor_heap_size = 4 * 1024 * 1024 };
   section
     (Printf.sprintf
-       "engine throughput (runs/sec, best of %d windows, >= %.2f s per case)"
-       engine_bench_windows engine_bench_secs);
+       "engine throughput (runs/sec, best of %d windows, >= %.2f s per case, \
+        %s build)"
+       engine_bench_windows engine_bench_secs Build_profile.value);
   let baseline =
     try engine_bench_baseline ()
     with _ ->
@@ -706,6 +724,80 @@ let engine_bench () =
   else
     Printf.printf "(CROWDMAX_ENGINE_BENCH_WRITE=0: %s left untouched)\n%!"
       engine_bench_file
+
+(* --- deterministic operation-count gate ---------------------------------- *)
+
+(* Platform counters record only simulated quantities, so for a fixed
+   (n, seed, runs) they are bit-deterministic: same totals on any
+   machine, any [jobs], metrics on or off. Pinning them turns "the
+   event loop still does exactly this work" into a CI failure instead
+   of a silent drift — an accounting change that survives the
+   statistical goldens, or an optimization that quietly skips or
+   duplicates events, both land here with the counter named. The
+   [events_drained = worker_arrivals + completions] identity (the
+   Platform.simulate contract) is checked independently of the pins.
+   After an intentional semantic change, regenerate the table with
+   CROWDMAX_OPCHECK_PRINT=1. *)
+let engine_opcheck_runs = 5
+let engine_opcheck_seed = 99
+
+let engine_opcheck_expected =
+  (* n, events_drained, worker_arrivals, completions *)
+  [ (100, 6617, 902, 5715); (500, 60795, 8670, 52125) ]
+
+let engine_opcheck () =
+  section
+    (Printf.sprintf "engine operation-count gate (simulated, %d runs, seed %d)"
+       engine_opcheck_runs engine_opcheck_seed);
+  let print_mode = Sys.getenv_opt "CROWDMAX_OPCHECK_PRINT" <> None in
+  let failures = ref 0 in
+  let count snap name =
+    match Metrics.find snap ~section:"platform" name with
+    | Some (Metrics.Count c) -> c
+    | _ ->
+        Printf.printf "  platform/%s missing from snapshot\n" name;
+        incr failures;
+        -1
+  in
+  List.iter
+    (fun (n, exp_events, exp_arrivals, exp_completions) ->
+      let cfg = engine_sim_config n in
+      let _agg, snap =
+        Engine.replicate_with_metrics ~runs:engine_opcheck_runs
+          ~seed:engine_opcheck_seed cfg ~elements:n
+      in
+      let events = count snap "events_drained" in
+      let arrivals = count snap "worker_arrivals" in
+      let completions = count snap "completions" in
+      if print_mode then
+        Printf.printf "    (%d, %d, %d, %d);\n%!" n events arrivals completions
+      else begin
+        let check name got expected =
+          if got <> expected then begin
+            Printf.printf "  n=%d platform/%s = %d, pinned %d\n" n name got
+              expected;
+            incr failures
+          end
+        in
+        check "events_drained" events exp_events;
+        check "worker_arrivals" arrivals exp_arrivals;
+        check "completions" completions exp_completions;
+        if events <> arrivals + completions then begin
+          Printf.printf
+            "  n=%d events_drained %d <> worker_arrivals %d + completions %d\n"
+            n events arrivals completions;
+          incr failures
+        end;
+        if !failures = 0 then
+          Printf.printf
+            "  n=%d ok: events_drained %d = %d arrivals + %d completions\n" n
+            events arrivals completions
+      end)
+    engine_opcheck_expected;
+  if !failures > 0 then begin
+    Printf.printf "operation-count gate FAILED (%d mismatches)\n%!" !failures;
+    exit 1
+  end
 
 (* --- bechamel micro-benchmarks ------------------------------------------ *)
 
@@ -891,6 +983,7 @@ let () =
       ("fig14b", fig14b); ("fig15", fig15); ("findings", findings);
       ("figures", figures); ("ablations", ablations); ("micro", micro);
       ("engine", engine_bench);
+      ("engine-opcheck", engine_opcheck);
     ]
   in
   match args with

@@ -68,7 +68,7 @@ let max_element t =
   Array.iteri (fun e r -> if r > t.ranks.(!best) then best := e) t.ranks;
   !best
 
-let better t a b =
+let[@inline] better t a b =
   if a = b then invalid_arg "Ground_truth.better: same element";
   (* One combined range check instead of two [rank] calls: this sits on
      the oracle answer hot path. *)

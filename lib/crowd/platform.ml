@@ -35,10 +35,21 @@ type t = { cfg : config }
 let create ?(config = default_config) () = { cfg = config }
 let config t = t.cfg
 
+(* Reusable simulation buffers. [t] itself stays immutable — one
+   platform value is shared by every run of an engine config, across
+   domains under parallel replication — so mutable storage lives in a
+   per-caller scratch handle instead. *)
+type scratch = {
+  cal : Event_calendar.t;  (* in-flight completion events *)
+  mutable qbuf : int array;  (* answer_batch question pairs, flattened *)
+}
+
+let scratch () = { cal = Event_calendar.create (); qbuf = [||] }
+
 (* One simulated worker sitting: how many questions they will answer
-   before switching tasks (geometric, mean patience_mean, at least 1). *)
-let draw_patience rng cfg =
-  let p = 1.0 /. Float.max 1.0 cfg.patience_mean in
+   before switching tasks (geometric, mean patience_mean, at least 1).
+   [p] is the precomputed success probability 1 / max 1 patience_mean. *)
+let draw_patience rng p =
   let rec loop k = if Rng.bernoulli rng p then k else loop (k + 1) in
   loop 1
 
@@ -58,12 +69,17 @@ let burst_rate_of cfg q =
    visible, then [tail_rate] forever, both scaled by the diurnal factor.
    Returns the next arrival strictly after [t]. The steady case keeps
    the direct exponential draws; the diurnal case uses thinning against
-   the peak-rate envelope. *)
-let next_arrival rng cfg q t =
+   the peak-rate envelope. Both paths clamp the start time to
+   [post_overhead]: the arrival rate is zero before the batch is
+   visible, so for the steady case the clamp is where the first draw
+   begins, and for the thinning case starting any earlier would only
+   burn rejected draws across an interval that cannot produce an
+   arrival. *)
+let arrival_after rng cfg q t =
   let burst_rate = burst_rate_of cfg q in
   let burst_end = cfg.post_overhead +. cfg.burst_seconds in
+  let t = Float.max t cfg.post_overhead in
   if cfg.diurnal_amplitude <= 0.0 then begin
-    let t = Float.max t cfg.post_overhead in
     if t < burst_end then begin
       let dt = Rng.exponential rng (1.0 /. burst_rate) in
       if t +. dt <= burst_end then t +. dt
@@ -93,10 +109,7 @@ let next_arrival rng cfg q t =
     thin t
   end
 
-type sim_event = Arrival of float | Completion of float * int * int
-(* Completion (time, question index, worker patience remaining) *)
-
-let event_time = function Arrival t -> t | Completion (t, _, _) -> t
+let next_arrival t rng ~q ~after = arrival_after rng t.cfg q after
 
 type report = {
   latency : float;
@@ -108,12 +121,27 @@ type report = {
 
 (* Fixed arrival-time buckets (simulated seconds): the first bound sits
    just past [post_overhead], the rest trace the burst window and the
-   tail. Fixed bounds keep the exported histogram schema-stable. *)
-let arrival_buckets () =
-  [| 160.0; 180.0; 210.0; 240.0; 300.0; 420.0; 600.0; 900.0; 1800.0 |]
+   tail. Fixed bounds keep the exported histogram schema-stable. The
+   spec is immutable and built once at module load — registration in
+   the per-round hot path shares it instead of allocating and
+   revalidating a fresh bounds array per simulate call. *)
+let arrival_bucket_spec =
+  Metrics.bucket_spec
+    [| 160.0; 180.0; 210.0; 240.0; 300.0; 420.0; 600.0; 900.0; 1800.0 |]
 
-let simulate ?(deadline = Float.infinity) ?(metrics = Metrics.disabled) t rng q
-    ~on_complete =
+(* Scalar float state threaded through the event loop. An all-float
+   record is flat, so these fields update without boxing — unlike a
+   [float ref], which allocates on every store. *)
+type loop_state = { mutable arr_time : float; mutable last_time : float }
+
+(* The canonical do-nothing completion callback ([batch_latency] only
+   wants the report). The event loop recognizes it by physical equality
+   and skips the indirect call — and the float boxing of its argument —
+   on every completion. *)
+let noop_complete (_ : int) (_ : float) = ()
+
+let simulate ?(deadline = Float.infinity) ?(metrics = Metrics.disabled)
+    ?scratch:scr t rng q ~on_complete =
   let cfg = t.cfg in
   if q < 0 then invalid_arg "Platform: negative batch size";
   if cfg.tail_rate <= 0.0 then invalid_arg "Platform: tail_rate must be > 0";
@@ -141,53 +169,127 @@ let simulate ?(deadline = Float.infinity) ?(metrics = Metrics.disabled) t rng q
     let m_completions = Metrics.counter metrics ~section:"platform" "completions" in
     let m_peak = Metrics.peak metrics ~section:"platform" "in_flight_peak" in
     let m_arrival_h =
-      Metrics.histogram metrics ~section:"platform" "arrival_seconds"
-        ~buckets:(arrival_buckets ())
+      Metrics.histogram_spec metrics ~section:"platform" "arrival_seconds"
+        ~buckets:arrival_bucket_spec
     in
-    let events =
-      Heap.create ~cmp:(fun a b -> Float.compare (event_time a) (event_time b))
+    let cal =
+      match scr with
+      | Some s ->
+          Event_calendar.clear s.cal;
+          s.cal
+      | None -> Event_calendar.create ()
     in
-    Heap.push events (Arrival (next_arrival rng cfg q 0.0));
-    let next_question = ref 0 in
-    let answered = ref 0 in
-    let last_time = ref cfg.post_overhead in
-    let deadline_hit = ref false in
-    let take_question time patience =
-      if !next_question < q && patience > 0 then begin
-        let idx = !next_question in
-        incr next_question;
-        Metrics.record_peak m_peak (!next_question - !answered);
-        let done_at = time +. Worker.service_time rng cfg.service in
-        Heap.push events (Completion (done_at, idx, patience - 1))
+    (* Per-batch constants, hoisted out of the loop: the visibility
+       power, the exponential means, the log-normal location and the
+       patience probability are all fixed for the batch. *)
+    let post = cfg.post_overhead in
+    let burst_end = post +. cfg.burst_seconds in
+    let diurnal = cfg.diurnal_amplitude > 0.0 in
+    let burst_mean = 1.0 /. burst_rate_of cfg q in
+    let tail_mean = 1.0 /. cfg.tail_rate in
+    let median = cfg.service.Worker.median_seconds in
+    let sigma = cfg.service.Worker.sigma in
+    let mu = if sigma <= 0.0 then 0.0 else Worker.service_mu cfg.service in
+    let p_patience = 1.0 /. Float.max 1.0 cfg.patience_mean in
+    (* Draw-for-draw the same arrival stream as [next_arrival]: the
+       clamp, the burst/tail split and the draw order are identical —
+       only the per-call constant recomputation is gone. *)
+    let next_arr t =
+      if diurnal then arrival_after rng cfg q t
+      else begin
+        let t = if t >= post then t else post in
+        if t < burst_end then begin
+          let dt = Rng.exponential rng burst_mean in
+          if t +. dt <= burst_end then t +. dt
+          else burst_end +. Rng.exponential rng tail_mean
+        end
+        else t +. Rng.exponential rng tail_mean
       end
     in
+    (* The arrival stream is a scalar chain — at any moment exactly one
+       future arrival exists (each processed arrival draws the next) —
+       so it stays out of the calendar: the next event is simply the
+       earlier of the pending arrival and the earliest completion, with
+       the arrival preferred on (measure-zero) exact ties, matching the
+       old heap's insertion order for that case. Once every question is
+       assigned the chain dies without drawing a successor; the old
+       loop's already-queued final arrival popped as a silent no-op, so
+       dropping it changes no draw and no report field. *)
+    let next_question = ref 0 in
+    let answered = ref 0 in
+    let st = { arr_time = 0.0; last_time = post } in
+    st.arr_time <- next_arr 0.0;
+    let arrivals_alive = ref true in
+    let deadline_hit = ref false in
+    let live_cb = on_complete != noop_complete in
     (* An event past the deadline ends the round: with the default
        infinite deadline the guard never fires and the loop — and its
-       rng draw sequence — is exactly the historical one. *)
+       rng draw sequence — is exactly the historical one. The
+       take-a-question step (assign the next index, record the queue
+       peak, draw the service time, schedule the completion) is written
+       out at both event sites rather than through a local closure: a
+       closure call re-boxes the float event time on every event. *)
     while (not !deadline_hit) && !answered < q do
-      let ev = Heap.pop_exn events in
-      Metrics.incr m_events;
-      if event_time ev > deadline then deadline_hit := true
-      else
-        match ev with
-        | Arrival time ->
-            (* Keep the arrival stream alive only while questions remain
-               unassigned; later arrivals would find nothing to do. *)
-            if !next_question < q then begin
-              Metrics.incr m_arrivals;
-              Metrics.observe m_arrival_h time;
-              Heap.push events (Arrival (next_arrival rng cfg q time));
-              take_question time (draw_patience rng cfg)
-            end
-        | Completion (time, idx, patience) ->
-            incr answered;
-            Metrics.incr m_completions;
-            last_time := Float.max !last_time time;
-            on_complete idx time;
-            take_question time patience
+      if
+        !arrivals_alive
+        && (Event_calendar.is_empty cal
+           || st.arr_time <= Event_calendar.min_time cal)
+      then begin
+        let time = st.arr_time in
+        if time > deadline then deadline_hit := true
+        else if !next_question < q then begin
+          Metrics.incr m_events;
+          Metrics.incr m_arrivals;
+          Metrics.observe m_arrival_h time;
+          (* [next_arr] written out for the steady case: [time] is a
+             processed arrival, so it is >= [post] already and the clamp
+             is a no-op — the draws are [next_arr]'s exactly. Keeping it
+             inline spares the per-arrival closure call and its float
+             boxing. *)
+          st.arr_time <-
+            (if diurnal then arrival_after rng cfg q time
+             else if time < burst_end then begin
+               let dt = Rng.exponential rng burst_mean in
+               if time +. dt <= burst_end then time +. dt
+               else burst_end +. Rng.exponential rng tail_mean
+             end
+             else time +. Rng.exponential rng tail_mean);
+          let patience = draw_patience rng p_patience in
+          (* patience >= 1 and a question is free: always take one. *)
+          let idx = !next_question in
+          incr next_question;
+          Metrics.record_peak m_peak (!next_question - !answered);
+          let s = if sigma <= 0.0 then median else Rng.lognormal rng ~mu ~sigma in
+          Event_calendar.add cal ~time:(time +. s) idx (patience - 1)
+        end
+        else arrivals_alive := false
+      end
+      else begin
+        let time = Event_calendar.min_time cal in
+        if time > deadline then deadline_hit := true
+        else begin
+          let idx = Event_calendar.min_a cal in
+          let patience = Event_calendar.min_b cal in
+          Event_calendar.remove_min cal;
+          Metrics.incr m_events;
+          incr answered;
+          Metrics.incr m_completions;
+          if time > st.last_time then st.last_time <- time;
+          if live_cb then on_complete idx time;
+          if patience > 0 && !next_question < q then begin
+            let idx = !next_question in
+            incr next_question;
+            Metrics.record_peak m_peak (!next_question - !answered);
+            let s =
+              if sigma <= 0.0 then median else Rng.lognormal rng ~mu ~sigma
+            in
+            Event_calendar.add cal ~time:(time +. s) idx (patience - 1)
+          end
+        end
+      end
     done;
     {
-      latency = (if !deadline_hit then deadline else !last_time);
+      latency = (if !deadline_hit then deadline else st.last_time);
       completed = !answered;
       in_flight = !next_question - !answered;
       unassigned = q - !next_question;
@@ -195,18 +297,31 @@ let simulate ?(deadline = Float.infinity) ?(metrics = Metrics.disabled) t rng q
     }
   end
 
-let batch_latency ?deadline ?metrics t rng q =
-  (simulate ?deadline ?metrics t rng q ~on_complete:(fun _ _ -> ())).latency
+let batch_latency ?deadline ?metrics ?scratch t rng q =
+  (simulate ?deadline ?metrics ?scratch t rng q ~on_complete:noop_complete)
+    .latency
 
 type answered = { question : int * int; winner : int; completed_at : float }
 
-let answer_batch ?deadline ?metrics t rng ~error ~truth questions =
-  let arr = Array.of_list questions in
+let answer_batch ?deadline ?metrics ?scratch:scr t rng ~error ~truth questions =
+  let s = match scr with Some s -> s | None -> scratch () in
+  (* Flatten the pairs into the scratch buffer (grown geometrically, so
+     steady-state rounds copy into existing storage) instead of
+     allocating a fresh pair array per round. *)
+  let n = List.length questions in
+  if Array.length s.qbuf < 2 * n then
+    s.qbuf <- Array.make (max 16 (2 * (2 * n))) 0;
+  let qbuf = s.qbuf in
+  List.iteri
+    (fun i (a, b) ->
+      qbuf.((2 * i)) <- a;
+      qbuf.((2 * i) + 1) <- b)
+    questions;
   let results = ref [] in
   let on_complete idx time =
-    let a, b = arr.(idx) in
+    let a = qbuf.(2 * idx) and b = qbuf.((2 * idx) + 1) in
     let winner = Worker.answer rng error truth a b in
     results := { question = (a, b); winner; completed_at = time } :: !results
   in
-  let report = simulate ?deadline ?metrics t rng (Array.length arr) ~on_complete in
+  let report = simulate ?deadline ?metrics ~scratch:s t rng n ~on_complete in
   (List.rev !results, report)

@@ -49,6 +49,27 @@ type t
 val create : ?config:config -> unit -> t
 val config : t -> config
 
+type scratch
+(** Reusable simulation buffers (the event calendar and the
+    [answer_batch] question buffer). A platform value itself is
+    immutable and freely shared across runs and domains; a [scratch] is
+    mutable and must be confined to one caller at a time — create one
+    per replication worker and thread it through consecutive rounds to
+    make the event loop allocation-free in steady state. Optional
+    everywhere: omitting it allocates fresh buffers per call. *)
+
+val scratch : unit -> scratch
+
+val next_arrival : t -> Crowdmax_util.Rng.t -> q:int -> after:float -> float
+(** The arrival process alone: the time of the next worker arrival
+    strictly after [after] for a [q]-question batch. Arrival rates are
+    zero before [config.post_overhead], so the draw starts from
+    [max after post_overhead] on both the steady and the diurnal
+    (thinning) path — the clamp bounds the diurnal path's rejected
+    draws, which previously grew without bound as thinning walked the
+    zero-rate interval before the batch was visible. Exposed for
+    calibration and for regression tests over the draw budget. *)
+
 type report = {
   latency : float;
       (** seconds from posting until the last answer — or until the
@@ -68,6 +89,7 @@ type report = {
 val simulate :
   ?deadline:float ->
   ?metrics:Crowdmax_obs.Metrics.t ->
+  ?scratch:scratch ->
   t ->
   Crowdmax_util.Rng.t ->
   int ->
@@ -80,22 +102,29 @@ val simulate :
     [deadline] (simulated seconds after posting, default infinity) stops
     the loop at the first event strictly past it: answers already in
     are kept, [on_complete] never fires for later ones, and the report
-    says what was cut off. [deadline = infinity] follows the exact
-    historical code path — same rng draw sequence, bit-identical
-    results. Raises [Invalid_argument] on negative [q], a non-positive
-    [tail_rate], or a NaN/non-positive [deadline].
+    says what was cut off. [deadline = infinity] draws the exact
+    historical rng sequence — bit-identical results. Raises
+    [Invalid_argument] on negative [q], a non-positive [tail_rate], or a
+    NaN/non-positive [deadline].
 
     [metrics] (default disabled) records into the ["platform"] section:
     [batches], [events_drained], [worker_arrivals], [completions], the
     [in_flight_peak] high-water mark, and the [arrival_seconds]
-    histogram of simulated worker-arrival times. All values are
-    simulated quantities — deterministic given the rng — and recording
-    never draws from [rng], so enabling metrics cannot perturb the
-    simulation. *)
+    histogram of simulated worker-arrival times. [events_drained]
+    counts events the loop {e processed}: exactly the worker arrivals
+    that drew from the rng plus the completions delivered to
+    [on_complete], so [events_drained = worker_arrivals + completions]
+    always. The first event past the deadline — observed, but discarded
+    — is not processed and not counted, and neither is an arrival
+    falling after every question was assigned (it can affect nothing).
+    All values are simulated quantities — deterministic given the rng —
+    and recording never draws from [rng], so enabling metrics cannot
+    perturb the simulation. *)
 
 val batch_latency :
   ?deadline:float ->
   ?metrics:Crowdmax_obs.Metrics.t ->
+  ?scratch:scratch ->
   t ->
   Crowdmax_util.Rng.t ->
   int ->
@@ -114,6 +143,7 @@ type answered = {
 val answer_batch :
   ?deadline:float ->
   ?metrics:Crowdmax_obs.Metrics.t ->
+  ?scratch:scratch ->
   t ->
   Crowdmax_util.Rng.t ->
   error:Worker.error_model ->

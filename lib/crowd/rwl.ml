@@ -62,8 +62,17 @@ let scc_of ~nodes ~succ =
    (winner, loser) per question, re-orient the edges inside each
    strongly connected component by the component-local win/loss score so
    the result is acyclic. Returns the final answers and how many edges
-   were flipped. *)
-let break_cycles voted =
+   were flipped.
+
+   Two interchangeable implementations. The output is a pure function
+   of the SCC *partition* and the within-component scores — both
+   canonical properties of the edge set, independent of traversal or
+   component numbering — so any correct SCC algorithm yields identical
+   answers. [break_cycles_flat] runs Tarjan iteratively over flat
+   arrays indexed by element id (the resolve hot path: ids are dense
+   small naturals); [break_cycles_tbl] is the general hashtable version
+   kept for sparse or negative ids. *)
+let break_cycles_tbl voted =
   let succ_tbl = Hashtbl.create 64 in
   List.iter
     (fun (w, l) ->
@@ -108,6 +117,154 @@ let break_cycles voted =
       voted
   in
   (final, !flipped)
+
+(* Flat-array path: CSR successor lists plus an iterative Tarjan, no
+   hashing, no per-node allocation. Visits roots in ascending id order
+   like the sorted-node hashtable path; only component equality is
+   consumed downstream, so the differing component numbering is
+   unobservable. *)
+let break_cycles_flat voted ~max_id ~n_edges =
+  let n = max_id + 1 in
+  let ws = Array.make n_edges 0 in
+  let ls = Array.make n_edges 0 in
+  List.iteri
+    (fun i (w, l) ->
+      ws.(i) <- w;
+      ls.(i) <- l)
+    voted;
+  let present = Array.make n false in
+  (* CSR: [start.(v) .. start.(v+1) - 1] indexes v's successors. *)
+  let start = Array.make (n + 1) 0 in
+  for i = 0 to n_edges - 1 do
+    let w = ws.(i) in
+    start.(w + 1) <- start.(w + 1) + 1;
+    present.(w) <- true;
+    present.(ls.(i)) <- true
+  done;
+  for v = 1 to n do
+    start.(v) <- start.(v) + start.(v - 1)
+  done;
+  let fill = Array.make n 0 in
+  Array.blit start 0 fill 0 n;
+  let adj = Array.make n_edges 0 in
+  for i = 0 to n_edges - 1 do
+    let w = ws.(i) in
+    adj.(fill.(w)) <- ls.(i);
+    fill.(w) <- fill.(w) + 1
+  done;
+  let index = Array.make n (-1) in
+  let lowlink = Array.make n 0 in
+  let comp = Array.make n (-1) in
+  let on_stack = Array.make n false in
+  let stack = Array.make n 0 in
+  let sp = ref 0 in
+  let counter = ref 0 in
+  let comp_count = ref 0 in
+  (* Explicit DFS frames: [dfs_v] the node, [dfs_i] its next unexplored
+     CSR cursor. Depth is bounded by the number of distinct nodes <= n. *)
+  let dfs_v = Array.make n 0 in
+  let dfs_i = Array.make n 0 in
+  for root = 0 to n - 1 do
+    if present.(root) && index.(root) < 0 then begin
+      let top = ref 0 in
+      dfs_v.(0) <- root;
+      dfs_i.(0) <- start.(root);
+      index.(root) <- !counter;
+      lowlink.(root) <- !counter;
+      incr counter;
+      stack.(!sp) <- root;
+      incr sp;
+      on_stack.(root) <- true;
+      while !top >= 0 do
+        let v = dfs_v.(!top) in
+        let i = dfs_i.(!top) in
+        if i < start.(v + 1) then begin
+          dfs_i.(!top) <- i + 1;
+          let w = adj.(i) in
+          if index.(w) < 0 then begin
+            index.(w) <- !counter;
+            lowlink.(w) <- !counter;
+            incr counter;
+            stack.(!sp) <- w;
+            incr sp;
+            on_stack.(w) <- true;
+            incr top;
+            dfs_v.(!top) <- w;
+            dfs_i.(!top) <- start.(w)
+          end
+          else if on_stack.(w) && index.(w) < lowlink.(v) then
+            lowlink.(v) <- index.(w)
+        end
+        else begin
+          if lowlink.(v) = index.(v) then begin
+            let continue_ = ref true in
+            while !continue_ do
+              decr sp;
+              let w = stack.(!sp) in
+              on_stack.(w) <- false;
+              comp.(w) <- !comp_count;
+              if w = v then continue_ := false
+            done;
+            incr comp_count
+          end;
+          decr top;
+          if !top >= 0 then begin
+            let parent = dfs_v.(!top) in
+            if lowlink.(v) < lowlink.(parent) then
+              lowlink.(parent) <- lowlink.(v)
+          end
+        end
+      done
+    end
+  done;
+  let score = Array.make n 0 in
+  for i = 0 to n_edges - 1 do
+    let w = ws.(i) and l = ls.(i) in
+    if comp.(w) = comp.(l) then begin
+      score.(w) <- score.(w) + 1;
+      score.(l) <- score.(l) - 1
+    end
+  done;
+  let flipped = ref 0 in
+  let final =
+    List.map
+      (fun ((w, l) as edge) ->
+        if comp.(w) <> comp.(l) then edge
+        else begin
+          let c = Int.compare score.(w) score.(l) in
+          if c > 0 || (c = 0 && Int.compare w l > 0) then edge
+          else begin
+            incr flipped;
+            (l, w)
+          end
+        end)
+      voted
+  in
+  (final, !flipped)
+
+let break_cycles voted =
+  match voted with
+  | [] -> ([], 0)
+  | _ ->
+      let min_id = ref max_int in
+      let max_id = ref min_int in
+      let n_edges = ref 0 in
+      List.iter
+        (fun (w, l) ->
+          incr n_edges;
+          if w < !min_id then min_id := w;
+          if l < !min_id then min_id := l;
+          if w > !max_id then max_id := w;
+          if l > !max_id then max_id := l)
+        voted;
+      (* The flat path allocates O(max_id) arrays: take it for the dense
+         nonnegative ids the engine produces, fall back to hashing for
+         negative or very sparse id spaces. The choice is a pure
+         function of the edge set, so replicated runs stay
+         deterministic. *)
+      if !min_id >= 0 && !max_id <= (8 * !n_edges) + 1024 then
+        break_cycles_flat voted ~max_id:!max_id ~n_edges:!n_edges
+      else break_cycles_tbl voted
 
 let outcome_of ~truth ~raw_questions ~vote_flips ~unanswered voted =
   let final, flipped = break_cycles voted in
@@ -156,6 +313,22 @@ let resolve ?votes_received rng cfg ~truth questions =
   if cfg.votes < 1 then invalid_arg "Rwl.resolve: votes < 1";
   check_questions "Rwl.resolve" questions;
   let received = check_received "Rwl.resolve" cfg.votes questions votes_received in
+  (* One raw vote, specialized by error model: the model is fixed for
+     the whole call, so the [Uniform] clamp (and [Perfect]'s no-draw
+     short-circuit — [Rng.bernoulli] at p <= 0 never draws) hoists out
+     of the per-answer path. Draw-for-draw identical to
+     [Worker.answer ... = a]. *)
+  let vote_is_a =
+    match cfg.error with
+    | Worker.Perfect -> fun a b -> Ground_truth.better truth a b = a
+    | Worker.Uniform p ->
+        let p = Float.max 0.0 (Float.min 1.0 p) in
+        fun a b ->
+          let truthful = Ground_truth.better truth a b = a in
+          if Rng.bernoulli rng p then not truthful else truthful
+    | Worker.Distance_sensitive _ ->
+        fun a b -> Worker.answer rng cfg.error truth a b = a
+  in
   (* Repetition + majority vote per question. *)
   let vote_flips = ref 0 in
   let unanswered = ref [] in
@@ -167,7 +340,7 @@ let resolve ?votes_received rng cfg ~truth questions =
       else begin
         let wins_a = ref 0 in
         for _ = 1 to v do
-          if Worker.answer rng cfg.error truth a b = a then incr wins_a
+          if vote_is_a a b then incr wins_a
         done;
         let winner =
           if 2 * !wins_a > v then a

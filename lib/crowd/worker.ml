@@ -15,7 +15,7 @@ let error_probability model truth a b =
       in
       Float.max 0.0 (Float.min 1.0 (base *. exp (-.gap /. halfwidth)))
 
-let answer rng model truth a b =
+let[@inline] answer rng model truth a b =
   let true_winner = Ground_truth.better truth a b in
   let true_loser = if true_winner = a then b else a in
   if Rng.bernoulli rng (error_probability model truth a b) then true_loser
@@ -25,6 +25,8 @@ type service_model = { median_seconds : float; sigma : float }
 
 let default_service = { median_seconds = 3.0; sigma = 0.6 }
 
-let service_time rng { median_seconds; sigma } =
+let service_mu { median_seconds; sigma = _ } = log median_seconds
+
+let service_time rng ({ median_seconds; sigma } as model) =
   if sigma <= 0.0 then median_seconds
-  else Rng.lognormal rng ~mu:(log median_seconds) ~sigma
+  else Rng.lognormal rng ~mu:(service_mu model) ~sigma

@@ -29,5 +29,11 @@ type service_model = {
 val default_service : service_model
 (** Median 3 s (the paper's car task), moderate spread. *)
 
+val service_mu : service_model -> float
+(** The log-normal location parameter, [log median_seconds] — what
+    {!service_time} passes to the draw when [sigma > 0]. Exposed so hot
+    loops (the platform simulator) can hoist the [log] out of the
+    per-event draw; [service_time] computes it on every call. *)
+
 val service_time : Crowdmax_util.Rng.t -> service_model -> float
 (** One service-time draw, always > 0. *)

@@ -119,7 +119,9 @@ let counter t ~section name =
       | C_count c -> A_counter c
       | C_peak _ | C_hist _ | C_real _ -> kind_clash ~section name)
 
-let incr = function No_counter -> () | A_counter c -> c.count <- c.count + 1
+let[@inline] incr = function
+  | No_counter -> ()
+  | A_counter c -> c.count <- c.count + 1
 
 let add h n =
   if n < 0 then invalid_arg "Metrics.add: negative increment";
@@ -135,7 +137,7 @@ let peak t ~section name =
       | C_peak c -> A_peak c
       | C_count _ | C_hist _ | C_real _ -> kind_clash ~section name)
 
-let record_peak h v =
+let[@inline] record_peak h v =
   match h with No_peak -> () | A_peak c -> if v > c.peak then c.peak <- v
 
 type histogram = No_hist | A_hist of hist_cell
@@ -148,15 +150,24 @@ let check_buckets buckets =
       invalid_arg "Metrics.histogram: bucket bounds must be strictly increasing"
   done
 
-let histogram t ~section name ~buckets =
+(* A [bucket_spec] is a validated, privately owned copy of the bounds:
+   abstract in the interface, so a module-level spec constant is
+   immutable by contract (and passes lint R3), and [histogram_spec] can
+   share it without re-validating or re-copying per registration. *)
+type bucket_spec = float array
+
+let bucket_spec buckets =
+  check_buckets buckets;
+  Array.copy buckets
+
+let histogram_of_bounds t ~section name ~copy buckets =
   match t with
   | Disabled -> No_hist
   | Enabled s -> (
-      check_buckets buckets;
       let make () =
         C_hist
           {
-            h_buckets = Array.copy buckets;
+            h_buckets = (if copy then Array.copy buckets else buckets);
             h_counts = Array.make (Array.length buckets + 1) 0;
             h_total = 0;
             h_sum = 0.0;
@@ -165,6 +176,13 @@ let histogram t ~section name ~buckets =
       match register s ~section name ~kind:"histogram" make with
       | C_hist c -> A_hist c
       | C_count _ | C_peak _ | C_real _ -> kind_clash ~section name)
+
+let histogram t ~section name ~buckets =
+  (match t with Disabled -> () | Enabled _ -> check_buckets buckets);
+  histogram_of_bounds t ~section name ~copy:true buckets
+
+let histogram_spec t ~section name ~buckets =
+  histogram_of_bounds t ~section name ~copy:false buckets
 
 let observe h v =
   match h with

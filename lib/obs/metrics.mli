@@ -82,6 +82,21 @@ val histogram : t -> section:string -> string -> buckets:float array -> histogra
     the last bound land in an implicit overflow bucket. Raises
     [Invalid_argument] on an empty or non-increasing bucket array. *)
 
+type bucket_spec
+(** A validated, immutable set of histogram bucket bounds. Because the
+    type is abstract (and the constructor copies its input), a
+    module-level [bucket_spec] constant is safely shareable across
+    domains — the supported way to hoist fixed bounds out of a hot
+    registration path without a top-level mutable array. *)
+
+val bucket_spec : float array -> bucket_spec
+(** Validates like {!histogram} (raises [Invalid_argument] on empty or
+    non-increasing bounds) and captures a private copy. *)
+
+val histogram_spec : t -> section:string -> string -> buckets:bucket_spec -> histogram
+(** {!histogram}, but from a prevalidated {!bucket_spec}: registration
+    skips the per-call validation and defensive copy. *)
+
 val observe : histogram -> float -> unit
 
 val span : t -> section:string -> string -> span

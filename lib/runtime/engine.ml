@@ -114,7 +114,7 @@ let round_deadline cfg ~raw_posted =
    across the batch, so early completions spread over all questions
    instead of finishing the first few in full. Slots past [distinct]
    are padding and carry no information. *)
-let apply_round ~metrics rng cfg truth dag questions ~distinct ~posted =
+let apply_round ?scratch ~metrics rng cfg truth dag questions ~distinct ~posted =
   let record (winner, loser) = Dag.add_answer_unchecked dag ~winner ~loser in
   let partial_counts platform votes ~deadline =
     let counts = Array.make distinct 0 in
@@ -123,8 +123,8 @@ let apply_round ~metrics rng cfg truth dag questions ~distinct ~posted =
       if slot < distinct then counts.(slot) <- counts.(slot) + 1
     in
     let report =
-      Platform.simulate ~deadline ~metrics platform rng (votes * posted)
-        ~on_complete
+      Platform.simulate ~deadline ~metrics ?scratch platform rng
+        (votes * posted) ~on_complete
     in
     (counts, report)
   in
@@ -147,7 +147,9 @@ let apply_round ~metrics rng cfg truth dag questions ~distinct ~posted =
           let outcome = Rwl.resolve rng rwl ~truth questions in
           (* Latency: all raw repetitions of all posted questions
              (padding included) go to the platform as one batch. *)
-          let latency = Platform.batch_latency ~metrics platform rng raw_posted in
+          let latency =
+            Platform.batch_latency ~metrics ?scratch platform rng raw_posted
+          in
           List.iter record outcome.Rwl.answers;
           (latency, List.length outcome.Rwl.answers, [], false)
       | Some deadline ->
@@ -165,7 +167,8 @@ let apply_round ~metrics rng cfg truth dag questions ~distinct ~posted =
       | None ->
           let outcome = Rwl.resolve_pool rng ~pool ~votes ~truth questions in
           let latency =
-            Platform.batch_latency ~metrics platform rng (votes * posted)
+            Platform.batch_latency ~metrics ?scratch platform rng
+              (votes * posted)
           in
           List.iter record outcome.Rwl.answers;
           (latency, List.length outcome.Rwl.answers, [], false)
@@ -244,8 +247,19 @@ let make_instruments metrics =
 
 (* The single-run engine proper. Callers must have run [check_policies]
    and registered [instr] on [metrics] (the registry is still threaded
-   through for the platform's own instruments). *)
-let run_registered instr ~metrics rng cfg truth =
+   through for the platform's own instruments). [scratch] is reusable
+   simulation storage: replication loops pass one handle per worker so
+   consecutive runs (and rounds within a run) share buffers; when
+   absent, a simulated source gets a fresh handle for the run. *)
+let run_registered ?scratch instr ~metrics rng cfg truth =
+  let scratch =
+    match cfg.source with
+    | Oracle -> None
+    | Simulated _ | Simulated_pool _ -> (
+        match scratch with
+        | Some _ -> scratch
+        | None -> Some (Platform.scratch ()))
+  in
   let {
     i_runs = m_runs;
     i_rounds = m_rounds;
@@ -353,7 +367,8 @@ let run_registered instr ~metrics rng cfg truth =
       end
       else begin
         let latency, answered, unanswered, deadline_hit =
-          apply_round ~metrics rng cfg truth dag questions ~distinct ~posted
+          apply_round ?scratch ~metrics rng cfg truth dag questions ~distinct
+            ~posted
         in
         total_latency := !total_latency +. latency;
         questions_posted := !questions_posted + posted;
@@ -439,6 +454,17 @@ let run ?(metrics = Metrics.disabled) rng cfg truth =
   check_policies cfg;
   run_registered (make_instruments metrics) ~metrics rng cfg truth
 
+(* A reusable runner: policies checked, instruments registered and
+   scratch allocated once, shared by every run the closure performs.
+   This is the per-run fast path the replication loops and the bench
+   harness use; a runner must not be shared across domains (the scratch
+   is single-owner mutable state). *)
+let runner ?(metrics = Metrics.disabled) cfg =
+  check_policies cfg;
+  let instr = make_instruments metrics in
+  let scratch = Platform.scratch () in
+  fun rng truth -> run_registered ~scratch instr ~metrics rng cfg truth
+
 type timing = { jobs : int; wall_seconds : float; runs_per_sec : float }
 
 type aggregate = {
@@ -511,15 +537,32 @@ let aggregate_results ~runs ~timing results =
 let replicate ?(jobs = 1) ~runs ~seed cfg ~elements =
   if runs < 1 then invalid_arg "Engine.replicate: runs < 1";
   if jobs < 1 then invalid_arg "Engine.replicate: jobs < 1";
+  check_policies cfg;
   let t0 = Clock.now () in
   let rngs = per_run_rngs ~runs ~seed in
-  let one rng =
-    let truth = Ground_truth.random rng elements in
-    run rng cfg truth
-  in
   let results =
-    if jobs = 1 then Array.map one rngs
-    else Parallel.with_pool ~jobs (fun pool -> Parallel.map pool one rngs)
+    if jobs = 1 then begin
+      (* One worker: hoist the (no-op) instruments and the simulation
+         scratch out of the per-run loop. *)
+      let instr = make_instruments Metrics.disabled in
+      let scratch = Platform.scratch () in
+      Array.map
+        (fun rng ->
+          let truth = Ground_truth.random rng elements in
+          run_registered ~scratch instr ~metrics:Metrics.disabled rng cfg truth)
+        rngs
+    end
+    else begin
+      (* The closure is shared by every pool domain, so it cannot carry
+         a common scratch; each run gets its own. Disabled-registry
+         instrument handles are immutable no-ops, safe to share. *)
+      let instr = make_instruments Metrics.disabled in
+      let one rng =
+        let truth = Ground_truth.random rng elements in
+        run_registered instr ~metrics:Metrics.disabled rng cfg truth
+      in
+      Parallel.with_pool ~jobs (fun pool -> Parallel.map pool one rngs)
+    end
   in
   aggregate_results ~runs ~timing:(make_timing ~jobs ~runs t0) results
 
@@ -554,12 +597,13 @@ let replicate_with_metrics ?(jobs = 1) ~runs ~seed cfg ~elements =
     let metrics = Metrics.create () in
     let acc = Metrics.create () in
     let instr = make_instruments metrics in
+    let scratch = Platform.scratch () in
     let results =
       Array.map
         (fun rng ->
           Metrics.reset metrics;
           let truth = Ground_truth.random rng elements in
-          let result = run_registered instr ~metrics rng cfg truth in
+          let result = run_registered ~scratch instr ~metrics rng cfg truth in
           Metrics.absorb ~into:acc metrics;
           result)
         rngs
@@ -573,13 +617,14 @@ let replicate_with_metrics ?(jobs = 1) ~runs ~seed cfg ~elements =
       let lo = bound ci in
       let metrics = Metrics.create () in
       let instr = make_instruments metrics in
+      let scratch = Platform.scratch () in
       Array.init
         (bound (ci + 1) - lo)
         (fun k ->
           let rng = rngs.(lo + k) in
           Metrics.reset metrics;
           let truth = Ground_truth.random rng elements in
-          let result = run_registered instr ~metrics rng cfg truth in
+          let result = run_registered ~scratch instr ~metrics rng cfg truth in
           (result, Metrics.snapshot metrics))
     in
     let chunks =

@@ -117,6 +117,21 @@ type result = {
   trace : round_record list;  (** in round order *)
 }
 
+val runner :
+  ?metrics:Crowdmax_obs.Metrics.t ->
+  config ->
+  Crowdmax_util.Rng.t ->
+  Crowdmax_crowd.Ground_truth.t ->
+  result
+(** [runner cfg] validates policies, registers instruments and
+    allocates simulation scratch buffers {e once}, returning a closure
+    that behaves exactly like [run ?metrics _ cfg _] on every call —
+    same draws, same results — without the per-run setup. Use it for
+    tight replication or measurement loops. The returned closure owns
+    mutable scratch: do not share one runner across domains (the
+    replication entry points below manage per-worker reuse
+    themselves). *)
+
 val run :
   ?metrics:Crowdmax_obs.Metrics.t ->
   Crowdmax_util.Rng.t ->

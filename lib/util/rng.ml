@@ -8,10 +8,10 @@ type t = { mutable hi : int; mutable lo : int }
 
 let golden_gamma = 0x9E3779B97F4A7C15L
 
-let state t =
+let[@inline] state t =
   Int64.logor (Int64.shift_left (Int64.of_int t.hi) 32) (Int64.of_int t.lo)
 
-let set_state t s =
+let[@inline] set_state t s =
   t.hi <- Int64.to_int (Int64.shift_right_logical s 32);
   t.lo <- Int64.to_int (Int64.logand s 0xFFFFFFFFL)
 
@@ -24,12 +24,12 @@ let copy t = { hi = t.hi; lo = t.lo }
 
 (* splitmix64 finalizer: the state marches by a fixed gamma and each output
    is a strong mix of the new state value. *)
-let mix64 z =
+let[@inline] mix64 z =
   let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
   let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
   Int64.logxor z (Int64.shift_right_logical z 31)
 
-let bits64 t =
+let[@inline] bits64 t =
   let s = Int64.add (state t) golden_gamma in
   set_state t s;
   mix64 s
@@ -39,6 +39,14 @@ let split t =
   let u = { hi = 0; lo = 0 } in
   set_state u s;
   u
+
+(* Multiplicative inverse of [golden_gamma] mod 2^64 — the gamma is odd,
+   hence invertible — so a state difference divides back into an exact
+   draw count. *)
+let golden_gamma_inv = 0xF1DE83E19937733DL
+
+let draws_since ~base t =
+  Int64.to_int (Int64.mul (Int64.sub (state t) (state base)) golden_gamma_inv)
 
 (* Draws for [int] are 63-bit (the sign bit is shifted out), i.e. uniform
    on [0, 2^63). [accept_max bound] is the largest draw that keeps the
@@ -73,28 +81,28 @@ let int_in t lo hi =
   if hi < lo then invalid_arg "Rng.int_in: empty range";
   lo + int t (hi - lo + 1)
 
-let float t bound =
+let[@inline] float t bound =
   let mantissa = Int64.shift_right_logical (bits64 t) 11 in
   Int64.to_float mantissa /. 9007199254740992.0 *. bound
 
-let bool t = Int64.compare (bits64 t) 0L < 0
+let[@inline] bool t = Int64.compare (bits64 t) 0L < 0
 
-let bernoulli t p =
+let[@inline] bernoulli t p =
   if p <= 0.0 then false
   else if p >= 1.0 then true
   else float t 1.0 < p
 
-let exponential t mean =
+let[@inline] exponential t mean =
   if mean <= 0.0 then invalid_arg "Rng.exponential: mean must be positive";
   let u = 1.0 -. float t 1.0 in
   -.mean *. log u
 
-let gaussian t ~mu ~sigma =
+let[@inline] gaussian t ~mu ~sigma =
   let u1 = 1.0 -. float t 1.0 in
   let u2 = float t 1.0 in
   mu +. (sigma *. sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2))
 
-let lognormal t ~mu ~sigma = exp (gaussian t ~mu ~sigma)
+let[@inline] lognormal t ~mu ~sigma = exp (gaussian t ~mu ~sigma)
 
 let shuffle_in_place t a =
   for i = Array.length a - 1 downto 1 do

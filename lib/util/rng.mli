@@ -24,6 +24,15 @@ val split : t -> t
 val bits64 : t -> int64
 (** Next raw 64-bit output. *)
 
+val draws_since : base:t -> t -> int
+(** [draws_since ~base t] is the number of raw 64-bit draws separating
+    [t]'s state from [base]'s. The splitmix state advances by a fixed
+    odd (hence invertible mod 2^64) gamma per draw, so the count is
+    recovered exactly from the state difference. Meaningful only when
+    [t] was advanced from a {!copy} of [base]; for unrelated generators
+    the result is an arbitrary 64-bit value. Regression tests use this
+    to bound how many draws an operation consumes. *)
+
 val int : t -> int -> int
 (** [int t bound] is uniform in [\[0, bound)] — exactly uniform, by
     rejection sampling: 63-bit draws above {!accept_max}[ bound] are

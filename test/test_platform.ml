@@ -245,10 +245,172 @@ let test_answer_batch_deadline_partial_deterministic () =
   check_int "deterministic answers" (List.length answers)
     (List.length answers2)
 
+(* --- arrival-process regressions ---------------------------------------- *)
+
+let draws_of f =
+  let rng = Rng.create 67 in
+  let base = Rng.copy rng in
+  let v = f rng in
+  (v, Rng.draws_since ~base rng)
+
+let test_diurnal_draw_budget_bounded () =
+  (* Regression for the diurnal rng burn: with a huge dead interval
+     before the batch is visible, the thinning loop used to walk
+     [0, post_overhead) proposal by proposal — hundreds of thousands of
+     rejected draws. The clamp starts it at [post_overhead], so the
+     draw budget per arrival is a small geometric, independent of how
+     large the overhead is. *)
+  let cfg =
+    {
+      P.default_config with
+      P.post_overhead = 5.0e5;
+      diurnal_amplitude = 0.9;
+      diurnal_period = 4000.0;
+      diurnal_phase = 0.0;
+    }
+  in
+  let p = P.create ~config:cfg () in
+  for seed = 1 to 50 do
+    let rng = Rng.create seed in
+    let base = Rng.copy rng in
+    let t = P.next_arrival p rng ~q:100 ~after:0.0 in
+    let d = Rng.draws_since ~base rng in
+    check_bool
+      (Printf.sprintf "seed %d: %d draws" seed d)
+      true (d <= 1000);
+    check_bool "arrival after visibility" true (t >= cfg.P.post_overhead)
+  done
+
+let test_arrival_clamp_equivalence () =
+  (* The clamp must not change the distribution: starting the draw at 0
+     and at [post_overhead] are the same process (zero rate in between),
+     so with the same seed they must produce the same arrival from the
+     same number of draws — on the steady path and the diurnal path. *)
+  let check_cfg label cfg =
+    let p = P.create ~config:cfg () in
+    let post = cfg.P.post_overhead in
+    let t0, d0 = draws_of (fun rng -> P.next_arrival p rng ~q:60 ~after:0.0) in
+    let t1, d1 =
+      draws_of (fun rng -> P.next_arrival p rng ~q:60 ~after:post)
+    in
+    check_bool (label ^ ": same arrival") true (Float.equal t0 t1);
+    check_int (label ^ ": same draw count") d0 d1
+  in
+  check_cfg "steady" P.default_config;
+  check_cfg "diurnal"
+    {
+      P.default_config with
+      P.diurnal_amplitude = 0.6;
+      diurnal_period = 4000.0;
+      diurnal_phase = 1000.0;
+    }
+
+let test_zero_batch_deadlines () =
+  (* q = 0 never assigns anything, but the caller still waits: for the
+     posting overhead normally, or only until a tighter deadline. *)
+  let p = P.create () in
+  let post = (P.config p).P.post_overhead in
+  let run deadline =
+    P.simulate ~deadline p (Rng.create 3) 0 ~on_complete:(fun _ _ ->
+        Alcotest.fail "q=0 completion")
+  in
+  let tight = run (post /. 3.0) in
+  Alcotest.check (Alcotest.float 1e-9) "tight: latency = deadline"
+    (post /. 3.0) tight.P.latency;
+  check_bool "tight: deadline hit" true tight.P.deadline_hit;
+  check_int "tight: partition" 0
+    (tight.P.completed + tight.P.in_flight + tight.P.unassigned);
+  let loose = run (post *. 10.0) in
+  Alcotest.check (Alcotest.float 1e-9) "loose: latency = overhead" post
+    loose.P.latency;
+  check_bool "loose: no deadline hit" false loose.P.deadline_hit;
+  let inf = run Float.infinity in
+  Alcotest.check (Alcotest.float 1e-9) "infinite: latency = overhead" post
+    inf.P.latency;
+  check_bool "infinite: no deadline hit" false inf.P.deadline_hit
+
+let test_scratch_reuse_bit_identical () =
+  (* A reused scratch must be invisible: consecutive runs through one
+     scratch (growing, shrinking, deadline-cut) give bit-identical
+     reports to fresh-buffer runs with the same seeds. *)
+  let p = P.create () in
+  let plan rng =
+    [
+      P.simulate p rng 80 ~on_complete:(fun _ _ -> ());
+      P.simulate p rng 5 ~on_complete:(fun _ _ -> ());
+      P.simulate ~deadline:200.0 p rng 40 ~on_complete:(fun _ _ -> ());
+    ]
+  in
+  let plan_scratch rng =
+    let s = P.scratch () in
+    [
+      P.simulate ~scratch:s p rng 80 ~on_complete:(fun _ _ -> ());
+      P.simulate ~scratch:s p rng 5 ~on_complete:(fun _ _ -> ());
+      P.simulate ~deadline:200.0 ~scratch:s p rng 40 ~on_complete:(fun _ _ -> ());
+    ]
+  in
+  let fresh = plan (Rng.create 71) in
+  let reused = plan_scratch (Rng.create 71) in
+  List.iter2
+    (fun (a : P.report) (b : P.report) ->
+      check_bool "latency bit-identical" true (Float.equal a.P.latency b.P.latency);
+      check_int "completed" a.P.completed b.P.completed;
+      check_int "in_flight" a.P.in_flight b.P.in_flight;
+      check_int "unassigned" a.P.unassigned b.P.unassigned;
+      check_bool "deadline_hit" a.P.deadline_hit b.P.deadline_hit)
+    fresh reused
+
+module M = Crowdmax_obs.Metrics
+
+let platform_count snap name =
+  match M.find snap ~section:"platform" name with
+  | Some (M.Count n) -> n
+  | _ -> Alcotest.fail ("missing platform counter " ^ name)
+
+let test_events_drained_accounting () =
+  (* The .mli promise: events_drained counts processed events only —
+     exactly worker_arrivals + completions — including under a deadline
+     that cuts the loop mid-batch. *)
+  let p = P.create () in
+  let m = M.create () in
+  let fired = ref 0 in
+  let r =
+    (* 200 s cuts this seed mid-batch: some completions in, some not *)
+    P.simulate ~deadline:200.0 ~metrics:m p (Rng.create 73) 40
+      ~on_complete:(fun _ _ -> incr fired)
+  in
+  let snap = M.snapshot m in
+  let events = platform_count snap "events_drained" in
+  let arrivals = platform_count snap "worker_arrivals" in
+  let completions = platform_count snap "completions" in
+  check_bool "run was cut" true r.P.deadline_hit;
+  check_int "events = arrivals + completions" events (arrivals + completions);
+  check_int "completions = report.completed" r.P.completed completions;
+  check_int "completions = callbacks" !fired completions;
+  check_bool "some events processed" true (events > 0);
+  (* A deadline before the first arrival processes no events at all:
+     the observed-but-discarded first event is not counted. *)
+  let m2 = M.create () in
+  let overhead = (P.config p).P.post_overhead in
+  let _ =
+    P.simulate ~deadline:(overhead /. 2.0) ~metrics:m2 p (Rng.create 73) 8
+      ~on_complete:(fun _ _ -> ())
+  in
+  let snap2 = M.snapshot m2 in
+  check_int "cutoff before arrival: no events" 0
+    (platform_count snap2 "events_drained");
+  check_int "cutoff before arrival: no arrivals" 0
+    (platform_count snap2 "worker_arrivals")
+
 let suite =
   [
     ( "platform",
       [
+        tc "diurnal draw budget bounded" `Quick test_diurnal_draw_budget_bounded;
+        tc "arrival clamp equivalence" `Quick test_arrival_clamp_equivalence;
+        tc "zero batch under deadlines" `Quick test_zero_batch_deadlines;
+        tc "scratch reuse bit-identical" `Quick test_scratch_reuse_bit_identical;
+        tc "events_drained accounting" `Quick test_events_drained_accounting;
         tc "deadline before first arrival" `Quick test_deadline_before_first_arrival;
         tc "deadline q=1" `Quick test_deadline_single_question;
         tc "deadline infinity bit-identical" `Quick test_deadline_infinity_bit_identical;
