@@ -30,9 +30,12 @@ lint:
 # smoke-scale pass through the bechamel harness so the bench executable
 # stays runnable. The engine-opcheck pass pins the simulated event
 # loop's deterministic operation counts (events drained, arrivals,
-# completions at a fixed seed) and fails on any drift; the
+# completions at a fixed seed) and fails on any drift; planner-opcheck
+# does the same for the tDP planner's DP counters (states settled, memo
+# hits/misses, pruned branches, plan-cache reuse); the
 # engine-throughput pass prints current-vs-committed runs/sec
-# (informational, never failing) without touching BENCH_engine.json.
+# (informational, never failing) without touching BENCH_engine.json or
+# BENCH_history.jsonl.
 ci:
 	dune build @all --profile ci
 	dune build @all
@@ -44,6 +47,7 @@ ci:
 	rm -f _build/ci_metrics_smoke.json
 	CROWDMAX_BENCH_RUNS=2 dune exec bench/main.exe -- micro
 	dune exec bench/main.exe -- engine-opcheck
+	dune exec bench/main.exe -- planner-opcheck
 	CROWDMAX_ENGINE_BENCH_SECS=0.3 CROWDMAX_ENGINE_BENCH_WRITE=0 \
 		dune exec bench/main.exe -- engine
 

@@ -173,9 +173,94 @@ let straggler_arg =
 let json_flag =
   Arg.(value & flag & info [ "json" ] ~doc:"Emit machine-readable JSON.")
 
+let sweep_arg =
+  Arg.(
+    value
+    & opt (some (list int)) None
+    & info [ "sweep" ] ~docv:"B1,B2,..."
+        ~doc:
+          "Solve tDP once per budget in the comma-separated list against a \
+           single shared plan cache (the planner tables are built once and \
+           later solves only settle DP states earlier ones haven't) and \
+           tabulate rounds, predicted latency, questions used and the \
+           incremental states per solve. Replaces the single-budget \
+           report; $(b,--budget) is ignored.")
+
+(* The budget-sweep mode: one shared plan cache across all solves. *)
+let allocate_sweep ~elements ~model ~budgets ~json =
+  let cache = Crowdmax_core.Tdp.Cache.create () in
+  let solve_at budget =
+    let problem = Problem.create ~elements ~budget ~latency:model in
+    (budget, Tdp.solve ~cache problem)
+  in
+  let rows = List.map solve_at budgets in
+  if json then begin
+    let module J = Crowdmax_util.Json in
+    let doc =
+      J.Obj
+        [
+          ("elements", J.int elements);
+          ( "sweep",
+            J.List
+              (List.map
+                 (fun (budget, sol) ->
+                   J.Obj
+                     [
+                       ("budget", J.int budget);
+                       ( "rounds",
+                         J.List
+                           (List.map J.int
+                              (Allocation.round_budgets sol.Tdp.allocation)) );
+                       ("latency_seconds", J.Float sol.Tdp.latency);
+                       ("questions_used", J.int sol.Tdp.questions_used);
+                       ("new_states", J.int sol.Tdp.states_visited);
+                     ])
+                 rows) );
+          ( "plan_cache",
+            J.Obj
+              [
+                ("hits", J.int (Tdp.Cache.hits cache));
+                ("misses", J.int (Tdp.Cache.misses cache));
+                ("states_settled", J.int (Tdp.Cache.states_settled cache));
+              ] );
+        ]
+    in
+    print_endline (J.to_string ~pretty:true doc)
+  end
+  else begin
+    let table =
+      Crowdmax_util.Table.create
+        ~title:(Printf.sprintf "tDP budget sweep, c0 = %d (shared plan cache)" elements)
+        [ ("budget", Crowdmax_util.Table.Right);
+          ("rounds", Crowdmax_util.Table.Right);
+          ("latency (s)", Crowdmax_util.Table.Right);
+          ("questions used", Crowdmax_util.Table.Right);
+          ("new DP states", Crowdmax_util.Table.Right) ]
+    in
+    List.iter
+      (fun (budget, sol) ->
+        Crowdmax_util.Table.add_row table
+          [
+            string_of_int budget;
+            string_of_int (Allocation.rounds sol.Tdp.allocation);
+            Printf.sprintf "%.1f" sol.Tdp.latency;
+            string_of_int sol.Tdp.questions_used;
+            string_of_int sol.Tdp.states_visited;
+          ])
+      rows;
+    Crowdmax_util.Table.print table;
+    Printf.printf
+      "plan cache: %d table reuse(s), %d build(s), %d states settled\n"
+      (Tdp.Cache.hits cache) (Tdp.Cache.misses cache)
+      (Tdp.Cache.states_settled cache)
+  end
+
 let allocate_cmd =
-  let run elements budget delta alpha p json =
+  let run elements budget delta alpha p sweep json =
     let model = model_of delta alpha p in
+    match sweep with
+    | Some (_ :: _ as budgets) -> allocate_sweep ~elements ~model ~budgets ~json
+    | Some [] | None ->
     let problem = Problem.create ~elements ~budget ~latency:model in
     let sol = Tdp.solve problem in
     let heuristic_rows =
@@ -233,7 +318,7 @@ let allocate_cmd =
   let term =
     Term.(
       const run $ elements_arg $ budget_arg $ delta_arg $ alpha_arg $ p_arg
-      $ json_flag)
+      $ sweep_arg $ json_flag)
   in
   Cmd.v
     (Cmd.info "allocate"

@@ -15,17 +15,21 @@ type combo = {
 
 let estimated_model = Model.paper_mturk
 
-let tdp_allocate model ~elements ~budget =
-  (Tdp.solve (Problem.create ~elements ~budget ~latency:model)).Tdp.allocation
+let tdp_allocate ?cache model ~elements ~budget =
+  (Tdp.solve ?cache (Problem.create ~elements ~budget ~latency:model))
+    .Tdp.allocation
 
-let tdp_with model selection =
+(* A combo carrying a cache closes over single-domain mutable state; the
+   drivers only call [allocate] from the coordinating domain ([measure]
+   plans before [Engine.replicate] fans out), which is the contract. *)
+let tdp_with ?cache model selection =
   {
     label = "tDP+" ^ selection.Selection.name;
-    allocate = tdp_allocate model;
+    allocate = tdp_allocate ?cache model;
     selection;
   }
 
-let tdp_combo model = tdp_with model Selection.tournament
+let tdp_combo ?cache model = tdp_with ?cache model Selection.tournament
 
 let heuristic_combos selection =
   List.map
@@ -33,8 +37,8 @@ let heuristic_combos selection =
       { label = name ^ "+" ^ selection.Selection.name; allocate; selection })
     Heuristics.all
 
-let standard_grid model =
-  tdp_combo model :: heuristic_combos Selection.ct25
+let standard_grid ?cache model =
+  tdp_combo ?cache model :: heuristic_combos Selection.ct25
 
 let measure ?(jobs = 1) ~runs ~seed ~elements ~budget ~model combo =
   let allocation = combo.allocate ~elements ~budget in

@@ -14,19 +14,28 @@ type combo = {
 val estimated_model : Crowdmax_latency.Model.t
 (** The paper's fitted MTurk latency function. *)
 
-val tdp_combo : Crowdmax_latency.Model.t -> combo
+val tdp_combo : ?cache:Crowdmax_core.Tdp.Cache.t -> Crowdmax_latency.Model.t -> combo
 (** tDP (under the given latency function) + Tournament-formation — the
-    paper's recommended configuration (Sec. 6.3). *)
+    paper's recommended configuration (Sec. 6.3). [cache] backs every
+    [allocate] call, so a sweep over budgets or collection sizes pays
+    the planner table build once; the combo must then only be used from
+    the domain that owns the cache (the drivers plan before fanning
+    out, so this holds). *)
 
-val tdp_with : Crowdmax_latency.Model.t -> Crowdmax_selection.Selection.t -> combo
+val tdp_with :
+  ?cache:Crowdmax_core.Tdp.Cache.t ->
+  Crowdmax_latency.Model.t ->
+  Crowdmax_selection.Selection.t ->
+  combo
 
 val heuristic_combos : Crowdmax_selection.Selection.t -> combo list
 (** HE, HF, uHE, uHF under the given selector (the paper pairs them with
     CT25 from Sec. 6.4 on). *)
 
-val standard_grid : Crowdmax_latency.Model.t -> combo list
+val standard_grid :
+  ?cache:Crowdmax_core.Tdp.Cache.t -> Crowdmax_latency.Model.t -> combo list
 (** tDP+Tournament followed by the four heuristics + CT25: the grid of
-    Figs. 13-14. *)
+    Figs. 13-14. [cache] as in {!tdp_combo}. *)
 
 val measure :
   ?jobs:int ->

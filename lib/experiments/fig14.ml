@@ -20,11 +20,15 @@ let model_for p = Model.power ~delta:239.0 ~alpha:0.06 ~p
 
 let run_a ?(jobs = 1) ?(runs = 100) ?(seed = 37) ?(elements = 500) ?(budget = 4000)
     () =
+  (* Shared across exponents: each new model resets the cache (the
+     invalidation rule), but within one exponent the tDP combo's
+     allocate calls reuse it. *)
+  let cache = Tdp.Cache.create () in
   let cells =
     List.concat_map
       (fun p ->
         let model = model_for p in
-        let combos = Common.standard_grid model in
+        let combos = Common.standard_grid ~cache model in
         List.map
           (fun combo ->
             let agg =
@@ -37,6 +41,9 @@ let run_a ?(jobs = 1) ?(runs = 100) ?(seed = 37) ?(elements = 500) ?(budget = 40
   { cells }
 
 let run_b ?(elements = 500) () =
+  (* The incremental-sweep case the plan cache exists for: nine budgets
+     per exponent over one set of tables (reset only at each new p). *)
+  let cache = Tdp.Cache.create () in
   let curves =
     List.map
       (fun p ->
@@ -45,7 +52,8 @@ let run_b ?(elements = 500) () =
           List.map
             (fun budget ->
               let sol =
-                Tdp.solve (Problem.create ~elements ~budget ~latency:model)
+                Tdp.solve ~cache
+                  (Problem.create ~elements ~budget ~latency:model)
               in
               (budget, sol.Tdp.questions_used))
             budgets_b

@@ -9,8 +9,12 @@
 type point = {
   elements : int;
   budget_multiple : int;
-  seconds : float;
-  states_visited : int;
+  seconds : float;  (** best-of cold solve: tables built from scratch *)
+  warm_seconds : float;
+      (** best-of re-solve against a plan cache primed over the whole
+          budget sweep of this [elements] — the per-solve cost every
+          call after a sweep's first actually pays *)
+  states_visited : int;  (** of the cold solve *)
 }
 
 type t = { points : point list }
@@ -22,3 +26,4 @@ val run : ?repeats:int -> ?sizes:int list -> unit -> t
 (** [repeats] timing repetitions per point (default 3, best-of). *)
 
 val print : t -> unit
+(** Two grids: cold solve times, then warm (cached) re-solve times. *)

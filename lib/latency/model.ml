@@ -66,6 +66,32 @@ let piecewise knots =
     knots;
   Piecewise (Array.copy knots)
 
+(* Typed structural equality — the plan-cache invalidation test. Float
+   fields compare with [Float.equal] (bitwise-honest: NaN = NaN, but
+   -0. <> +0.), so two models are equal only when [eval] is the same
+   function on every batch size; [Custom] closures are opaque and only
+   equal physically. *)
+let equal a b =
+  match (a, b) with
+  | Linear { delta = d1; alpha = a1 }, Linear { delta = d2; alpha = a2 } ->
+      Float.equal d1 d2 && Float.equal a1 a2
+  | ( Power { delta = d1; alpha = a1; p = p1 },
+      Power { delta = d2; alpha = a2; p = p2 } ) ->
+      Float.equal d1 d2 && Float.equal a1 a2 && Float.equal p1 p2
+  | Piecewise k1, Piecewise k2 ->
+      Array.length k1 = Array.length k2
+      &&
+      let n = Array.length k1 in
+      let rec go i =
+        i >= n
+        ||
+        let x1, y1 = k1.(i) and x2, y2 = k2.(i) in
+        Int.equal x1 x2 && Float.equal y1 y2 && go (i + 1)
+      in
+      go 0
+  | Custom f, Custom g -> f == g
+  | (Linear _ | Power _ | Piecewise _ | Custom _), _ -> false
+
 let per_round_overhead t = eval t 0
 
 (* One [eval] per step instead of two: carry the previous value along. *)

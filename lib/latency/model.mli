@@ -37,6 +37,14 @@ val piecewise : (int * float) array -> t
     NaN; unsorted knots break the interpolation search), or any latency
     is NaN/infinite. The array is copied. *)
 
+val equal : t -> t -> bool
+(** Typed structural equality, the plan-cache invalidation test:
+    float parameters compare with [Float.equal] and piecewise knots
+    pointwise, so equal models evaluate identically everywhere;
+    [Custom] models are equal only when physically the same closure
+    (a conservative answer — distinct closures computing the same
+    function compare unequal). *)
+
 val per_round_overhead : t -> float
 (** [eval t 0] — the cost of merely opening a round. *)
 

@@ -10,11 +10,19 @@ module Ground_truth = Crowdmax_crowd.Ground_truth
 
 type result = { engine_result : Engine.result; replans : int }
 
-let run rng ~problem ~selection truth =
+let run ?cache rng ~problem ~selection truth =
   let n = Ground_truth.size truth in
   if n <> problem.Problem.elements then
     invalid_arg "Adaptive.run: ground truth size mismatch";
   let model = problem.Problem.latency in
+  (* Every replan shares one plan cache: the first solve (at the full
+     collection) builds the tables, the shrinking-c0 replans reuse them
+     (the cache is valid for any c0 at or below its capacity). Cached
+     solves are bit-identical to fresh ones, so accepting a caller's
+     cache cannot change the result. *)
+  let cache =
+    match cache with Some c -> c | None -> Tdp.Cache.create ()
+  in
   let dag = Dag.create n in
   let remaining_budget = ref problem.Problem.budget in
   let total_latency = ref 0.0 in
@@ -31,7 +39,7 @@ let run rng ~problem ~selection truth =
       (* Re-plan for the actual state; the suffix of the previous plan is
          only optimal for its worst case, this is optimal for reality. *)
       let plan =
-        Tdp.solve
+        Tdp.solve ~cache
           (Problem.create ~elements:c ~budget:!remaining_budget ~latency:model)
       in
       incr replans;
@@ -119,13 +127,34 @@ let replicate ?(jobs = 1) ~runs ~seed ~problem ~selection () =
   if jobs < 1 then invalid_arg "Adaptive.replicate: jobs < 1";
   let t0 = Crowdmax_obs.Clock.now () in
   let rngs = Engine.per_run_rngs ~runs ~seed in
-  let one rng =
+  (* Every run replans the same problem family, so runs on the same
+     domain share one plan cache. A cache is single-domain mutable
+     state: under [jobs > 1] the runs chunk exactly like
+     [Engine.replicate_with_metrics] and each chunk owns a private
+     cache, which keeps the aggregate bit-identical for every [jobs]
+     (cached solves equal fresh solves bit-for-bit). *)
+  let one cache rng =
     let truth = Ground_truth.random rng problem.Problem.elements in
-    (run rng ~problem ~selection truth).engine_result
+    (run ~cache rng ~problem ~selection truth).engine_result
   in
   let results =
-    if jobs = 1 then Array.map one rngs
-    else Parallel.with_pool ~jobs (fun pool -> Parallel.map pool one rngs)
+    if jobs = 1 then begin
+      let cache = Tdp.Cache.create () in
+      Array.map (one cache) rngs
+    end
+    else begin
+      let nchunks = min runs jobs in
+      let bound i = i * runs / nchunks in
+      let chunk ci =
+        let cache = Tdp.Cache.create () in
+        let lo = bound ci in
+        Array.init (bound (ci + 1) - lo) (fun k -> one cache rngs.(lo + k))
+      in
+      let chunks =
+        Parallel.with_pool ~jobs (fun pool -> Parallel.init pool nchunks chunk)
+      in
+      Array.concat (Array.to_list chunks)
+    end
   in
   Engine.aggregate_results ~runs
     ~timing:(Engine.make_timing ~jobs ~runs t0)

@@ -21,6 +21,7 @@ type result = {
 }
 
 val run :
+  ?cache:Crowdmax_core.Tdp.Cache.t ->
   Crowdmax_util.Rng.t ->
   problem:Crowdmax_core.Problem.t ->
   selection:Crowdmax_selection.Selection.t ->
@@ -28,7 +29,14 @@ val run :
   result
 (** Run the MAX operator with per-round re-planning, error-free answers,
     and latency from the problem's model. Raises [Invalid_argument] if
-    the ground truth size differs from the problem's element count. *)
+    the ground truth size differs from the problem's element count.
+
+    [cache] (default a private one) backs every replan: the first solve
+    builds the planner tables, the shrinking-c0 replans only settle the
+    states the earlier solves haven't. Cached solves are bit-identical
+    to fresh ones, so the cache never changes the result — it only cuts
+    replanning time. The cache is single-domain mutable state; do not
+    share one across domains. *)
 
 val replicate :
   ?jobs:int ->
@@ -40,4 +48,8 @@ val replicate :
   Engine.aggregate
 (** Aggregate adaptive runs over random ground truths. [jobs] fans runs
     out across domains under the same determinism contract as
-    {!Engine.replicate}: statistics are bit-identical for any [jobs]. *)
+    {!Engine.replicate}: statistics are bit-identical for any [jobs].
+    Runs on the same domain share one plan {!Crowdmax_core.Tdp.Cache}
+    (one per chunk under [jobs > 1]), so only each chunk's first run
+    pays the planner table build; because cached solves equal fresh
+    solves bit-for-bit, the sharing is invisible in the aggregate. *)

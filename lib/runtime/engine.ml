@@ -5,6 +5,8 @@ module Dag = Crowdmax_graph.Answer_dag
 module Scoring = Crowdmax_graph.Scoring
 module Model = Crowdmax_latency.Model
 module Allocation = Crowdmax_core.Allocation
+module Problem = Crowdmax_core.Problem
+module Tdp = Crowdmax_core.Tdp
 module Selection = Crowdmax_selection.Selection
 module Ground_truth = Crowdmax_crowd.Ground_truth
 module Platform = Crowdmax_crowd.Platform
@@ -44,6 +46,13 @@ let config ?(source = Oracle) ?(pad_to_round_budget = true)
     deadline;
     straggler;
   }
+
+let plan_config ?metrics ?cache ?source ?pad_to_round_budget ?deadline
+    ?straggler ~problem ~selection () =
+  let sol = Tdp.solve ?metrics ?cache problem in
+  config ?source ?pad_to_round_budget ?deadline ?straggler
+    ~allocation:sol.Tdp.allocation ~selection
+    ~latency_model:problem.Problem.latency ()
 
 let check_policies cfg =
   (match cfg.deadline with

@@ -90,6 +90,24 @@ val config :
   config
 (** Defaults: [Oracle] source, padding on, [Wait_all], [Drop]. *)
 
+val plan_config :
+  ?metrics:Crowdmax_obs.Metrics.t ->
+  ?cache:Crowdmax_core.Tdp.Cache.t ->
+  ?source:answer_source ->
+  ?pad_to_round_budget:bool ->
+  ?deadline:deadline_policy ->
+  ?straggler:straggler_policy ->
+  problem:Crowdmax_core.Problem.t ->
+  selection:Crowdmax_selection.Selection.t ->
+  unit ->
+  config
+(** Solve the problem with tDP and build a {!config} around the optimal
+    allocation and the problem's latency model — the planner-to-engine
+    hand-off every driver repeats. [metrics] and [cache] go to
+    {!Crowdmax_core.Tdp.solve}: a shared cache makes a budget or
+    collection-size sweep of configs pay the table build once.
+    Remaining optionals default as in {!config}. *)
+
 type round_record = {
   round_index : int;
   round_budget : int;

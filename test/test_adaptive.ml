@@ -86,6 +86,51 @@ let test_replicate_parallel_deterministic () =
         (E.equal_stats base agg))
     [ 2; 4 ]
 
+(* Replans through a shared plan cache must be invisible in the results:
+   same rng stream, same truth, bit-identical run — even when the cache
+   arrives pre-warmed by solves at other sizes and budgets. *)
+let test_run_shared_cache_bit_identical () =
+  let rng = Rng.create 17 in
+  for _ = 1 to 10 do
+    let c0 = 5 + Rng.int rng 50 in
+    let b = c0 - 1 + Rng.int rng 300 in
+    let seed = Rng.int rng 10000 in
+    let problem = Problem.create ~elements:c0 ~budget:b ~latency:model in
+    let truth = G.random (Rng.create (seed + 1)) c0 in
+    let fresh = A.run (Rng.create seed) ~problem ~selection:S.tournament truth in
+    let cache = Tdp.Cache.create () in
+    (* pre-warm with unrelated instances *)
+    ignore (Tdp.solve ~cache (Problem.create ~elements:60 ~budget:400 ~latency:model));
+    ignore (Tdp.solve ~cache (Problem.create ~elements:c0 ~budget:(2 * b) ~latency:model));
+    let cached =
+      A.run ~cache (Rng.create seed) ~problem ~selection:S.tournament truth
+    in
+    check_bool "latency bit-identical" true
+      (Float.equal fresh.A.engine_result.E.total_latency
+         cached.A.engine_result.E.total_latency);
+    check_int "questions" fresh.A.engine_result.E.questions_posted
+      cached.A.engine_result.E.questions_posted;
+    check_int "rounds" fresh.A.engine_result.E.rounds_run
+      cached.A.engine_result.E.rounds_run;
+    check_int "chosen" fresh.A.engine_result.E.chosen
+      cached.A.engine_result.E.chosen;
+    check_int "replans" fresh.A.replans cached.A.replans
+  done
+
+(* The ISSUE's regression pin: replicate (whose per-worker plan caches
+   are always on) yields the same aggregates at jobs = 1 (one shared
+   cache across all runs) and jobs = 4 (one cache per chunk). *)
+let test_replicate_cached_jobs_invariant () =
+  let problem = Problem.create ~elements:40 ~budget:260 ~latency:model in
+  let sequential =
+    A.replicate ~jobs:1 ~runs:12 ~seed:29 ~problem ~selection:S.tournament ()
+  in
+  let parallel =
+    A.replicate ~jobs:4 ~runs:12 ~seed:29 ~problem ~selection:S.tournament ()
+  in
+  check_bool "jobs=1 = jobs=4 with caches on" true
+    (E.equal_stats sequential parallel)
+
 let suite =
   [
     ( "adaptive",
@@ -98,5 +143,9 @@ let suite =
         tc "replicate" `Quick test_replicate;
         tc "replicate parallel deterministic" `Quick
           test_replicate_parallel_deterministic;
+        tc "shared cache bit-identical" `Quick
+          test_run_shared_cache_bit_identical;
+        tc "replicate cached jobs invariant" `Quick
+          test_replicate_cached_jobs_invariant;
       ] );
   ]

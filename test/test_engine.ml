@@ -449,10 +449,35 @@ let test_deadline_replicate_deterministic_across_jobs () =
       (E.Fixed 200.0, E.Reissue 2);
     ]
 
+let test_plan_config_matches_manual () =
+  (* [E.plan_config] is solve-then-config in one step; with a shared
+     plan cache it must still build exactly the config the manual
+     two-step path does. *)
+  let problem = Problem.create ~elements:30 ~budget:180 ~latency:model in
+  let cache = Crowdmax_core.Tdp.Cache.create () in
+  let planned =
+    E.plan_config ~cache ~problem ~selection:S.tournament ()
+  in
+  let manual = oracle_cfg (tdp_alloc 30 180) in
+  Alcotest.check
+    Alcotest.(list int)
+    "same allocation"
+    (Allocation.round_budgets manual.E.allocation)
+    (Allocation.round_budgets planned.E.allocation);
+  let truth = G.random (Rng.create 91) 30 in
+  let a = E.run (Rng.create 92) planned truth in
+  let b = E.run (Rng.create 92) manual truth in
+  check_bool "identical runs" true
+    (Float.equal a.E.total_latency b.E.total_latency
+    && a.E.chosen = b.E.chosen
+    && a.E.questions_posted = b.E.questions_posted)
+
 let suite =
   [
     ( "engine",
       [
+        tc "plan_config matches manual solve+config" `Quick
+          test_plan_config_matches_manual;
         tc "policy validation" `Quick test_policy_validation;
         tc "zero-question rounds keep trace dense" `Quick
           test_zero_question_rounds_keep_trace_dense;

@@ -425,6 +425,63 @@ let prop_selection_rounds_valid =
           | Error _ -> false)
         S.all)
 
+(* --- flat planner vs reference solvers ------------------------------------ *)
+
+let wide_instance =
+  (* Slack up to 1000 against c0 <= 40 (choose2 40 = 780) spans all three
+     budget regimes: binding (small slack), unconstrained (budget past
+     the ub-table fast path), and clamped (budget > choose2 c0). *)
+  Q.make
+    ~print:(fun (c0, s) -> Printf.sprintf "(c0=%d, slack=%d)" c0 s)
+    Q.Gen.(
+      int_range 2 40 >>= fun c0 ->
+      int_range 0 1000 >>= fun s -> return (c0, s))
+
+let prop_flat_solver_equivalence =
+  (* The flat-arena solver, the bottom-up table, and the boxed hashtbl
+     reference all compute the same optimum; flat and hashtbl share
+     float-for-float the same operations, so those two must agree
+     bit-for-bit, sequence included. *)
+  Q.Test.make ~name:"flat solver = bottom-up = hashtbl reference" ~count:60
+    wide_instance (fun (c0, s) ->
+      let p = Problem.create ~elements:c0 ~budget:(c0 - 1 + s) ~latency:model in
+      let flat = Tdp.solve p in
+      let boxed = Tdp.solve_hashtbl p in
+      let bu = Tdp.solve_bottom_up p in
+      flat.Tdp.sequence = boxed.Tdp.sequence
+      && Float.equal flat.Tdp.latency boxed.Tdp.latency
+      && flat.Tdp.questions_used = boxed.Tdp.questions_used
+      && flat.Tdp.states_visited = boxed.Tdp.states_visited
+      && Float.abs (flat.Tdp.latency -. bu.Tdp.latency) < 1e-9)
+
+let prop_cached_sweep_equals_fresh =
+  (* Interleaved solves over a shuffled budget sweep against one shared
+     plan cache reproduce the fresh solve at every point — whatever the
+     arena has accumulated from earlier budgets is invisible in the
+     answers. The final smaller-c0 solve exercises table reuse across
+     instance sizes. *)
+  Q.Test.make ~name:"cached shuffled sweep = fresh solves" ~count:40
+    (Q.make
+       ~print:(fun (seed, c0) -> Printf.sprintf "seed=%d c0=%d" seed c0)
+       Q.Gen.(
+         int_range 0 10000 >>= fun seed ->
+         int_range 3 40 >>= fun c0 -> return (seed, c0)))
+    (fun (seed, c0) ->
+      let rng = Rng.create seed in
+      let budgets =
+        Rng.shuffle rng (Array.init 8 (fun _ -> c0 - 1 + Rng.int rng 900))
+      in
+      let cache = Tdp.Cache.create () in
+      let agrees elements b =
+        let p = Problem.create ~elements ~budget:b ~latency:model in
+        let cached = Tdp.solve ~cache p and fresh = Tdp.solve p in
+        cached.Tdp.sequence = fresh.Tdp.sequence
+        && Float.equal cached.Tdp.latency fresh.Tdp.latency
+        && cached.Tdp.questions_used = fresh.Tdp.questions_used
+      in
+      Array.for_all (fun b -> agrees c0 b) budgets
+      && agrees (c0 - 1) (2 * c0))
+
 (* --- latency models ------------------------------------------------------ *)
 
 let valid_knots_and_q =
@@ -537,6 +594,8 @@ let suite =
           prop_rng_int_rejection_bound;
           prop_rng_split_streams_independent;
           prop_selection_rounds_valid;
+          prop_flat_solver_equivalence;
+          prop_cached_sweep_equals_fresh;
           prop_piecewise_eval_sane;
           prop_metrics_deterministic;
         ] );

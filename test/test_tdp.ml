@@ -195,6 +195,140 @@ let test_planner_metrics () =
     | Some (M.Real_seconds t) -> t >= 0.0
     | _ -> false)
 
+(* --- flat arena vs the boxed reference solver --------------------------- *)
+
+(* Bit-identical, not approximately equal: the flat solver keeps the
+   seed's scan order and float operations, so every field must match
+   exactly — including [states_visited], whose cold-solve semantics
+   (states settled = memo misses) coincide with the hashtbl solver's
+   memo size. *)
+let check_solutions_identical label (a : Tdp.solution) (b : Tdp.solution) =
+  Alcotest.check Alcotest.(list int) (label ^ ": sequence") a.Tdp.sequence
+    b.Tdp.sequence;
+  Alcotest.check Alcotest.(list int)
+    (label ^ ": allocation")
+    (Allocation.round_budgets a.Tdp.allocation)
+    (Allocation.round_budgets b.Tdp.allocation);
+  check_bool (label ^ ": latency bit-identical") true
+    (Int64.equal (Int64.bits_of_float a.Tdp.latency)
+       (Int64.bits_of_float b.Tdp.latency));
+  check_int (label ^ ": questions_used") a.Tdp.questions_used
+    b.Tdp.questions_used
+
+let test_flat_matches_hashtbl () =
+  let rng = Rng.create 17 in
+  for _ = 1 to 60 do
+    let c0 = 2 + Rng.int rng 39 in
+    let b = c0 - 1 + Rng.int rng 1000 in
+    let delta = float_of_int (5 + Rng.int rng 300) in
+    let alpha = 0.05 +. Rng.float rng 2.0 in
+    let p = Problem.create ~elements:c0 ~budget:b ~latency:(linear delta alpha) in
+    let flat = Tdp.solve p and boxed = Tdp.solve_hashtbl p in
+    check_solutions_identical
+      (Printf.sprintf "c0=%d b=%d" c0 b)
+      boxed flat;
+    check_int "cold states = hashtbl memo size" boxed.Tdp.states_visited
+      flat.Tdp.states_visited
+  done
+
+let test_cached_sweep_bit_identical () =
+  (* A shuffled budget sweep against one shared cache must reproduce the
+     fresh solve at every point, regardless of what earlier solves left
+     in the arena. *)
+  let model = Model.paper_mturk in
+  let rng = Rng.create 23 in
+  let budgets =
+    Array.of_list
+      [ 199; 250; 400; 800; 999; 1600; 3200; 4000; 6400; 12800; 19900 ]
+  in
+  Rng.shuffle_in_place rng budgets;
+  let cache = Tdp.Cache.create () in
+  Array.iter
+    (fun b ->
+      let p = Problem.create ~elements:200 ~budget:b ~latency:model in
+      let cached = Tdp.solve ~cache p in
+      let fresh = Tdp.solve p in
+      check_solutions_identical (Printf.sprintf "shuffled b=%d" b) fresh cached)
+    budgets
+
+let test_cache_reuse_and_invalidation () =
+  let model = linear 100.0 1.0 in
+  let cache = Tdp.Cache.create () in
+  ignore (Tdp.solve ~cache (Problem.create ~elements:50 ~budget:300 ~latency:model));
+  check_int "first solve builds" 1 (Tdp.Cache.misses cache);
+  check_int "capacity = first c0" 50 (Tdp.Cache.capacity cache);
+  (* smaller c0, same model: tables cover it, no rebuild *)
+  ignore (Tdp.solve ~cache (Problem.create ~elements:30 ~budget:200 ~latency:model));
+  check_int "smaller c0 reuses" 1 (Tdp.Cache.hits cache);
+  check_int "no extra build" 1 (Tdp.Cache.misses cache);
+  (* larger c0: tables too small, full rebuild *)
+  ignore (Tdp.solve ~cache (Problem.create ~elements:80 ~budget:500 ~latency:model));
+  check_int "larger c0 rebuilds" 2 (Tdp.Cache.misses cache);
+  check_int "capacity grows" 80 (Tdp.Cache.capacity cache);
+  (* model change: same c0, different L — must invalidate *)
+  ignore
+    (Tdp.solve ~cache
+       (Problem.create ~elements:80 ~budget:500 ~latency:(linear 100.0 2.0)));
+  check_int "model change rebuilds" 3 (Tdp.Cache.misses cache);
+  (* clear resets everything *)
+  Tdp.Cache.clear cache;
+  check_int "cleared hits" 0 (Tdp.Cache.hits cache);
+  check_int "cleared misses" 0 (Tdp.Cache.misses cache);
+  check_int "cleared capacity" 0 (Tdp.Cache.capacity cache)
+
+let test_warm_resolve_settles_nothing () =
+  let model = Model.paper_mturk in
+  let p = Problem.create ~elements:300 ~budget:1200 ~latency:model in
+  let cache = Tdp.Cache.create () in
+  let cold = Tdp.solve ~cache p in
+  check_bool "cold solve settles states" true (cold.Tdp.states_visited > 0);
+  let warm = Tdp.solve ~cache p in
+  check_int "warm re-solve settles none" 0 warm.Tdp.states_visited;
+  check_solutions_identical "warm = cold" cold warm
+
+let test_plan_cache_metrics () =
+  let module M = Crowdmax_obs.Metrics in
+  let model = linear 100.0 1.0 in
+  let metrics = M.create () in
+  let cache = Tdp.Cache.create () in
+  List.iter
+    (fun b ->
+      ignore
+        (Tdp.solve ~metrics ~cache
+           (Problem.create ~elements:40 ~budget:b ~latency:model)))
+    [ 108; 200; 300 ];
+  let snap = M.snapshot metrics in
+  let count name =
+    match M.find snap ~section:"planner" name with
+    | Some (M.Count n) -> n
+    | _ -> Alcotest.fail (Printf.sprintf "missing planner counter %s" name)
+  in
+  check_int "one table build" 1 (count "plan_cache_misses");
+  check_int "two table reuses" 2 (count "plan_cache_hits");
+  (* a private per-solve cache records neither *)
+  let metrics2 = M.create () in
+  ignore
+    (Tdp.solve ~metrics:metrics2
+       (Problem.create ~elements:40 ~budget:108 ~latency:model));
+  let snap2 = M.snapshot metrics2 in
+  let private_count name =
+    match M.find snap2 ~section:"planner" name with
+    | Some (M.Count n) -> n
+    | _ -> 0
+  in
+  check_int "private cache: no hit recorded" 0 (private_count "plan_cache_hits");
+  check_int "private cache: no miss recorded" 0
+    (private_count "plan_cache_misses")
+
+let test_cached_trivial_instances () =
+  let model = linear 100.0 1.0 in
+  let cache = Tdp.Cache.create () in
+  let one = Tdp.solve ~cache (Problem.create ~elements:1 ~budget:0 ~latency:model) in
+  Alcotest.check Alcotest.(list int) "c0=1 cached" [ 1 ] one.Tdp.sequence;
+  let two = Tdp.solve ~cache (Problem.create ~elements:2 ~budget:1 ~latency:model) in
+  Alcotest.check Alcotest.(list int) "c0=2 cached" [ 2; 1 ] two.Tdp.sequence;
+  checkf "c0=2 latency" 101.0 two.Tdp.latency
+
 let suite =
   [
     ( "tdp",
@@ -217,5 +351,14 @@ let suite =
         tc "states visited" `Quick test_states_visited_positive;
         tc "non-finite L fails loudly" `Quick test_non_finite_latency_fails_loudly;
         tc "planner metrics" `Quick test_planner_metrics;
+        tc "flat arena = hashtbl reference" `Slow test_flat_matches_hashtbl;
+        tc "cached shuffled sweep bit-identical" `Quick
+          test_cached_sweep_bit_identical;
+        tc "cache reuse and invalidation" `Quick
+          test_cache_reuse_and_invalidation;
+        tc "warm re-solve settles nothing" `Quick
+          test_warm_resolve_settles_nothing;
+        tc "plan cache metrics" `Quick test_plan_cache_metrics;
+        tc "cached trivial instances" `Quick test_cached_trivial_instances;
       ] );
   ]
