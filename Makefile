@@ -32,10 +32,14 @@ lint:
 # loop's deterministic operation counts (events drained, arrivals,
 # completions at a fixed seed) and fails on any drift; planner-opcheck
 # does the same for the tDP planner's DP counters (states settled, memo
-# hits/misses, pruned branches, plan-cache reuse); the
-# engine-throughput pass prints current-vs-committed runs/sec
-# (informational, never failing) without touching BENCH_engine.json or
-# BENCH_history.jsonl.
+# hits/misses, pruned branches, plan-cache reuse); history-check
+# recomputes the same counters and fails on >2% drift against the last
+# counters-bearing BENCH_history.jsonl row, catching cross-PR work-
+# profile regressions even when the in-repo pins were regenerated
+# (CROWDMAX_BENCH_BASELINE=skip disables it, =<commit-prefix> pins the
+# comparison row); the engine-throughput pass prints
+# current-vs-committed runs/sec (informational, never failing) without
+# touching BENCH_engine.json or BENCH_history.jsonl.
 ci:
 	dune build @all --profile ci
 	dune build @all
@@ -48,6 +52,7 @@ ci:
 	CROWDMAX_BENCH_RUNS=2 dune exec bench/main.exe -- micro
 	dune exec bench/main.exe -- engine-opcheck
 	dune exec bench/main.exe -- planner-opcheck
+	dune exec bench/main.exe -- history-check
 	CROWDMAX_ENGINE_BENCH_SECS=0.3 CROWDMAX_ENGINE_BENCH_WRITE=0 \
 		dune exec bench/main.exe -- engine
 

@@ -94,7 +94,7 @@ let fig13a () =
   print_newline ();
   List.iter
     (fun (label, note) ->
-      if label = "tDP+Tournament" || label = "uHF+CT25" then
+      if String.equal label "tDP+Tournament" || String.equal label "uHF+CT25" then
         Printf.printf "  %s\n" note)
     f.X.Fig13.example_allocations
 
@@ -774,7 +774,7 @@ let git_commit () =
     let ic = Unix.open_process_in "git rev-parse --short=12 HEAD 2>/dev/null" in
     let line = try String.trim (input_line ic) with End_of_file -> "" in
     match Unix.close_process_in ic with
-    | Unix.WEXITED 0 when line <> "" -> line
+    | Unix.WEXITED 0 when not (String.equal line "") -> line
     | _ -> "unknown"
   with _ -> "unknown"
 
@@ -854,7 +854,15 @@ let engine_bench () =
   in
   List.iter
     (fun r ->
-      let old = List.assoc_opt (r.eb_n, r.eb_source, r.eb_selector) baseline in
+      let old =
+        Option.map snd
+          (List.find_opt
+             (fun ((n, src, sel), _) ->
+               n = r.eb_n
+               && String.equal src r.eb_source
+               && String.equal sel r.eb_selector)
+             baseline)
+      in
       Crowdmax_util.Table.add_row table
         [
           string_of_int r.eb_n; r.eb_source; r.eb_selector;
@@ -945,7 +953,7 @@ let engine_opcheck () =
   section
     (Printf.sprintf "engine operation-count gate (simulated, %d runs, seed %d)"
        engine_opcheck_runs engine_opcheck_seed);
-  let print_mode = Sys.getenv_opt "CROWDMAX_OPCHECK_PRINT" <> None in
+  let print_mode = Option.is_some (Sys.getenv_opt "CROWDMAX_OPCHECK_PRINT") in
   let failures = ref 0 in
   let count snap name =
     match Metrics.find snap ~section:"platform" name with
@@ -1028,7 +1036,7 @@ let planner_opcheck_sweep_expected =
 
 let planner_opcheck () =
   section "planner operation-count gate (deterministic DP counters)";
-  let print_mode = Sys.getenv_opt "CROWDMAX_OPCHECK_PRINT" <> None in
+  let print_mode = Option.is_some (Sys.getenv_opt "CROWDMAX_OPCHECK_PRINT") in
   let failures = ref 0 in
   let count snap name =
     match Metrics.find snap ~section:"planner" name with
@@ -1121,6 +1129,233 @@ let planner_opcheck () =
       !failures;
     exit 1
   end
+
+(* --- deterministic counter history gate ---------------------------------- *)
+
+(* The opcheck counters above are bit-deterministic, which makes them a
+   cross-PR regression signal as well as an in-PR pin: [history-append]
+   records them in BENCH_history.jsonl (one compact v2 row next to the
+   throughput rows), and [history-check] recomputes them and compares
+   against the most recent counters-bearing row — so a PR that shifts
+   the event loop's or the planner's work profile fails `make ci` with
+   the drifting counter named, even if its author forgot to regenerate
+   the pinned opcheck tables. Because the counters are deterministic,
+   any nonzero drift is a real behavior change; the 2% headroom only
+   tolerates deliberate, reviewed bookkeeping tweaks without demanding
+   a same-commit baseline row. Rows written by the v1 schema carry no
+   counters and are skipped when picking the baseline.
+
+   CROWDMAX_BENCH_BASELINE overrides the baseline choice:
+     CROWDMAX_BENCH_BASELINE=skip          skip the gate (prints a note)
+     CROWDMAX_BENCH_BASELINE=<commit-pfx>  compare against the newest
+                                           counters row whose commit
+                                           starts with that prefix *)
+
+let history_counters () =
+  let out = ref [] in
+  let push key v = out := (key, v) :: !out in
+  (* engine: the opcheck scenarios, platform-section counters *)
+  List.iter
+    (fun (n, _, _, _) ->
+      let cfg = engine_sim_config n in
+      let _agg, snap =
+        Engine.replicate_with_metrics ~runs:engine_opcheck_runs
+          ~seed:engine_opcheck_seed cfg ~elements:n
+      in
+      let get name =
+        match Metrics.find snap ~section:"platform" name with
+        | Some (Metrics.Count c) -> c
+        | _ -> -1
+      in
+      List.iter
+        (fun name -> push (Printf.sprintf "engine.n=%d.%s" n name) (get name))
+        [ "events_drained"; "worker_arrivals"; "completions" ])
+    engine_opcheck_expected;
+  (* planner: the cold opcheck scenarios *)
+  List.iter
+    (fun (c0, b, _, _, _, _) ->
+      let metrics = Metrics.create () in
+      ignore
+        (Tdp.solve ~metrics
+           (Problem.create ~elements:c0 ~budget:b ~latency:model));
+      let snap = Metrics.snapshot metrics in
+      let get name =
+        match Metrics.find snap ~section:"planner" name with
+        | Some (Metrics.Count c) -> c
+        | _ -> -1
+      in
+      List.iter
+        (fun name ->
+          push (Printf.sprintf "planner.cold.c0=%d.b=%d.%s" c0 b name) (get name))
+        [ "states_visited"; "memo_hits"; "memo_misses"; "ub_pruned_branches" ])
+    planner_opcheck_cold_expected;
+  (* planner: the cached sweep, one cache and registry across all solves *)
+  let metrics = Metrics.create () in
+  let cache = Tdp.Cache.create () in
+  List.iter
+    (fun b ->
+      ignore
+        (Tdp.solve ~metrics ~cache
+           (Problem.create ~elements:planner_opcheck_sweep_c0 ~budget:b
+              ~latency:model)))
+    planner_opcheck_sweep_budgets;
+  let snap = Metrics.snapshot metrics in
+  let get name =
+    match Metrics.find snap ~section:"planner" name with
+    | Some (Metrics.Count c) -> c
+    | _ -> -1
+  in
+  List.iter
+    (fun name ->
+      push
+        (Printf.sprintf "planner.sweep.c0=%d.%s" planner_opcheck_sweep_c0 name)
+        (get name))
+    [
+      "states_visited"; "memo_hits"; "memo_misses"; "ub_pruned_branches";
+      "plan_cache_hits"; "plan_cache_misses";
+    ];
+  List.rev !out
+
+let history_append () =
+  section "bench history: record deterministic counter row";
+  let counters = history_counters () in
+  let module J = Crowdmax_util.Json in
+  let commit = git_commit () in
+  append_bench_history
+    (J.Obj
+       [
+         ("schema", J.String "crowdmax-bench-history/v2");
+         ("commit", J.String commit);
+         ("unix_time", J.Float (Unix.time ()));
+         ("build_profile", J.String Build_profile.value);
+         ("counters", J.Obj (List.map (fun (k, v) -> (k, J.int v)) counters));
+       ]);
+  Printf.printf "appended %d counters for commit %s to %s\n%!"
+    (List.length counters) commit bench_history_file
+
+(* Newest history row that carries counters (and, when the baseline
+   override names a commit prefix, whose commit matches it). Malformed
+   lines are a hard error so the file cannot rot silently. *)
+let history_baseline () =
+  let module J = Crowdmax_util.Json in
+  if not (Sys.file_exists bench_history_file) then None
+  else begin
+    let ic = open_in bench_history_file in
+    let rows = ref [] in
+    let lineno = ref 0 in
+    (try
+       while true do
+         let line = input_line ic in
+         incr lineno;
+         if not (String.equal (String.trim line) "") then
+           match J.of_string line with
+           | row -> rows := row :: !rows
+           | exception J.Parse_error { position; message } ->
+               Printf.eprintf
+                 "bench: %s:%d: malformed history row (byte %d: %s)\n"
+                 bench_history_file !lineno position message;
+               exit 2
+       done
+     with End_of_file -> ());
+    close_in ic;
+    let commit_of row =
+      Option.value ~default:"unknown"
+        (Option.bind (J.member "commit" row) J.to_str)
+    in
+    let counters_of row =
+      match J.member "counters" row with
+      | Some (J.Obj kvs) ->
+          Some
+            (List.filter_map
+               (fun (k, v) -> Option.map (fun n -> (k, n)) (J.to_int v))
+               kvs)
+      | _ -> None
+    in
+    let prefix_ok commit =
+      match Sys.getenv_opt "CROWDMAX_BENCH_BASELINE" with
+      | None -> true
+      | Some p ->
+          String.length commit >= String.length p
+          && String.equal (String.sub commit 0 (String.length p)) p
+    in
+    (* [rows] is newest-first *)
+    List.find_map
+      (fun row ->
+        match counters_of row with
+        | Some cs when prefix_ok (commit_of row) -> Some (commit_of row, cs)
+        | _ -> None)
+      !rows
+  end
+
+let history_drift_pct = 2.0
+
+let history_check () =
+  section
+    (Printf.sprintf
+       "bench history gate (deterministic counters, >%.0f%% drift fails)"
+       history_drift_pct);
+  match Sys.getenv_opt "CROWDMAX_BENCH_BASELINE" with
+  | Some "skip" ->
+      Printf.printf "  CROWDMAX_BENCH_BASELINE=skip: history gate skipped\n"
+  | requested -> (
+      match history_baseline () with
+      | None -> (
+          match requested with
+          | Some prefix ->
+              Printf.eprintf
+                "bench: no counters-bearing row in %s matches commit prefix %S\n"
+                bench_history_file prefix;
+              exit 1
+          | None ->
+              Printf.printf
+                "  no counters-bearing row in %s yet; run `main.exe \
+                 history-append` to record one\n"
+                bench_history_file)
+      | Some (commit, old) ->
+          let fresh = history_counters () in
+          let lookup key kvs =
+            Option.map snd
+              (List.find_opt (fun (k, _) -> String.equal k key) kvs)
+          in
+          let failures = ref 0 in
+          List.iter
+            (fun (key, now) ->
+              match lookup key old with
+              | None ->
+                  Printf.printf "  %s: new counter (no baseline), now %d\n" key
+                    now
+              | Some before ->
+                  let drift =
+                    100.0
+                    *. float_of_int (abs (now - before))
+                    /. float_of_int (max (abs before) 1)
+                  in
+                  if drift > history_drift_pct then begin
+                    Printf.printf "  %s: %d -> %d (%+.1f%% vs commit %s)\n" key
+                      before now drift commit;
+                    incr failures
+                  end)
+            fresh;
+          List.iter
+            (fun (key, before) ->
+              if Option.is_none (lookup key fresh) then begin
+                Printf.printf "  %s: counter disappeared (baseline had %d)\n"
+                  key before;
+                incr failures
+              end)
+            old;
+          if !failures > 0 then begin
+            Printf.printf
+              "bench history gate FAILED (%d counter(s) drifted vs commit %s; \
+               if intentional, re-baseline with `main.exe history-append` or \
+               set CROWDMAX_BENCH_BASELINE)\n\
+               %!"
+              !failures commit;
+            exit 1
+          end
+          else
+            Printf.printf "  ok: %d counters within %.0f%% of commit %s\n"
+              (List.length fresh) history_drift_pct commit)
 
 (* --- bechamel micro-benchmarks ------------------------------------------ *)
 
@@ -1242,7 +1477,7 @@ let micro () =
   let raw = Benchmark.all cfg instances micro_tests in
   let results = Analyze.all ols Instance.monotonic_clock raw in
   let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
-  let rows = List.sort (fun (a, _) (b, _) -> compare a b) rows in
+  let rows = List.sort (fun (a, _) (b, _) -> String.compare a b) rows in
   let table =
     Crowdmax_util.Table.create
       [ ("benchmark", Crowdmax_util.Table.Left);
@@ -1291,7 +1526,7 @@ let () =
     | ("--jobs" | "-j") :: [] ->
         Printf.eprintf "bench: --jobs requires an argument\n";
         exit 2
-    | a :: rest when String.length a > 7 && String.sub a 0 7 = "--jobs=" ->
+    | a :: rest when String.length a > 7 && String.equal (String.sub a 0 7) "--jobs=" ->
         jobs :=
           parse_jobs ~source:"--jobs"
             (String.sub a 7 (String.length a - 7));
@@ -1308,6 +1543,8 @@ let () =
       ("engine", engine_bench);
       ("engine-opcheck", engine_opcheck);
       ("planner-opcheck", planner_opcheck);
+      ("history-append", history_append);
+      ("history-check", history_check);
     ]
   in
   match args with
@@ -1319,7 +1556,10 @@ let () =
   | _ ->
       List.iter
         (fun a ->
-          match List.assoc_opt a known with
+          match
+            Option.map snd
+              (List.find_opt (fun (n, _) -> String.equal n a) known)
+          with
           | Some f -> timed a f
           | None ->
               Printf.eprintf "unknown benchmark %S; known: %s\n" a

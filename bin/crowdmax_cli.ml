@@ -81,7 +81,8 @@ let p_arg =
     & info [ "p" ] ~docv:"P" ~doc:"Latency exponent: L = delta + alpha*q^P.")
 
 let model_of delta alpha p =
-  if p = 1.0 then Model.linear ~delta ~alpha else Model.power ~delta ~alpha ~p
+  if Float.equal p 1.0 then Model.linear ~delta ~alpha
+  else Model.power ~delta ~alpha ~p
 
 let selection_arg =
   let all = List.map (fun s -> (s.Selection.name, s)) Selection.all in
@@ -610,7 +611,7 @@ let metrics_check_cmd =
            simulated platform (--simulated), so its absence is
            informational, not an error. *)
         let missing = List.filter (fun s -> not (has s)) [ "planner"; "engine" ] in
-        if missing <> [] then begin
+        if not (List.is_empty missing) then begin
           Printf.eprintf "crowdmax: %s: missing metric section(s): %s\n" file
             (String.concat ", " missing);
           exit 2

@@ -124,13 +124,18 @@ module Cache = struct
 end
 
 (* Fibonacci-hash open addressing (the Pair_set scheme): multiply by the
-   64-bit golden-ratio constant, probe linearly under [land mask]. *)
+   64-bit golden-ratio constant, probe linearly under [land mask]. The
+   probe is a while loop over an int slot index — a local [rec probe]
+   would capture [keys]/[mask]/[key] in a closure on every memo probe. *)
 let find_slot keys mask key =
-  let rec probe i =
-    let k = Array.unsafe_get keys i in
-    if k = key || k = 0 then i else probe ((i + 1) land mask)
-  in
-  probe ((key * 0x2545F4914F6CDD1D) land mask)
+  let i = ref ((key * 0x2545F4914F6CDD1D) land mask) in
+  let k = ref (Array.unsafe_get keys !i) in
+  while !k <> key && !k <> 0 do
+    i := (!i + 1) land mask;
+    k := Array.unsafe_get keys !i
+  done;
+  !i
+[@@alloc_free]
 
 let grow t =
   let okeys = t.keys and olat = t.lat and onxt = t.nxt in
@@ -377,7 +382,12 @@ let solve ?(metrics = Metrics.disabled) ?cache (problem : Problem.t) =
   let st_c = t.st_c and st_q = t.st_q and st_i = t.st_i in
   let st_best = t.st_best and st_next = t.st_next in
   let sp = ref 0 in
-  let ret_lat = ref 0.0 and ret_next = ref 0 in
+  (* [ret_lat] escapes into [run_stack], so a float [ref] cell would not
+     be unboxed and every settled state would box a float on the store;
+     a one-element float array stores unboxed. Int/bool refs only store
+     immediates, so escaping is harmless for them. *)
+  let ret_lat = Array.make 1 0.0 in
+  let ret_next = ref 0 in
   let returning = ref false in
   (* The explicit-stack DFS: frames visit candidates c' = 1..c-1 in the
      exact order, with the exact guards and strict-< tie-breaks, of the
@@ -401,7 +411,7 @@ let solve ?(metrics = Metrics.disabled) ?cache (problem : Problem.t) =
           if lin then lin_d +. (lin_a *. float_of_int qv)
           else Array.unsafe_get lq qv
         in
-        let total = round +. !ret_lat in
+        let total = round +. Array.unsafe_get ret_lat 0 in
         if total < !best then begin
           best := total;
           bnext := c'
@@ -502,7 +512,7 @@ let solve ?(metrics = Metrics.disabled) ?cache (problem : Problem.t) =
       done;
       if not !suspended then begin
         (* frame complete: settle the state and resume the parent *)
-        if 2 * (t.count + 1) > Array.length t.keys then grow t;
+        if 2 * (t.count + 1) > Array.length t.keys then (grow [@alloc_cold]) t;
         let k = (c lsl qbits) lor q in
         let s = find_slot t.keys t.mask k in
         Array.unsafe_set t.keys s k;
@@ -510,11 +520,12 @@ let solve ?(metrics = Metrics.disabled) ?cache (problem : Problem.t) =
         Array.unsafe_set t.nxt s !bnext;
         t.count <- t.count + 1;
         sp := f;
-        ret_lat := !best;
+        Array.unsafe_set ret_lat 0 !best;
         ret_next := !bnext;
         returning := true
       end
     done
+  [@@alloc_free]
   in
   let q0 = clamp_budget c0 b in
   let latency =
@@ -536,7 +547,7 @@ let solve ?(metrics = Metrics.disabled) ?cache (problem : Problem.t) =
         sp := 1;
         returning := false;
         run_stack ();
-        !ret_lat
+        ret_lat.(0)
       end
     end
   in

@@ -50,8 +50,15 @@ let scratch () = { cal = Event_calendar.create (); qbuf = [||] }
    before switching tasks (geometric, mean patience_mean, at least 1).
    [p] is the precomputed success probability 1 / max 1 patience_mean. *)
 let draw_patience rng p =
-  let rec loop k = if Rng.bernoulli rng p then k else loop (k + 1) in
-  loop 1
+  (* A local [rec loop] would capture [rng]/[p] in a fresh closure on
+     every sitting; the while form draws the same geometric sequence
+     without one. *)
+  let k = ref 1 in
+  while not (Rng.bernoulli rng p) do
+    incr k
+  done;
+  !k
+[@@alloc_free]
 
 (* Time-of-day modulation of worker availability. *)
 let diurnal_factor cfg t =
@@ -60,10 +67,12 @@ let diurnal_factor cfg t =
     1.0
     +. cfg.diurnal_amplitude
        *. sin (2.0 *. Float.pi *. ((t +. cfg.diurnal_phase) /. cfg.diurnal_period))
+[@@alloc_free]
 
 let burst_rate_of cfg q =
   cfg.base_rate
   +. (cfg.attract_per_question *. (float_of_int q ** cfg.visibility_exponent))
+[@@alloc_free]
 
 (* Arrival process: Poisson with rate [burst_rate q] while the batch is
    visible, then [tail_rate] forever, both scaled by the diurnal factor.
@@ -78,7 +87,7 @@ let burst_rate_of cfg q =
 let arrival_after rng cfg q t =
   let burst_rate = burst_rate_of cfg q in
   let burst_end = cfg.post_overhead +. cfg.burst_seconds in
-  let t = Float.max t cfg.post_overhead in
+  let t = if t >= cfg.post_overhead then t else cfg.post_overhead in
   if cfg.diurnal_amplitude <= 0.0 then begin
     if t < burst_end then begin
       let dt = Rng.exponential rng (1.0 /. burst_rate) in
@@ -93,21 +102,31 @@ let arrival_after rng cfg q t =
     else t +. Rng.exponential rng (1.0 /. cfg.tail_rate)
   end
   else begin
-    let base t =
-      if t < cfg.post_overhead then 0.0
-      else if t < burst_end then burst_rate
-      else cfg.tail_rate
-    in
     let envelope =
-      Float.max burst_rate cfg.tail_rate *. (1.0 +. cfg.diurnal_amplitude)
+      (if burst_rate >= cfg.tail_rate then burst_rate else cfg.tail_rate)
+      *. (1.0 +. cfg.diurnal_amplitude)
     in
-    let rec thin t =
-      let t = t +. Rng.exponential rng (1.0 /. envelope) in
-      let rate = base t *. diurnal_factor cfg t in
-      if Rng.bernoulli rng (rate /. envelope) then t else thin t
-    in
-    thin t
+    (* Thinning against the peak-rate envelope, de-closured: the old
+       [base]/[rec thin] pair allocated two closures per call. The
+       candidate time lives in a local non-escaping ref (unboxed) and
+       each iteration makes the same exponential-then-bernoulli draw
+       pair in the same order. *)
+    let tt = ref t in
+    let accepted = ref false in
+    while not !accepted do
+      tt := !tt +. Rng.exponential rng (1.0 /. envelope);
+      let u = !tt in
+      let base =
+        if u < cfg.post_overhead then 0.0
+        else if u < burst_end then burst_rate
+        else cfg.tail_rate
+      in
+      let rate = base *. diurnal_factor cfg u in
+      if Rng.bernoulli rng (rate /. envelope) then accepted := true
+    done;
+    !tt
   end
+[@@alloc_free]
 
 let next_arrival t rng ~q ~after = arrival_after rng t.cfg q after
 
@@ -229,7 +248,11 @@ let simulate ?(deadline = Float.infinity) ?(metrics = Metrics.disabled)
        peak, draw the service time, schedule the completion) is written
        out at both event sites rather than through a local closure: a
        closure call re-boxes the float event time on every event. *)
-    while (not !deadline_hit) && !answered < q do
+    (* The [@alloc_free] attribute puts the whole steady-state event
+       loop under the R6 lint gate: every call in it resolves to an
+       annotated function, and the one caller-supplied escape hatch
+       ([on_complete]) is marked [@alloc_cold] below. *)
+    (while (not !deadline_hit) && !answered < q do
       if
         !arrivals_alive
         && (Event_calendar.is_empty cal
@@ -275,7 +298,7 @@ let simulate ?(deadline = Float.infinity) ?(metrics = Metrics.disabled)
           incr answered;
           Metrics.incr m_completions;
           if time > st.last_time then st.last_time <- time;
-          if live_cb then on_complete idx time;
+          if live_cb then (on_complete [@alloc_cold]) idx time;
           if patience > 0 && !next_question < q then begin
             let idx = !next_question in
             incr next_question;
@@ -287,7 +310,8 @@ let simulate ?(deadline = Float.infinity) ?(metrics = Metrics.disabled)
           end
         end
       end
-    done;
+    done)
+    [@alloc_free];
     {
       latency = (if !deadline_hit then deadline else st.last_time);
       completed = !answered;

@@ -100,17 +100,20 @@ let set_ext t e = t.ext <- e
 let check_id t x name =
   if x < 0 || x >= t.n then
     invalid_arg ("Answer_dag: out-of-range element in " ^ name)
+[@@alloc_free]
 
 (* Direct-loss membership: does [winner] beat [loser] directly? *)
 let mem_edge t ~winner ~loser =
   Array.unsafe_get t.loss_bits ((loser * t.words) + (winner lsr 5))
   land (1 lsl (winner land 31))
   <> 0
+[@@alloc_free]
 
 let beats_directly t a b =
   check_id t a "beats_directly";
   check_id t b "beats_directly";
   mem_edge t ~winner:a ~loser:b
+[@@alloc_free]
 
 let grow_pool t =
   let cap = Array.length t.edge_winner in
@@ -132,6 +135,7 @@ let remove_candidate t x =
   Array.unsafe_set t.cand_bits w
     (Array.unsafe_get t.cand_bits w land lnot (1 lsl (x land 31)));
   t.cand_count <- t.cand_count - 1
+[@@alloc_free]
 
 let iter_wins t x f =
   check_id t x "iter_wins";
@@ -182,7 +186,7 @@ let add_answer_unchecked t ~winner ~loser =
     Array.unsafe_set t.loss_bits w
       (Array.unsafe_get t.loss_bits w lor (1 lsl (winner land 31)));
     let e = t.answer_count in
-    if e = Array.length t.edge_winner then grow_pool t;
+    if e = Array.length t.edge_winner then (grow_pool [@alloc_cold]) t;
     Array.unsafe_set t.edge_winner e winner;
     Array.unsafe_set t.edge_loser e loser;
     Array.unsafe_set t.win_next e (Array.unsafe_get t.win_head winner);
@@ -194,6 +198,7 @@ let add_answer_unchecked t ~winner ~loser =
     if lc = 1 then remove_candidate t loser;
     t.answer_count <- e + 1
   end
+[@@alloc_free]
 
 let add_answer t ~winner ~loser =
   check_id t winner "add_answer";
@@ -206,6 +211,7 @@ let add_answer t ~winner ~loser =
 let losses t x =
   check_id t x "losses";
   t.loss_count.(x)
+[@@alloc_free]
 
 let direct_wins t x =
   let acc = ref [] in
@@ -217,7 +223,7 @@ let direct_losses_to t x =
   iter_lost_to t x (fun y -> acc := y :: !acc);
   !acc
 
-let candidate_count t = t.cand_count
+let candidate_count t = t.cand_count [@@alloc_free]
 
 let candidates t =
   let out = Array.make t.cand_count 0 in
@@ -245,7 +251,7 @@ let remaining_candidates t =
   done;
   !acc
 
-let is_singleton t = t.cand_count = 1
+let is_singleton t = t.cand_count = 1 [@@alloc_free]
 
 let winner t =
   if t.cand_count <> 1 then None

@@ -12,7 +12,11 @@ type hist_cell = {
   h_buckets : float array;
   h_counts : int array; (* length = buckets + 1; last is overflow *)
   mutable h_total : int;
-  mutable h_sum : float;
+  (* One-element float array, not a [mutable float] field: the record
+     mixes word and float fields, so a float field would hold a boxed
+     value and every [observe] store would allocate a fresh box. A float
+     array stores unboxed. *)
+  h_sum : float array;
 }
 
 type cell =
@@ -100,7 +104,7 @@ let reset = function
           | C_hist c ->
               Array.fill c.h_counts 0 (Array.length c.h_counts) 0;
               c.h_total <- 0;
-              c.h_sum <- 0.0)
+              c.h_sum.(0) <- 0.0)
         s.cells
 
 let kind_clash ~section name =
@@ -122,10 +126,12 @@ let counter t ~section name =
 let[@inline] incr = function
   | No_counter -> ()
   | A_counter c -> c.count <- c.count + 1
+[@@alloc_free]
 
 let add h n =
   if n < 0 then invalid_arg "Metrics.add: negative increment";
   match h with No_counter -> () | A_counter c -> c.count <- c.count + n
+[@@alloc_free]
 
 type peak = No_peak | A_peak of peak_cell
 
@@ -139,6 +145,7 @@ let peak t ~section name =
 
 let[@inline] record_peak h v =
   match h with No_peak -> () | A_peak c -> if v > c.peak then c.peak <- v
+[@@alloc_free]
 
 type histogram = No_hist | A_hist of hist_cell
 
@@ -170,7 +177,7 @@ let histogram_of_bounds t ~section name ~copy buckets =
             h_buckets = (if copy then Array.copy buckets else buckets);
             h_counts = Array.make (Array.length buckets + 1) 0;
             h_total = 0;
-            h_sum = 0.0;
+            h_sum = Array.make 1 0.0;
           }
       in
       match register s ~section name ~kind:"histogram" make with
@@ -195,7 +202,8 @@ let observe h v =
       done;
       c.h_counts.(!i) <- c.h_counts.(!i) + 1;
       c.h_total <- c.h_total + 1;
-      c.h_sum <- c.h_sum +. v
+      c.h_sum.(0) <- c.h_sum.(0) +. v
+[@@alloc_free]
 
 type span = No_span | A_span of real_cell
 
@@ -250,7 +258,7 @@ let value_of_cell = function
           buckets = c.h_buckets;
           counts = Array.copy c.h_counts;
           total = c.h_total;
-          sum = c.h_sum;
+          sum = c.h_sum.(0);
         }
 
 (* Physical equality implies string equality, and snapshots taken from
@@ -341,7 +349,7 @@ let zero_of cell () =
           h_buckets = c.h_buckets;
           h_counts = Array.make (Array.length c.h_counts) 0;
           h_total = 0;
-          h_sum = 0.0;
+          h_sum = Array.make 1 0.0;
         }
 
 let combine_cells ~section ~name dst src =
@@ -363,7 +371,7 @@ let combine_cells ~section ~name dst src =
         d.h_counts.(i) <- d.h_counts.(i) + c.h_counts.(i)
       done;
       d.h_total <- d.h_total + c.h_total;
-      d.h_sum <- d.h_sum +. c.h_sum
+      d.h_sum.(0) <- d.h_sum.(0) +. c.h_sum.(0)
   | (C_count _ | C_peak _ | C_real _ | C_hist _), _ -> kind_clash ~section name
 
 let absorb ~into t =

@@ -3,6 +3,7 @@ open Crowdmax_util
 let check c_prev c_next =
   if c_next < 1 || c_next > c_prev then
     invalid_arg "Tournament: need 1 <= c_next <= c_prev"
+[@@alloc_free]
 
 let questions c_prev c_next =
   check c_prev c_next;
@@ -10,6 +11,7 @@ let questions c_prev c_next =
   let small = c_prev / c_next in
   let n_big = c_prev mod c_next in
   (Ints.choose2 big * n_big) + (Ints.choose2 small * (c_next - n_big))
+[@@alloc_free]
 
 let sizes c_prev c_next =
   check c_prev c_next;

@@ -33,9 +33,9 @@ let create ?(capacity = 64) () =
     size = 0;
   }
 
-let length t = t.size
-let is_empty t = t.size = 0
-let clear t = t.size <- 0
+let length t = t.size [@@alloc_free]
+let is_empty t = t.size = 0 [@@alloc_free]
+let clear t = t.size <- 0 [@@alloc_free]
 
 let grow t =
   let cap = Array.length t.times in
@@ -78,28 +78,33 @@ let sift_up t i0 =
     Array.unsafe_set pa !i aa;
     Array.unsafe_set pb !i bb
   end
+[@@alloc_free]
 
 let[@inline] add t ~time a b =
   if Float.is_nan time then invalid_arg "Event_calendar.add: NaN time";
-  if t.size = Array.length t.times then grow t;
+  if t.size = Array.length t.times then (grow [@alloc_cold]) t;
   let i = t.size in
   t.size <- i + 1;
   Array.unsafe_set t.times i time;
   Array.unsafe_set t.pa i a;
   Array.unsafe_set t.pb i b;
   sift_up t i
+[@@alloc_free]
 
 let[@inline] min_time t =
   if t.size = 0 then invalid_arg "Event_calendar.min_time: empty";
   Array.unsafe_get t.times 0
+[@@alloc_free]
 
 let[@inline] min_a t =
   if t.size = 0 then invalid_arg "Event_calendar.min_a: empty";
   Array.unsafe_get t.pa 0
+[@@alloc_free]
 
 let[@inline] min_b t =
   if t.size = 0 then invalid_arg "Event_calendar.min_b: empty";
   Array.unsafe_get t.pb 0
+[@@alloc_free]
 
 let remove_min t =
   if t.size = 0 then invalid_arg "Event_calendar.remove_min: empty";
@@ -141,3 +146,4 @@ let remove_min t =
     Array.unsafe_set pa !i aa;
     Array.unsafe_set pb !i bb
   end
+[@@alloc_free]

@@ -1,6 +1,6 @@
-let choose2 n = if n < 2 then 0 else n * (n - 1) / 2
+let choose2 n = if n < 2 then 0 else n * (n - 1) / 2 [@@alloc_free]
 
-let ceil_div a b = (a + b - 1) / b
+let ceil_div a b = (a + b - 1) / b [@@alloc_free]
 
 let sum = List.fold_left ( + ) 0
 

@@ -19,19 +19,27 @@ let key t a b =
     invalid_arg "Pair_set: element out of range";
   if a = b then invalid_arg "Pair_set: self-pair";
   if a < b then (a * t.n) + b else (b * t.n) + a
+[@@alloc_free]
 
-(* Fibonacci hashing; [land mask] keeps the slot in range and non-negative. *)
+(* Fibonacci hashing; [land mask] keeps the slot in range and
+   non-negative. The probe is a while loop over an int slot index — a
+   local [rec probe] would capture [t] and [k] in a closure — so a
+   membership probe touches only the keys array. *)
 let slot_of t k =
-  let h = k * 0x2545F4914F6CDD1D in
-  let rec probe i =
-    let s = Array.unsafe_get t.keys i in
-    if s = -1 || s = k then i else probe ((i + 1) land t.mask)
-  in
-  probe (h land t.mask)
+  let keys = t.keys and mask = t.mask in
+  let i = ref ((k * 0x2545F4914F6CDD1D) land mask) in
+  let s = ref (Array.unsafe_get keys !i) in
+  while !s <> -1 && !s <> k do
+    i := (!i + 1) land mask;
+    s := Array.unsafe_get keys !i
+  done;
+  !i
+[@@alloc_free]
 
 let mem t a b =
   let k = key t a b in
   t.keys.(slot_of t k) = k
+[@@alloc_free]
 
 let grow t =
   let old = t.keys in
@@ -47,8 +55,9 @@ let add t a b =
   else begin
     t.keys.(i) <- k;
     t.count <- t.count + 1;
-    if 2 * t.count >= Array.length t.keys then grow t;
+    if 2 * t.count >= Array.length t.keys then (grow [@alloc_cold]) t;
     true
   end
+[@@alloc_free]
 
 let cardinal t = t.count

@@ -36,9 +36,12 @@ let split_path_line spec =
 
 let parse_line file lineno line =
   let line = String.trim line in
-  if line = "" || line.[0] = '#' then None
+  if String.equal line "" || Char.equal line.[0] '#' then None
   else
-    match String.split_on_char ' ' line |> List.filter (fun s -> s <> "") with
+    match
+      String.split_on_char ' ' line
+      |> List.filter (fun s -> not (String.equal s ""))
+    with
     | rule :: path_spec :: (_ :: _ as reason_words) ->
         let path, pinned_line = split_path_line path_spec in
         Some

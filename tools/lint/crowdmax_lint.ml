@@ -1,23 +1,37 @@
 (* crowdmax-lint — typedtree static analysis gate for the crowdmax repo.
 
    Reads the .cmt files dune emits, reconstructs typing environments
-   from their summaries, and enforces the repo-specific rules R1-R4
-   (see rules.ml and CONTRIBUTING.md). Findings print one per line as
+   from their summaries, and enforces the repo-specific rules R1-R6
+   (see rules.ml, escape.ml, alloc_free.ml and CONTRIBUTING.md).
+   Findings print one per line as
 
        file:line:col RULE message
 
    sorted and deduplicated, so output is stable enough to diff against
    a golden file. Suppressions live in a checked-in allowlist (see
-   allowlist.ml). Exit status: 0 clean, 1 unsuppressed findings,
-   2 usage or I/O error.
+   allowlist.ml). Exit status: 0 clean, 1 unsuppressed findings (or,
+   under --fail-unused, stale allowlist entries), 2 usage or I/O error.
 
    Usage:
-     crowdmax_lint [--allow FILE] [--require-mli] [-I DIR] PATH...
+     crowdmax_lint [--allow FILE] [--require-mli] [--require-mli-dir DIR]
+                   [--exclude SUBSTR] [--fail-unused] [-I DIR] PATH...
 
    Each PATH is a .cmt file or a directory scanned recursively
-   (dune hides them under lib/<x>/.<lib>.objs/byte/). *)
+   (dune hides them under lib/<x>/.<lib>.objs/byte/). --exclude skips
+   any cmt whose path contains SUBSTR (the fixture corpus, when the
+   repo-wide gate scans tools/). --require-mli-dir restricts R4 to
+   cmts under DIR, so executables (bin/, bench/) ride the gate without
+   growing interface files. --fail-unused promotes stale-allowlist
+   warnings to failures — the CI mode, so suppressions cannot outlive
+   the code they excused.
 
-let usage = "usage: crowdmax_lint [--allow FILE] [--require-mli] [-I DIR] PATH..."
+   Analysis is two-phase: a first pass over every module collects the
+   [@@alloc_free] annotations into one cross-module set, then the
+   rules run with that set so R6 resolves cross-module calls. *)
+
+let usage =
+  "usage: crowdmax_lint [--allow FILE] [--require-mli] [--require-mli-dir \
+   DIR] [--exclude SUBSTR] [--fail-unused] [-I DIR] PATH..."
 
 let fail fmt =
   Printf.ksprintf
@@ -45,6 +59,11 @@ let collect_cmts paths =
   let files = List.fold_left scan_path [] paths in
   List.sort_uniq String.compare files
 
+let contains_substring ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec loop i = i + m <= n && (String.equal (String.sub s i m) sub || loop (i + 1)) in
+  m = 0 || loop 0
+
 (* --- per-cmt analysis --------------------------------------------------- *)
 
 let is_generated source =
@@ -57,13 +76,24 @@ let source_of (cmt : Cmt_format.cmt_infos) =
   | Some s -> s
   | None -> cmt.Cmt_format.cmt_modname
 
+let modname_of (cmt : Cmt_format.cmt_infos) =
+  Alloc_free.normalize_modname cmt.Cmt_format.cmt_modname
+
 let env_of summary_env =
   try Envaux.env_of_only_summary summary_env with _ -> Env.initial
 
-let analyze ~require_mli ~report (cmt_path, cmt) =
+let analyze ~require_mli ~mli_dirs ~annotated ~report (cmt_path, cmt) =
   let source = source_of cmt in
   if not (is_generated source) then begin
-    if require_mli && not (Sys.file_exists (Filename.remove_extension cmt_path ^ ".cmti"))
+    let wants_mli =
+      require_mli
+      || List.exists
+           (fun d -> String.starts_with ~prefix:d cmt_path)
+           mli_dirs
+    in
+    if
+      wants_mli
+      && not (Sys.file_exists (Filename.remove_extension cmt_path ^ ".cmti"))
     then
       report
         {
@@ -77,7 +107,18 @@ let analyze ~require_mli ~report (cmt_path, cmt) =
         };
     match cmt.Cmt_format.cmt_annots with
     | Cmt_format.Implementation str ->
-        Rules.run { Rules.report; env_of } str
+        let modname = modname_of cmt in
+        Rules.run { Rules.report; env_of } str;
+        Alloc_free.run
+          {
+            Alloc_free.report;
+            env_of;
+            modname;
+            annotated;
+            local = Hashtbl.create 16;
+          }
+          str;
+        Escape.run { Escape.report; env_of; modname } str
     | _ -> ()
   end
 
@@ -86,6 +127,9 @@ let analyze ~require_mli ~report (cmt_path, cmt) =
 let () =
   let allow_file = ref None in
   let require_mli = ref false in
+  let mli_dirs = ref [] in
+  let excludes = ref [] in
+  let fail_unused = ref false in
   let includes = ref [] in
   let paths = ref [] in
   let rec parse = function
@@ -96,10 +140,20 @@ let () =
     | "--require-mli" :: rest ->
         require_mli := true;
         parse rest
+    | "--require-mli-dir" :: d :: rest ->
+        mli_dirs := d :: !mli_dirs;
+        parse rest
+    | "--exclude" :: s :: rest ->
+        excludes := s :: !excludes;
+        parse rest
+    | "--fail-unused" :: rest ->
+        fail_unused := true;
+        parse rest
     | "-I" :: d :: rest ->
         includes := d :: !includes;
         parse rest
-    | ("--allow" | "-I") :: [] -> fail "%s" usage
+    | ("--allow" | "--require-mli-dir" | "--exclude" | "-I") :: [] ->
+        fail "%s" usage
     | ("--help" | "-help") :: _ ->
         print_endline usage;
         exit 0
@@ -108,7 +162,7 @@ let () =
         parse rest
   in
   parse (List.tl (Array.to_list Sys.argv));
-  if !paths = [] then fail "%s" usage;
+  (match !paths with [] -> fail "%s" usage | _ :: _ -> ());
   let allow =
     match !allow_file with
     | None -> Allowlist.empty
@@ -117,8 +171,15 @@ let () =
         | Allowlist.Malformed msg -> fail "%s" msg
         | Sys_error msg -> fail "%s" msg)
   in
-  let cmt_files = collect_cmts (List.rev !paths) in
-  if cmt_files = [] then fail "no .cmt files under the given paths";
+  let cmt_files =
+    List.filter
+      (fun f ->
+        not (List.exists (fun sub -> contains_substring ~sub f) !excludes))
+      (collect_cmts (List.rev !paths))
+  in
+  (match cmt_files with
+  | [] -> fail "no .cmt files under the given paths"
+  | _ :: _ -> ());
   let cmts =
     List.map
       (fun f ->
@@ -135,7 +196,11 @@ let () =
     let tbl = Hashtbl.create 16 in
     let out = ref [] in
     let add d =
-      if d <> "" && (not (Hashtbl.mem tbl d)) && Sys.file_exists d then begin
+      if
+        (not (String.equal d ""))
+        && (not (Hashtbl.mem tbl d))
+        && Sys.file_exists d
+      then begin
         Hashtbl.add tbl d ();
         out := d :: !out
       end
@@ -153,25 +218,44 @@ let () =
   in
   Load_path.init ~auto_include:Load_path.no_auto_include dirs;
   Envaux.reset_cache ();
+  (* Phase 1: the cross-module [@@alloc_free] promise set. *)
+  let annotated = Hashtbl.create 64 in
+  List.iter
+    (fun (_, cmt) ->
+      if not (is_generated (source_of cmt)) then
+        match cmt.Cmt_format.cmt_annots with
+        | Cmt_format.Implementation str ->
+            List.iter
+              (fun key -> Hashtbl.replace annotated key ())
+              (Alloc_free.collect ~modname:(modname_of cmt) str)
+        | _ -> ())
+    cmts;
+  (* Phase 2: the rules. *)
   let findings = ref [] in
   let report f = findings := f :: !findings in
-  List.iter (analyze ~require_mli:!require_mli ~report) cmts;
-  let all =
-    let sorted = List.sort_uniq Finding.compare !findings in
-    sorted
-  in
+  List.iter
+    (analyze ~require_mli:!require_mli ~mli_dirs:!mli_dirs ~annotated ~report)
+    cmts;
+  let all = List.sort_uniq Finding.compare !findings in
   let kept, suppressed =
     List.partition (fun f -> not (Allowlist.suppresses allow f)) all
   in
   List.iter (fun f -> print_endline (Finding.to_string f)) kept;
+  let unused = Allowlist.unused allow in
   List.iter
     (fun e ->
-      Printf.printf
-        "crowdmax-lint: warning: unused allowlist entry '%s' (%s:%d)\n"
+      Printf.printf "crowdmax-lint: %s: unused allowlist entry '%s' (%s:%d)\n"
+        (if !fail_unused then "error" else "warning")
         (Allowlist.describe e) allow.Allowlist.file e.Allowlist.e_source_line)
-    (Allowlist.unused allow);
+    unused;
   Printf.printf "crowdmax-lint: %d module(s), %d finding(s), %d suppressed\n"
     (List.length
        (List.filter (fun (_, c) -> not (is_generated (source_of c))) cmts))
     (List.length kept) (List.length suppressed);
-  exit (if kept = [] then 0 else 1)
+  let clean =
+    match (kept, unused) with
+    | [], [] -> true
+    | [], _ :: _ -> not !fail_unused
+    | _ :: _, _ -> false
+  in
+  exit (if clean then 0 else 1)

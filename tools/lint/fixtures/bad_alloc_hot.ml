@@ -1,0 +1,13 @@
+(* R6 fixtures: functions annotated [@@alloc_free] that allocate. Each
+   offending construct (tuple, cons cell, closure, call to a function
+   not proved allocation-free) must be pointed at exactly. *)
+
+(* BAD: builds a tuple on every call. *)
+let widen a b = (a, b) [@@alloc_free]
+
+(* BAD: a cons cell is a non-constant constructor. *)
+let cons_one x xs = x :: xs [@@alloc_free]
+
+(* BAD: allocates a closure over [k] and calls a function (List.map)
+   that is neither a non-allocating primitive nor itself annotated. *)
+let scaled k xs = List.map (fun x -> x * k) xs [@@alloc_free]

@@ -1,0 +1,3 @@
+val widen : int -> int -> int * int
+val cons_one : int -> int list -> int list
+val scaled : int -> int list -> int list

@@ -1,0 +1,4 @@
+val racy_sum : Crowdmax_util.Parallel.pool -> int array -> int array * int
+val racy_tally : Crowdmax_util.Parallel.pool -> int -> int array
+val local_ref_ok : Crowdmax_util.Parallel.pool -> int array -> int array
+val atomic_ok : Crowdmax_util.Parallel.pool -> int -> int

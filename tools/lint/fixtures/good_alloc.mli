@@ -1,0 +1,6 @@
+type t
+
+val create : unit -> t
+val push : t -> int -> unit
+val get : t -> int -> int
+val sum : t -> int

@@ -130,15 +130,20 @@ let check_r2 ctx op loc =
 (* --- R1 + R2 over every expression ------------------------------------- *)
 
 let check_ident ctx path e =
-  (* Stdlib idents are matched by their Stdlib-relative name; idents
-     from standalone otherlibs (Unix) by their full path. *)
+  (* R1's operators all live in Stdlib, so only Stdlib-resolved idents
+     are candidates — a module's own typed [compare]/[min]/[max] must
+     not be mistaken for the polymorphic one. R2 also bans
+     standalone-otherlib reads (Unix), matched by full path. *)
+  (match stdlib_suffix path with
+  | Some op ->
+      if List.exists (String.equal op) r1_ops then
+        check_r1 ctx ~relational:false op e
+      else if List.exists (String.equal op) r1_relational_ops then
+        check_r1 ctx ~relational:true op e
+  | None -> ());
   let op =
     match stdlib_suffix path with Some op -> op | None -> Path.name path
   in
-  if List.exists (String.equal op) r1_ops then
-    check_r1 ctx ~relational:false op e
-  else if List.exists (String.equal op) r1_relational_ops then
-    check_r1 ctx ~relational:true op e;
   check_r2 ctx op e.exp_loc
 
 let iterator ctx =
