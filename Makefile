@@ -52,7 +52,11 @@ ci:
 	CROWDMAX_BENCH_RUNS=2 dune exec bench/main.exe -- micro
 	dune exec bench/main.exe -- engine-opcheck
 	dune exec bench/main.exe -- planner-opcheck
+	dune exec bench/main.exe -- adaptive-opcheck
 	dune exec bench/main.exe -- history-check
+	dune exec bin/crowdmax_cli.exe -- run --elements 60 --budget 200 \
+		--runs 2 --simulated --adaptive --refit drift:0.5
+	dune exec bin/crowdmax_cli.exe -- experiment fig_adapt --runs 6 -j 4
 	CROWDMAX_ENGINE_BENCH_SECS=0.3 CROWDMAX_ENGINE_BENCH_WRITE=0 \
 		dune exec bench/main.exe -- engine
 

@@ -18,6 +18,7 @@ module Selection = Crowdmax_selection.Selection
 module Dag = Crowdmax_graph.Answer_dag
 module Scoring = Crowdmax_graph.Scoring
 module Engine = Crowdmax_runtime.Engine
+module Adaptive = Crowdmax_runtime.Adaptive
 module G = Crowdmax_crowd.Ground_truth
 module Rwl = Crowdmax_crowd.Rwl
 module W = Crowdmax_crowd.Worker
@@ -144,10 +145,12 @@ let ablation_adaptive () =
         [
           string_of_int c0; string_of_int b;
           Printf.sprintf "%.1f" st.Engine.mean_latency;
-          Printf.sprintf "%.1f" ad.Engine.mean_latency;
+          Printf.sprintf "%.1f" ad.Crowdmax_runtime.Adaptive.engine_aggregate.Engine.mean_latency;
           Printf.sprintf "%.1f%%"
             (100.0
-            *. (st.Engine.mean_latency -. ad.Engine.mean_latency)
+            *. (st.Engine.mean_latency
+               -. ad.Crowdmax_runtime.Adaptive.engine_aggregate
+                    .Engine.mean_latency)
             /. st.Engine.mean_latency);
         ])
     [ (125, 1000); (250, 2000); (500, 4000); (500, 999) ];
@@ -1130,6 +1133,120 @@ let planner_opcheck () =
     exit 1
   end
 
+(* --- adaptive closed-loop operation-count gate ---------------------------- *)
+
+(* The closed loop's counters (replans, refits, drift detections,
+   drift-triggered replans) are pure simulated bookkeeping, so for a
+   fixed (problem, seed, runs, shift) they are bit-deterministic like
+   the platform and planner counters above. Pinning them catches a
+   detector or re-fit policy change that slips past the statistical
+   goldens — a drift threshold applied to the wrong quantity, a window
+   that stops clearing, a re-fit that silently stops installing. The
+   scenario is a mid-run supply drop (the Fig_adapt shape, scaled down),
+   run at jobs=1 and jobs=4 so the gate also re-asserts the replicate
+   determinism contract on every CI run. Regenerate with
+   CROWDMAX_OPCHECK_PRINT=1 after an intentional change. *)
+let adaptive_opcheck_runs = 6
+let adaptive_opcheck_seed = 107
+
+let adaptive_opcheck_expected =
+  (* total_replans, total_refits, total_drift_detected,
+     total_replans_on_drift *)
+  (20, 6, 6, 5)
+
+let adaptive_opcheck_scaled_source scale =
+  let c = Crowdmax_crowd.Platform.default_config in
+  let config =
+    {
+      c with
+      Crowdmax_crowd.Platform.base_rate =
+        c.Crowdmax_crowd.Platform.base_rate *. scale;
+      attract_per_question =
+        c.Crowdmax_crowd.Platform.attract_per_question *. scale;
+    }
+  in
+  Engine.Simulated
+    {
+      platform = Crowdmax_crowd.Platform.create ~config ();
+      rwl = { Rwl.votes = 3; error = W.Uniform 0.15 };
+    }
+
+let adaptive_opcheck_replicate jobs =
+  Adaptive.replicate ~jobs
+    ~source:(adaptive_opcheck_scaled_source 1.0)
+    ~refit:(Adaptive.On_drift 0.5)
+    ~source_shift:(1, adaptive_opcheck_scaled_source 0.2)
+    ~runs:adaptive_opcheck_runs ~seed:adaptive_opcheck_seed
+    ~problem:(Problem.create ~elements:150 ~budget:450 ~latency:model)
+    ~selection:Selection.tournament ()
+
+let adaptive_opcheck () =
+  section
+    (Printf.sprintf
+       "adaptive closed-loop operation-count gate (%d runs, seed %d)"
+       adaptive_opcheck_runs adaptive_opcheck_seed);
+  let print_mode = Option.is_some (Sys.getenv_opt "CROWDMAX_OPCHECK_PRINT") in
+  let failures = ref 0 in
+  let agg = adaptive_opcheck_replicate 1 in
+  if print_mode then
+    Printf.printf "  (%d, %d, %d, %d)\n%!" agg.Adaptive.total_replans
+      agg.Adaptive.total_refits agg.Adaptive.total_drift_detected
+      agg.Adaptive.total_replans_on_drift
+  else begin
+    let exp_replans, exp_refits, exp_drift, exp_on_drift =
+      adaptive_opcheck_expected
+    in
+    let check name got expected =
+      if got <> expected then begin
+        Printf.printf "  adaptive/%s = %d, pinned %d\n" name got expected;
+        incr failures
+      end
+    in
+    check "replans" agg.Adaptive.total_replans exp_replans;
+    check "refits" agg.Adaptive.total_refits exp_refits;
+    check "drift_detected" agg.Adaptive.total_drift_detected exp_drift;
+    check "replans_on_drift" agg.Adaptive.total_replans_on_drift exp_on_drift;
+    (* drift-triggered replans can't exceed installed re-fits, and the
+       detector must have fired at least once per re-fit *)
+    if agg.Adaptive.total_replans_on_drift > agg.Adaptive.total_refits then begin
+      Printf.printf "  replans_on_drift %d > refits %d\n"
+        agg.Adaptive.total_replans_on_drift agg.Adaptive.total_refits;
+      incr failures
+    end;
+    if agg.Adaptive.total_refits > agg.Adaptive.total_drift_detected then begin
+      Printf.printf "  refits %d > drift_detected %d\n"
+        agg.Adaptive.total_refits agg.Adaptive.total_drift_detected;
+      incr failures
+    end;
+    (* the replicate determinism contract, re-asserted under parallelism *)
+    let par = adaptive_opcheck_replicate 4 in
+    if
+      not
+        (Engine.equal_stats agg.Adaptive.engine_aggregate
+           par.Adaptive.engine_aggregate
+        && agg.Adaptive.total_replans = par.Adaptive.total_replans
+        && agg.Adaptive.total_refits = par.Adaptive.total_refits
+        && agg.Adaptive.total_drift_detected
+           = par.Adaptive.total_drift_detected
+        && agg.Adaptive.total_replans_on_drift
+           = par.Adaptive.total_replans_on_drift)
+    then begin
+      Printf.printf "  jobs=4 aggregate differs from jobs=1\n";
+      incr failures
+    end;
+    if !failures = 0 then
+      Printf.printf
+        "  ok: %d replans, %d refits, %d drift detections, %d drift replans \
+         (jobs-invariant)\n"
+        agg.Adaptive.total_replans agg.Adaptive.total_refits
+        agg.Adaptive.total_drift_detected agg.Adaptive.total_replans_on_drift
+  end;
+  if !failures > 0 then begin
+    Printf.printf "adaptive operation-count gate FAILED (%d mismatches)\n%!"
+      !failures;
+    exit 1
+  end
+
 (* --- deterministic counter history gate ---------------------------------- *)
 
 (* The opcheck counters above are bit-deterministic, which makes them a
@@ -1213,6 +1330,16 @@ let history_counters () =
     [
       "states_visited"; "memo_hits"; "memo_misses"; "ub_pruned_branches";
       "plan_cache_hits"; "plan_cache_misses";
+    ];
+  (* adaptive: the closed-loop opcheck scenario's re-fit counters *)
+  let agg = adaptive_opcheck_replicate 1 in
+  List.iter
+    (fun (name, v) -> push (Printf.sprintf "adaptive.%s" name) v)
+    [
+      ("replans", agg.Adaptive.total_replans);
+      ("refits", agg.Adaptive.total_refits);
+      ("drift_detected", agg.Adaptive.total_drift_detected);
+      ("replans_on_drift", agg.Adaptive.total_replans_on_drift);
     ];
   List.rev !out
 
@@ -1543,6 +1670,7 @@ let () =
       ("engine", engine_bench);
       ("engine-opcheck", engine_opcheck);
       ("planner-opcheck", planner_opcheck);
+      ("adaptive-opcheck", adaptive_opcheck);
       ("history-append", history_append);
       ("history-check", history_check);
     ]

@@ -17,6 +17,7 @@ module Allocation = Crowdmax_core.Allocation
 module Heuristics = Crowdmax_core.Heuristics
 module Selection = Crowdmax_selection.Selection
 module Engine = Crowdmax_runtime.Engine
+module Adaptive = Crowdmax_runtime.Adaptive
 module Serialize = Crowdmax_runtime.Serialize
 module Metrics = Crowdmax_obs.Metrics
 module X = Crowdmax_experiments
@@ -168,6 +169,49 @@ let straggler_arg =
            round off: $(b,drop) (default), $(b,carry) (repost in later \
            rounds while both elements survive), or $(b,reissue:N) (repost \
            at most N times).")
+
+(* Re-fit policy syntax: "off" (default), "every:K", or "drift:T". *)
+let refit_conv =
+  let parse s =
+    let low = String.lowercase_ascii s in
+    let every = "every:" and drift = "drift:" in
+    let suffix prefix =
+      String.sub low (String.length prefix)
+        (String.length low - String.length prefix)
+    in
+    if String.equal low "off" then Ok Adaptive.Off
+    else if String.starts_with ~prefix:every low then (
+      match int_of_string_opt (suffix every) with
+      | Some k when k >= 1 -> Ok (Adaptive.Every_k_rounds k)
+      | _ -> Error (`Msg (Printf.sprintf "bad re-fit period in %S (need K >= 1)" s)))
+    else if String.starts_with ~prefix:drift low then (
+      match float_of_string_opt (suffix drift) with
+      | Some t when t > 0.0 && Float.is_finite t -> Ok (Adaptive.On_drift t)
+      | _ -> Error (`Msg (Printf.sprintf "bad drift threshold in %S (need T > 0)" s)))
+    else
+      Error
+        (`Msg
+          (Printf.sprintf
+             "bad re-fit policy %S: expected off, every:K, or drift:T" s))
+  in
+  let print ppf = function
+    | Adaptive.Off -> Format.pp_print_string ppf "off"
+    | Adaptive.Every_k_rounds k -> Format.fprintf ppf "every:%d" k
+    | Adaptive.On_drift t -> Format.fprintf ppf "drift:%g" t
+  in
+  Arg.conv (parse, print)
+
+let refit_arg =
+  Arg.(
+    value & opt refit_conv Adaptive.Off
+    & info [ "refit" ] ~docv:"POLICY"
+        ~doc:
+          "Close the estimation loop (with $(b,--adaptive)): $(b,off) \
+           (default; plan open-loop with the configured model), \
+           $(b,every:K) (re-fit L(q) on the recent observation window \
+           every K rounds), or $(b,drift:T) (re-fit when the model's \
+           relative residual RMS on the window exceeds T, e.g. \
+           drift:0.25).")
 
 (* --- allocate ----------------------------------------------------------- *)
 
@@ -473,8 +517,17 @@ let run_cmd =
              over all runs) as a JSON document to $(docv). Collection is \
              deterministic: it cannot change the reported aggregates.")
   in
+  let adaptive_arg =
+    Arg.(
+      value & flag
+      & info [ "adaptive" ]
+          ~doc:
+            "Re-plan after every round (solve tDP again for the surviving \
+             candidates and remaining budget) instead of running one static \
+             allocation. Required by $(b,--refit).")
+  in
   let run elements budget delta alpha p seed runs jobs selection simulated
-      votes worker_error deadline straggler metrics_out =
+      votes worker_error deadline straggler adaptive refit metrics_out =
     let jobs = resolve_jobs jobs in
     let finite_deadline =
       match deadline with Engine.Wait_all -> false | _ -> true
@@ -485,12 +538,35 @@ let run_cmd =
          instantly; there is nothing to cut off)\n";
       exit 2
     end;
+    (match refit with
+    | Adaptive.Off -> ()
+    | _ when not adaptive ->
+        Printf.eprintf
+          "crowdmax: --refit needs --adaptive (the static engine never \
+           re-solves, so a re-fitted model would change nothing)\n";
+        exit 2
+    | _ when not simulated ->
+        Printf.eprintf
+          "crowdmax: --refit needs --simulated (oracle observations are the \
+           model's own predictions; there is no drift to fit)\n";
+        exit 2
+    | _ -> ());
+    if adaptive then begin
+      (match straggler with
+      | Engine.Drop -> ()
+      | _ ->
+          Printf.eprintf
+            "crowdmax: --adaptive ignores --straggler (the next round's \
+             re-plan and re-selection subsume carry-forward); use drop\n";
+          exit 2);
+      (match metrics_out with
+      | None -> ()
+      | Some _ ->
+          Printf.eprintf "crowdmax: --metrics is not supported with --adaptive\n";
+          exit 2)
+    end;
     let model = model_of delta alpha p in
     let problem = Problem.create ~elements ~budget ~latency:model in
-    let planner_metrics =
-      if Option.is_some metrics_out then Metrics.create () else Metrics.disabled
-    in
-    let sol = Tdp.solve ~metrics:planner_metrics problem in
     let source =
       if simulated then
         Engine.Simulated
@@ -504,6 +580,46 @@ let run_cmd =
           }
       else Engine.Oracle
     in
+    let describe () =
+      Format.printf "%a, selection = %s, source = %s@." Problem.pp problem
+        selection.Selection.name
+        (if simulated then
+           Printf.sprintf "simulated (%d votes, error %g)" votes worker_error
+         else "oracle")
+    in
+    let report (agg : Engine.aggregate) =
+      Format.printf
+        "mean latency %.1f s (stddev %.1f, p95 %.1f); singleton %.0f%%; correct %.0f%%; mean questions %.0f; mean rounds %.1f@."
+        agg.Engine.mean_latency agg.Engine.stddev_latency agg.Engine.p95_latency
+        (100.0 *. agg.Engine.singleton_rate)
+        (100.0 *. agg.Engine.correct_rate)
+        agg.Engine.mean_questions agg.Engine.mean_rounds;
+      Format.printf "wall %.2f s over %d domain%s (%.1f runs/s)@."
+        agg.Engine.timing.Engine.wall_seconds agg.Engine.timing.Engine.jobs
+        (if agg.Engine.timing.Engine.jobs = 1 then "" else "s")
+        agg.Engine.timing.Engine.runs_per_sec
+    in
+    if adaptive then begin
+      let agg =
+        Adaptive.replicate ~jobs ~source ~deadline ~refit ~runs ~seed ~problem
+          ~selection ()
+      in
+      describe ();
+      Format.printf "adaptive: re-plan every round, re-fit %s@."
+        (match refit with
+        | Adaptive.Off -> "off"
+        | Adaptive.Every_k_rounds k -> Printf.sprintf "every %d rounds" k
+        | Adaptive.On_drift t -> Printf.sprintf "on drift > %g" t);
+      report agg.Adaptive.engine_aggregate;
+      Format.printf "replans %d; refits %d; drift detected %d; replans on drift %d@."
+        agg.Adaptive.total_replans agg.Adaptive.total_refits
+        agg.Adaptive.total_drift_detected agg.Adaptive.total_replans_on_drift;
+      exit 0
+    end;
+    let planner_metrics =
+      if Option.is_some metrics_out then Metrics.create () else Metrics.disabled
+    in
+    let sol = Tdp.solve ~metrics:planner_metrics problem in
     let cfg =
       Engine.config ~source ~deadline ~straggler
         ~allocation:sol.Tdp.allocation ~selection ~latency_model:model ()
@@ -527,11 +643,7 @@ let run_cmd =
             ~finally:(fun () -> close_out oc);
           agg
     in
-    Format.printf "%a, selection = %s, source = %s@." Problem.pp problem
-      selection.Selection.name
-      (if simulated then
-         Printf.sprintf "simulated (%d votes, error %g)" votes worker_error
-       else "oracle");
+    describe ();
     Format.printf "allocation: %a@." Allocation.pp sol.Tdp.allocation;
     if finite_deadline then
       Format.printf "deadline: %s, stragglers: %s@."
@@ -543,16 +655,7 @@ let run_cmd =
         | Engine.Drop -> "drop"
         | Engine.Carry_forward -> "carry forward"
         | Engine.Reissue n -> Printf.sprintf "reissue at most %d times" n);
-    Format.printf
-      "mean latency %.1f s (stddev %.1f, p95 %.1f); singleton %.0f%%; correct %.0f%%; mean questions %.0f; mean rounds %.1f@."
-      agg.Engine.mean_latency agg.Engine.stddev_latency agg.Engine.p95_latency
-      (100.0 *. agg.Engine.singleton_rate)
-      (100.0 *. agg.Engine.correct_rate)
-      agg.Engine.mean_questions agg.Engine.mean_rounds;
-    Format.printf "wall %.2f s over %d domain%s (%.1f runs/s)@."
-      agg.Engine.timing.Engine.wall_seconds agg.Engine.timing.Engine.jobs
-      (if agg.Engine.timing.Engine.jobs = 1 then "" else "s")
-      agg.Engine.timing.Engine.runs_per_sec;
+    report agg;
     Option.iter
       (fun file -> Format.printf "metrics written to %s@." file)
       metrics_out
@@ -562,7 +665,7 @@ let run_cmd =
       const run $ elements_arg $ budget_arg $ delta_arg $ alpha_arg $ p_arg
       $ seed_arg $ runs_arg $ jobs_arg $ selection_arg $ simulated_arg
       $ votes_arg $ worker_error_arg $ deadline_arg $ straggler_arg
-      $ metrics_arg)
+      $ adaptive_arg $ refit_arg $ metrics_arg)
   in
   Cmd.v
     (Cmd.info "run"
@@ -649,6 +752,7 @@ let experiment_cmd =
       ("fig11a", `Fig11a); ("fig11b", `Fig11b); ("fig12", `Fig12);
       ("fig13a", `Fig13a); ("fig13b", `Fig13b); ("fig14a", `Fig14a);
       ("fig14b", `Fig14b); ("fig15", `Fig15); ("fig_deadline", `Fig_deadline);
+      ("fig_adapt", `Fig_adapt);
     ]
   in
   let figure_arg =
@@ -673,6 +777,7 @@ let experiment_cmd =
     | `Fig15 -> X.Fig15.print (X.Fig15.run ())
     | `Fig_deadline ->
         X.Fig_deadline.print (X.Fig_deadline.run ~jobs ~runs ~seed ())
+    | `Fig_adapt -> X.Fig_adapt.print (X.Fig_adapt.run ~jobs ~runs ~seed ())
   in
   let term = Term.(const run $ figure_arg $ runs_arg $ seed_arg $ jobs_arg) in
   Cmd.v

@@ -132,6 +132,7 @@ let next_arrival t rng ~q ~after = arrival_after rng t.cfg q after
 
 type report = {
   latency : float;
+  last_completion : float;
   completed : int;
   in_flight : int;
   unassigned : int;
@@ -172,6 +173,10 @@ let simulate ?(deadline = Float.infinity) ?(metrics = Metrics.disabled)
     let latency = Float.min cfg.post_overhead deadline in
     {
       latency;
+      (* No completions happened; the visibility time is the closest
+         well-defined "last event", and it keeps the no-deadline
+         invariant [last_completion = latency] intact for q = 0. *)
+      last_completion = latency;
       completed = 0;
       in_flight = 0;
       unassigned = 0;
@@ -314,6 +319,11 @@ let simulate ?(deadline = Float.infinity) ?(metrics = Metrics.disabled)
     [@alloc_free];
     {
       latency = (if !deadline_hit then deadline else st.last_time);
+      (* The loop's running last-completion time, surfaced even when a
+         deadline clips [latency] to the cutoff: this is the observed
+         completion time an estimator can trust (the deadline says how
+         long the caller waited, not how fast the platform was). *)
+      last_completion = st.last_time;
       completed = !answered;
       in_flight = !next_question - !answered;
       unassigned = q - !next_question;

@@ -74,6 +74,13 @@ type report = {
   latency : float;
       (** seconds from posting until the last answer — or until the
           deadline, when it was hit (the caller waited that long) *)
+  last_completion : float;
+      (** seconds from posting until the last answer that actually
+          arrived — never clipped to the deadline, so an estimator
+          observing round times sees what the platform did, not what
+          the caller's patience allowed. Equals [latency] when no
+          deadline was hit; with zero completions it is the batch's
+          visibility time ([post_overhead], deadline-clamped). *)
   completed : int;  (** questions answered by the cutoff *)
   in_flight : int;
       (** questions a worker had picked up whose service time ran past

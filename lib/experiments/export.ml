@@ -147,6 +147,31 @@ let fig_deadline (f : Fig_deadline.t) =
              f.Fig_deadline.cells) );
     ]
 
+let fig_adapt (f : Fig_adapt.t) =
+  let arm (a : Fig_adapt.arm) =
+    J.Obj
+      [
+        ("label", J.String a.Fig_adapt.label);
+        ("mean_latency_seconds", J.Float a.Fig_adapt.mean_latency);
+        ("p95_latency_seconds", J.Float a.Fig_adapt.p95_latency);
+        ("correct_rate", J.Float a.Fig_adapt.correct_rate);
+        ("refits", J.int a.Fig_adapt.refits);
+        ("drift_detected", J.int a.Fig_adapt.drift_detected);
+        ("replans_on_drift", J.int a.Fig_adapt.replans_on_drift);
+      ]
+  in
+  J.Obj
+    [
+      ("figure", J.String "adapt");
+      ("elements", J.int f.Fig_adapt.elements);
+      ("budget", J.int f.Fig_adapt.budget);
+      ("runs", J.int f.Fig_adapt.runs);
+      ("shift_round", J.int f.Fig_adapt.shift_round);
+      ("arms", J.List (List.map arm [ f.Fig_adapt.stale; f.Fig_adapt.closed;
+                                      f.Fig_adapt.omniscient ]));
+      ("gap_recovery", J.Float (Fig_adapt.recovery f));
+    ]
+
 let write ~path doc =
   let oc = open_out path in
   Fun.protect

@@ -15,6 +15,7 @@ val fig14a : Fig14.t_a -> Crowdmax_util.Json.t
 val fig14b : Fig14.t_b -> Crowdmax_util.Json.t
 val fig15 : Fig15.t -> Crowdmax_util.Json.t
 val fig_deadline : Fig_deadline.t -> Crowdmax_util.Json.t
+val fig_adapt : Fig_adapt.t -> Crowdmax_util.Json.t
 
 val write : path:string -> Crowdmax_util.Json.t -> unit
 (** Pretty-printed, trailing newline. Raises [Sys_error] on unwritable

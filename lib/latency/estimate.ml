@@ -48,6 +48,13 @@ type linear_interval = {
   alpha_high : float;
 }
 
+(* Cap on consecutive degenerate (all-equal-batch-size) resamples before
+   the bootstrap gives up: with at least two distinct sizes in the base
+   data the chance of drawing n equal sizes n times in a row is
+   astronomically small, so hitting the cap means the data — not the
+   luck — is the problem. *)
+let max_redraws = 100
+
 let bootstrap_linear ?(resamples = 1000) ?(confidence = 0.95) rng obs =
   if confidence <= 0.0 || confidence >= 1.0 then
     invalid_arg "Estimate.bootstrap_linear: confidence outside (0,1)";
@@ -57,17 +64,28 @@ let bootstrap_linear ?(resamples = 1000) ?(confidence = 0.95) rng obs =
   let _ = fit_linear obs in
   let deltas = Array.make resamples 0.0 in
   let alphas = Array.make resamples 0.0 in
-  let rec one_resample () =
+  (* Only a zero-x-variance resample is the bootstrap's own bad luck
+     (all drawn observations shared one batch size) and worth a redraw;
+     any other fit error — NaN data above all — holds for every
+     resample, so retrying would mask it (and, before the retry cap
+     existed, loop forever). Match on the exact message and let the
+     rest propagate. *)
+  let rec one_resample attempts =
+    if attempts > max_redraws then
+      invalid_arg
+        (Printf.sprintf
+           "Estimate.bootstrap_linear: %d degenerate resamples in a row"
+           max_redraws);
     let sample = List.init n (fun _ -> base.(Rng.int rng n)) in
     match fit_linear sample with
     | Model.Linear { delta; alpha } -> (delta, alpha)
     | _ -> assert false
-    | exception Invalid_argument _ ->
-        (* all-equal batch sizes drawn; redraw *)
-        one_resample ()
+    | exception Invalid_argument msg
+      when String.equal msg "Stats.linear_regression: zero x-variance" ->
+        one_resample (attempts + 1)
   in
   for i = 0 to resamples - 1 do
-    let d, a = one_resample () in
+    let d, a = one_resample 1 in
     deltas.(i) <- d;
     alphas.(i) <- a
   done;
@@ -81,7 +99,10 @@ let bootstrap_linear ?(resamples = 1000) ?(confidence = 0.95) rng obs =
 
 let residual_rms model obs =
   match obs with
-  | [] -> 0.0
+  | [] ->
+      (* Returning 0.0 here read "no data" as "perfect fit" — a drift
+         detector polling an empty window would never fire. *)
+      invalid_arg "Estimate.residual_rms: no observations"
   | _ ->
       let se =
         List.fold_left
@@ -91,3 +112,19 @@ let residual_rms model obs =
           0.0 obs
       in
       sqrt (se /. float_of_int (List.length obs))
+
+let distinct_sizes obs =
+  List.length
+    (List.sort_uniq Int.compare
+       (List.map (fun { batch_size; _ } -> batch_size) obs))
+
+(* Family-preserving re-fit: the closed loop re-estimates the parameters
+   of the model family it is already planning with, so a drifting
+   platform updates delta/alpha (or the knots) without silently changing
+   the model's shape mid-run. *)
+let refit ~like obs =
+  match like with
+  | Model.Linear _ -> fit_linear obs
+  | Model.Power { delta; _ } -> fit_power ~delta obs
+  | Model.Piecewise _ -> fit_piecewise obs
+  | Model.Custom _ -> invalid_arg "Estimate.refit: cannot re-fit Custom model"

@@ -23,7 +23,22 @@ val fit_piecewise : observation list -> Model.t
     knots. *)
 
 val residual_rms : Model.t -> observation list -> float
-(** Root-mean-square error of a model against observations. *)
+(** Root-mean-square error of a model against observations. Raises
+    [Invalid_argument] on an empty list: 0.0 would read "no data" as
+    "perfect fit", which inverts the meaning for a drift detector. *)
+
+val distinct_sizes : observation list -> int
+(** Number of distinct batch sizes present — the usability test for a
+    least-squares re-fit (two are required for any x-variance). *)
+
+val refit : like:Model.t -> observation list -> Model.t
+(** Fit the same model family as [like] to fresh observations: [Linear]
+    re-fits by {!fit_linear}, [Power] keeps its [delta] and re-fits by
+    {!fit_power}, [Piecewise] rebuilds the empirical curve. The result
+    comes from the validating {!Model} constructors, so a degenerate fit
+    raises instead of escaping. Raises [Invalid_argument] for [Custom]
+    models and propagates the underlying fit errors (too few points,
+    zero x-variance, non-finite data). *)
 
 type linear_interval = {
   delta_low : float;
@@ -41,5 +56,9 @@ val bootstrap_linear :
 (** Percentile-bootstrap confidence intervals for the linear fit's
     parameters (default 1000 resamples, 95% confidence): quantifies how
     rough the Sec. 6.1 estimate is. Resamples that collapse x-variance
-    are redrawn. Raises [Invalid_argument] with fewer than two distinct
-    batch sizes or [confidence] outside (0, 1). *)
+    (every drawn observation sharing one batch size) are redrawn, at
+    most 100 times in a row before failing loudly; any other fit error —
+    non-finite data above all — holds for every resample and propagates
+    immediately instead of being masked as a redraw. Raises
+    [Invalid_argument] with fewer than two distinct batch sizes or
+    [confidence] outside (0, 1). *)

@@ -39,8 +39,26 @@ let eval t q =
 
 let paper_mturk = Linear { delta = 239.0; alpha = 0.06 }
 
-let linear ~delta ~alpha = Linear { delta; alpha }
-let power ~delta ~alpha ~p = Power { delta; alpha; p }
+(* A non-finite parameter makes [eval] NaN/infinite on every batch size
+   and poisons each tDP table entry it touches — the same failure class
+   [piecewise] rejects below. These constructors sit at the end of the
+   estimation pipeline (the Estimate fitters), so a degenerate fit must
+   die here instead of reaching the planner. *)
+let linear ~delta ~alpha =
+  if not (Float.is_finite delta) then
+    invalid_arg (Printf.sprintf "Latency.Model.linear: non-finite delta %g" delta);
+  if not (Float.is_finite alpha) then
+    invalid_arg (Printf.sprintf "Latency.Model.linear: non-finite alpha %g" alpha);
+  Linear { delta; alpha }
+
+let power ~delta ~alpha ~p =
+  if not (Float.is_finite delta) then
+    invalid_arg (Printf.sprintf "Latency.Model.power: non-finite delta %g" delta);
+  if not (Float.is_finite alpha) then
+    invalid_arg (Printf.sprintf "Latency.Model.power: non-finite alpha %g" alpha);
+  if not (Float.is_finite p) then
+    invalid_arg (Printf.sprintf "Latency.Model.power: non-finite exponent %g" p);
+  Power { delta; alpha; p }
 
 (* Interpolation divides by [xh - xl] and extrapolation by [xn - xp]:
    a duplicate x makes either quotient 0/0 = NaN, which then poisons

@@ -27,7 +27,14 @@ val paper_mturk : t
 (** The fitted MTurk function from Sec. 6.1: [239 + 0.06 q]. *)
 
 val linear : delta:float -> alpha:float -> t
+(** Validating constructor for {!Linear}: raises [Invalid_argument] on a
+    NaN/infinite parameter, naming the offending field — a degenerate
+    least-squares fit must fail here, before it can poison a planner
+    table. *)
+
 val power : delta:float -> alpha:float -> p:float -> t
+(** Validating constructor for {!Power}; same finiteness contract as
+    {!linear}. *)
 
 val piecewise : (int * float) array -> t
 (** Validating constructor for {!Piecewise} — always prefer it over the

@@ -95,18 +95,26 @@ type result = {
    until the latency model's predicted completion time of the
    ceil(p * raw)-th raw question — the modeled p-th completion time —
    instead of the (tail-dominated) last one. *)
-let round_deadline cfg ~raw_posted =
-  match cfg.deadline with
+let round_deadline ~deadline ~latency_model ~raw_posted =
+  match deadline with
   | Wait_all -> None
   | Fixed d -> Some d
   | Quantile p ->
       let k = max 1 (int_of_float (Float.ceil (p *. float_of_int raw_posted))) in
-      Some (Model.eval cfg.latency_model k)
+      Some (Model.eval latency_model k)
 
-(* Answer a round's questions, record them in [dag], and return
-   [(round latency, answers recorded, unanswered questions,
-   deadline_hit)] — the answer count feeds the consensus-resolutions
-   metric without recomputation at the call site. RWL / oracle
+type round_outcome = {
+  round_seconds : float;
+  observed_seconds : float;
+  answered : int;
+  unanswered : (int * int) list;
+  round_deadline_hit : bool;
+}
+
+(* Answer a round's questions, record them in [dag], and return a
+   {!round_outcome} — the answer count feeds the consensus-resolutions
+   metric without recomputation at the call site, and the observed
+   seconds feed the adaptive runtime's L(q) estimator. RWL / oracle
    answers are conflict-free by contract, so the per-edge transitive
    cycle check would be pure overhead; the Oracle path writes each
    answer straight into the DAG without building an intermediate list.
@@ -123,7 +131,8 @@ let round_deadline cfg ~raw_posted =
    across the batch, so early completions spread over all questions
    instead of finishing the first few in full. Slots past [distinct]
    are padding and carry no information. *)
-let apply_round ?scratch ~metrics rng cfg truth dag questions ~distinct ~posted =
+let answer_round ?scratch ?(metrics = Metrics.disabled) rng ~source ~deadline
+    ~latency_model truth dag questions ~distinct ~posted =
   let record (winner, loser) = Dag.add_answer_unchecked dag ~winner ~loser in
   let partial_counts platform votes ~deadline =
     let counts = Array.make distinct 0 in
@@ -137,7 +146,16 @@ let apply_round ?scratch ~metrics rng cfg truth dag questions ~distinct ~posted 
     in
     (counts, report)
   in
-  match cfg.source with
+  let of_report (report : Platform.report) ~answered ~unanswered =
+    {
+      round_seconds = report.Platform.latency;
+      observed_seconds = report.Platform.last_completion;
+      answered;
+      unanswered;
+      round_deadline_hit = report.Platform.deadline_hit;
+    }
+  in
+  match source with
   | Oracle ->
       (* Answers are instant and error-free; latency is purely the
          model's, so deadline/straggler policies are no-ops here. *)
@@ -148,10 +166,17 @@ let apply_round ?scratch ~metrics rng cfg truth dag questions ~distinct ~posted 
             Dag.add_answer_unchecked dag ~winner:a ~loser:b
           else Dag.add_answer_unchecked dag ~winner:b ~loser:a)
         questions;
-      (Model.eval cfg.latency_model posted, distinct, [], false)
+      let latency = Model.eval latency_model posted in
+      {
+        round_seconds = latency;
+        observed_seconds = latency;
+        answered = distinct;
+        unanswered = [];
+        round_deadline_hit = false;
+      }
   | Simulated { platform; rwl } -> (
       let raw_posted = rwl.Rwl.votes * posted in
-      match round_deadline cfg ~raw_posted with
+      match round_deadline ~deadline ~latency_model ~raw_posted with
       | None ->
           let outcome = Rwl.resolve rng rwl ~truth questions in
           (* Latency: all raw repetitions of all posted questions
@@ -160,19 +185,25 @@ let apply_round ?scratch ~metrics rng cfg truth dag questions ~distinct ~posted 
             Platform.batch_latency ~metrics ?scratch platform rng raw_posted
           in
           List.iter record outcome.Rwl.answers;
-          (latency, List.length outcome.Rwl.answers, [], false)
+          {
+            round_seconds = latency;
+            observed_seconds = latency;
+            answered = List.length outcome.Rwl.answers;
+            unanswered = [];
+            round_deadline_hit = false;
+          }
       | Some deadline ->
           let counts, report = partial_counts platform rwl.Rwl.votes ~deadline in
           let outcome =
             Rwl.resolve ~votes_received:counts rng rwl ~truth questions
           in
           List.iter record outcome.Rwl.answers;
-          ( report.Platform.latency,
-            List.length outcome.Rwl.answers,
-            outcome.Rwl.unanswered,
-            report.Platform.deadline_hit ))
+          of_report report
+            ~answered:(List.length outcome.Rwl.answers)
+            ~unanswered:outcome.Rwl.unanswered)
   | Simulated_pool { platform; pool; votes } -> (
-      match round_deadline cfg ~raw_posted:(votes * posted) with
+      match round_deadline ~deadline ~latency_model ~raw_posted:(votes * posted)
+      with
       | None ->
           let outcome = Rwl.resolve_pool rng ~pool ~votes ~truth questions in
           let latency =
@@ -180,7 +211,13 @@ let apply_round ?scratch ~metrics rng cfg truth dag questions ~distinct ~posted 
               (votes * posted)
           in
           List.iter record outcome.Rwl.answers;
-          (latency, List.length outcome.Rwl.answers, [], false)
+          {
+            round_seconds = latency;
+            observed_seconds = latency;
+            answered = List.length outcome.Rwl.answers;
+            unanswered = [];
+            round_deadline_hit = false;
+          }
       | Some deadline ->
           let counts, report = partial_counts platform votes ~deadline in
           let outcome =
@@ -188,10 +225,9 @@ let apply_round ?scratch ~metrics rng cfg truth dag questions ~distinct ~posted 
               questions
           in
           List.iter record outcome.Rwl.answers;
-          ( report.Platform.latency,
-            List.length outcome.Rwl.answers,
-            outcome.Rwl.unanswered,
-            report.Platform.deadline_hit ))
+          of_report report
+            ~answered:(List.length outcome.Rwl.answers)
+            ~unanswered:outcome.Rwl.unanswered)
 
 (* Split off the first [k] elements (all of them if fewer). *)
 let rec take_at_most k = function
@@ -375,9 +411,16 @@ let run_registered ?scratch instr ~metrics rng cfg truth =
         incr round
       end
       else begin
-        let latency, answered, unanswered, deadline_hit =
-          apply_round ?scratch ~metrics rng cfg truth dag questions ~distinct
-            ~posted
+        let {
+          round_seconds = latency;
+          observed_seconds = _;
+          answered;
+          unanswered;
+          round_deadline_hit = deadline_hit;
+        } =
+          answer_round ?scratch ~metrics rng ~source:cfg.source
+            ~deadline:cfg.deadline ~latency_model:cfg.latency_model truth dag
+            questions ~distinct ~posted
         in
         total_latency := !total_latency +. latency;
         questions_posted := !questions_posted + posted;

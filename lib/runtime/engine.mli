@@ -135,6 +135,46 @@ type result = {
   trace : round_record list;  (** in round order *)
 }
 
+type round_outcome = {
+  round_seconds : float;
+      (** what the round cost the caller: the simulated batch completion
+          time, clipped to the deadline when one was hit (or the latency
+          model's prediction under [Oracle]) *)
+  observed_seconds : float;
+      (** the platform's actual last-completion time, never
+          deadline-clipped ({!Crowdmax_crowd.Platform.report}'s
+          [last_completion]) — the honest measurement an L(q) estimator
+          should see; equals [round_seconds] when no deadline was hit *)
+  answered : int;  (** answers recorded into the DAG *)
+  unanswered : (int * int) list;
+      (** distinct questions cut off with zero received votes *)
+  round_deadline_hit : bool;
+}
+
+val answer_round :
+  ?scratch:Crowdmax_crowd.Platform.scratch ->
+  ?metrics:Crowdmax_obs.Metrics.t ->
+  Crowdmax_util.Rng.t ->
+  source:answer_source ->
+  deadline:deadline_policy ->
+  latency_model:Crowdmax_latency.Model.t ->
+  Crowdmax_crowd.Ground_truth.t ->
+  Crowdmax_graph.Answer_dag.t ->
+  (int * int) list ->
+  distinct:int ->
+  posted:int ->
+  round_outcome
+(** Answer one round's [questions] (first [distinct] informative, the
+    rest padding up to [posted]) and fold the answers into the DAG —
+    the single round step [run] iterates, exposed so other drivers (the
+    adaptive runtime above all) obtain answers and {e observed round
+    seconds} through exactly the engine's draw schedule. Under
+    [Wait_all] the rng is consumed RWL-votes-first then platform, the
+    historical order the golden aggregates pin; a finite deadline runs
+    platform-first (see the draw-order note in [run]). Callers are
+    responsible for policy validation ([run] does it via its config
+    check) and for padding semantics. *)
+
 val runner :
   ?metrics:Crowdmax_obs.Metrics.t ->
   config ->

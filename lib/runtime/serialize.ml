@@ -92,6 +92,49 @@ let aggregate_to_json ?metrics (a : Engine.aggregate) =
      ]
     @ metrics_field)
 
+module Model = Crowdmax_latency.Model
+
+let model_to_json = function
+  | Model.Linear { delta; alpha } ->
+      J.Obj
+        [
+          ("kind", J.String "linear");
+          ("delta", J.Float delta);
+          ("alpha", J.Float alpha);
+        ]
+  | Model.Power { delta; alpha; p } ->
+      J.Obj
+        [
+          ("kind", J.String "power");
+          ("delta", J.Float delta);
+          ("alpha", J.Float alpha);
+          ("p", J.Float p);
+        ]
+  | Model.Piecewise knots ->
+      J.Obj
+        [
+          ("kind", J.String "piecewise");
+          ( "knots",
+            J.List
+              (Array.to_list
+                 (Array.map
+                    (fun (x, y) -> J.List [ J.int x; J.Float y ])
+                    knots)) );
+        ]
+  | Model.Custom _ ->
+      invalid_arg "Serialize.model_to_json: Custom models are closures"
+
+let adaptive_result_to_json (r : Adaptive.result) =
+  J.Obj
+    [
+      ("engine_result", result_to_json r.Adaptive.engine_result);
+      ("replans", J.int r.Adaptive.replans);
+      ("refits", J.int r.Adaptive.refits);
+      ("drift_detected", J.int r.Adaptive.drift_detected);
+      ("replans_on_drift", J.int r.Adaptive.replans_on_drift);
+      ("final_model", model_to_json r.Adaptive.final_model);
+    ]
+
 (* --- decoding ------------------------------------------------------------ *)
 
 let ( let* ) r f = Result.bind r f
@@ -258,6 +301,67 @@ let result_of_json doc =
       questions_posted;
       total_latency;
       trace;
+    }
+
+(* The model decoders go through the validating constructors, so a
+   hand-edited (or poisoned) document cannot smuggle a NaN parameter
+   past the same gates the fitters use. *)
+let model_of_json doc =
+  let* kind = field "kind" J.to_str doc in
+  let checked build =
+    match build () with v -> Ok v | exception Invalid_argument m -> Error m
+  in
+  match kind with
+  | "linear" ->
+      let* delta = float_field "delta" doc in
+      let* alpha = float_field "alpha" doc in
+      checked (fun () -> Model.linear ~delta ~alpha)
+  | "power" ->
+      let* delta = float_field "delta" doc in
+      let* alpha = float_field "alpha" doc in
+      let* p = float_field "p" doc in
+      checked (fun () -> Model.power ~delta ~alpha ~p)
+  | "piecewise" ->
+      let* knot_docs = field "knots" J.to_list doc in
+      let* knots =
+        collect
+          (fun d ->
+            match d with
+            | J.List [ x; y ] ->
+                Option.bind (J.to_int x) (fun x ->
+                    Option.map (fun y -> (x, y)) (J.to_float y))
+            | _ -> None)
+          "knots" knot_docs
+      in
+      checked (fun () -> Model.piecewise (Array.of_list knots))
+  | k -> Error (Printf.sprintf "unknown model kind %S" k)
+
+let adaptive_result_of_json doc =
+  let* engine_doc = field "engine_result" Option.some doc in
+  let* engine_result = result_of_json engine_doc in
+  let* replans = int_field "replans" doc in
+  (* Closed-loop fields: absent in dumps written before the re-fit loop
+     existed, where no run ever re-fit anything. *)
+  let* refits = optional_field "refits" J.to_int ~default:0 doc in
+  let* drift_detected =
+    optional_field "drift_detected" J.to_int ~default:0 doc
+  in
+  let* replans_on_drift =
+    optional_field "replans_on_drift" J.to_int ~default:0 doc
+  in
+  let* final_model =
+    match J.member "final_model" doc with
+    | None -> Ok Model.paper_mturk
+    | Some m -> model_of_json m
+  in
+  Ok
+    {
+      Adaptive.engine_result;
+      replans;
+      refits;
+      drift_detected;
+      replans_on_drift;
+      final_model;
     }
 
 (* Pre-observability aggregates have no "metrics" field: decode it to

@@ -57,6 +57,12 @@ type linear_fit = { intercept : float; slope : float; r_squared : float }
 let linear_regression pts =
   let n = Array.length pts in
   if n < 2 then invalid_arg "Stats.linear_regression: need >= 2 points";
+  (* The zero-x-variance guard below tests [Float.equal !sxx 0.0] — a
+     NaN (or infinite) coordinate makes [sxx] NaN, the guard passes, and
+     a NaN-slope fit escapes silently. Reject non-finite points loudly,
+     like [percentile] and [weighted_mean] do for their data. *)
+  if Array.exists (fun (x, y) -> not (Float.is_finite x && Float.is_finite y)) pts
+  then invalid_arg "Stats.linear_regression: non-finite point in data";
   let xs = Array.map fst pts and ys = Array.map snd pts in
   let mx = mean xs and my = mean ys in
   let sxx = ref 0.0 and sxy = ref 0.0 and syy = ref 0.0 in
@@ -79,6 +85,13 @@ let linear_regression pts =
 type power_fit = { delta : float; alpha : float; p : float }
 
 let power_regression ~delta pts =
+  if not (Float.is_finite delta) then
+    invalid_arg "Stats.power_regression: non-finite delta";
+  (* Check the raw points before the [y > delta] usability filter: a NaN
+     coordinate fails the filter's comparison and would be dropped
+     silently, turning poisoned data into a quietly smaller sample. *)
+  if Array.exists (fun (x, y) -> not (Float.is_finite x && Float.is_finite y)) pts
+  then invalid_arg "Stats.power_regression: non-finite point in data";
   let usable =
     Array.of_list
       (List.filter_map

@@ -33,7 +33,9 @@ type linear_fit = {
 
 val linear_regression : (float * float) array -> linear_fit
 (** Ordinary least squares of [y] on [x]. Raises [Invalid_argument] with
-    fewer than two points or zero x-variance. *)
+    fewer than two points, zero x-variance, or any non-finite coordinate
+    (a NaN defeats the zero-variance guard and would otherwise escape as
+    a NaN-slope fit). *)
 
 type power_fit = {
   delta : float;   (** additive round overhead *)
@@ -45,7 +47,10 @@ val power_regression : delta:float -> (float * float) array -> power_fit
 (** [power_regression ~delta pts] fits [y = delta + alpha * x^p] by
     log-log linear regression of [y - delta] on [x], for points with
     [y > delta] and [x > 0]. Raises [Invalid_argument] if fewer than two
-    usable points remain. *)
+    usable points remain, if [delta] is not finite, or if any coordinate
+    of the {e raw} points is non-finite — the usability filter would
+    otherwise drop a NaN point silently instead of reporting poisoned
+    data. *)
 
 val weighted_mean : (float * float) array -> float
 (** [(value, weight)] pairs; raises [Invalid_argument] if total weight is

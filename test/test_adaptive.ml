@@ -69,8 +69,10 @@ let test_truth_size_mismatch () =
 let test_replicate () =
   let problem = Problem.create ~elements:30 ~budget:150 ~latency:model in
   let agg = A.replicate ~runs:20 ~seed:13 ~problem ~selection:S.tournament () in
-  Alcotest.check (Alcotest.float 1e-9) "all correct" 1.0 agg.E.correct_rate;
-  check_bool "positive latency" true (agg.E.mean_latency > 0.0)
+  Alcotest.check (Alcotest.float 1e-9) "all correct" 1.0
+    agg.A.engine_aggregate.E.correct_rate;
+  check_bool "positive latency" true
+    (agg.A.engine_aggregate.E.mean_latency > 0.0)
 
 let test_replicate_parallel_deterministic () =
   let problem = Problem.create ~elements:25 ~budget:120 ~latency:model in
@@ -83,7 +85,7 @@ let test_replicate_parallel_deterministic () =
       check_bool
         (Printf.sprintf "jobs=%d matches sequential" jobs)
         true
-        (E.equal_stats base agg))
+        (E.equal_stats base.A.engine_aggregate agg.A.engine_aggregate))
     [ 2; 4 ]
 
 (* Replans through a shared plan cache must be invisible in the results:
@@ -129,7 +131,115 @@ let test_replicate_cached_jobs_invariant () =
     A.replicate ~jobs:4 ~runs:12 ~seed:29 ~problem ~selection:S.tournament ()
   in
   check_bool "jobs=1 = jobs=4 with caches on" true
-    (E.equal_stats sequential parallel)
+    (E.equal_stats sequential.A.engine_aggregate parallel.A.engine_aggregate)
+
+(* --- closed loop (observe -> re-fit -> re-solve) ---------------------- *)
+
+module Platform = Crowdmax_crowd.Platform
+module Rwl = Crowdmax_crowd.Rwl
+module Worker = Crowdmax_crowd.Worker
+
+let simulated ?(scale = 1.0) () =
+  let c = Platform.default_config in
+  let config =
+    {
+      c with
+      Platform.base_rate = c.Platform.base_rate *. scale;
+      attract_per_question = c.Platform.attract_per_question *. scale;
+    }
+  in
+  E.Simulated
+    {
+      platform = Platform.create ~config ();
+      rwl = { Rwl.votes = 3; error = Worker.Uniform 0.15 };
+    }
+
+let test_refit_policy_validation () =
+  let rng = Rng.create 31 in
+  let problem = Problem.create ~elements:5 ~budget:20 ~latency:model in
+  let truth = G.random (Rng.create 32) 5 in
+  let run ?refit ?refit_window () =
+    ignore (A.run ?refit ?refit_window rng ~problem ~selection:S.tournament truth)
+  in
+  Alcotest.check_raises "period < 1"
+    (Invalid_argument "Adaptive.run: Every_k_rounds period < 1") (fun () ->
+      run ~refit:(A.Every_k_rounds 0) ());
+  Alcotest.check_raises "threshold 0"
+    (Invalid_argument "Adaptive.run: On_drift threshold must be > 0") (fun () ->
+      run ~refit:(A.On_drift 0.0) ());
+  Alcotest.check_raises "threshold NaN"
+    (Invalid_argument "Adaptive.run: On_drift threshold must be > 0") (fun () ->
+      run ~refit:(A.On_drift Float.nan) ());
+  Alcotest.check_raises "window < 2"
+    (Invalid_argument "Adaptive.run: refit_window < 2") (fun () ->
+      run ~refit:(A.Every_k_rounds 1) ~refit_window:1 ())
+
+(* A periodic re-fit against the (unshifted) simulated platform installs
+   a fitted model once the window spans two batch sizes; the planning
+   model the loop ends with is the fit, not the problem's own. *)
+let test_every_k_refits () =
+  let problem = Problem.create ~elements:100 ~budget:150 ~latency:model in
+  let truth = G.random (Rng.create 42) 100 in
+  let r =
+    A.run ~source:(simulated ()) ~refit:(A.Every_k_rounds 1) (Rng.create 41)
+      ~problem ~selection:S.tournament truth
+  in
+  check_bool "re-fitted at least once" true (r.A.refits >= 1);
+  check_bool "installed model differs from the problem's" true
+    (not (Model.equal r.A.final_model model));
+  check_int "drift counters untouched by Every_k" 0
+    (r.A.drift_detected + r.A.replans_on_drift)
+
+(* The tentpole's end-to-end behavior: a mid-run supply drop makes the
+   observed round seconds blow past the model, the detector fires, the
+   re-fit installs a slower model, and the next solve re-plans against
+   it. Off under the same shift never touches any counter. *)
+let test_on_drift_detects_and_replans () =
+  let problem = Problem.create ~elements:300 ~budget:800 ~latency:model in
+  let shift = (1, simulated ~scale:0.08 ()) in
+  let closed =
+    A.replicate ~source:(simulated ()) ~refit:(A.On_drift 0.5)
+      ~source_shift:shift ~runs:4 ~seed:47 ~problem ~selection:S.tournament ()
+  in
+  let stale =
+    A.replicate ~source:(simulated ()) ~refit:A.Off ~source_shift:shift ~runs:4
+      ~seed:47 ~problem ~selection:S.tournament ()
+  in
+  check_bool "drift detected" true (closed.A.total_drift_detected >= 1);
+  check_bool "re-fitted" true (closed.A.total_refits >= 1);
+  check_bool "re-planned on drift" true (closed.A.total_replans_on_drift >= 1);
+  check_int "Off never re-fits" 0
+    (stale.A.total_refits + stale.A.total_drift_detected
+   + stale.A.total_replans_on_drift);
+  check_bool "closed loop beats the stale plan" true
+    (closed.A.engine_aggregate.E.mean_latency
+    < stale.A.engine_aggregate.E.mean_latency)
+
+(* The determinism contract holds for the full closed loop: re-fit
+   arithmetic is per-run state, so chunked parallel replication with
+   observation windows, drift counters and plan-cache invalidation is
+   bit-identical to sequential. *)
+let test_closed_loop_jobs_invariant () =
+  let problem = Problem.create ~elements:120 ~budget:400 ~latency:model in
+  let shift = (1, simulated ~scale:0.15 ()) in
+  let agg jobs =
+    A.replicate ~jobs ~source:(simulated ()) ~refit:(A.On_drift 0.5)
+      ~source_shift:shift ~runs:9 ~seed:53 ~problem ~selection:S.tournament ()
+  in
+  let base = agg 1 in
+  List.iter
+    (fun jobs ->
+      let p = agg jobs in
+      check_bool
+        (Printf.sprintf "jobs=%d engine stats match" jobs)
+        true
+        (E.equal_stats base.A.engine_aggregate p.A.engine_aggregate);
+      check_int "refits" base.A.total_refits p.A.total_refits;
+      check_int "drift" base.A.total_drift_detected p.A.total_drift_detected;
+      check_int "replans" base.A.total_replans p.A.total_replans;
+      check_int "replans on drift" base.A.total_replans_on_drift
+        p.A.total_replans_on_drift)
+    [ 2; 4 ]
 
 let suite =
   [
@@ -147,5 +257,10 @@ let suite =
           test_run_shared_cache_bit_identical;
         tc "replicate cached jobs invariant" `Quick
           test_replicate_cached_jobs_invariant;
+        tc "refit policy validation" `Quick test_refit_policy_validation;
+        tc "every-k re-fits" `Quick test_every_k_refits;
+        tc "on-drift detects and replans" `Slow
+          test_on_drift_detects_and_replans;
+        tc "closed loop jobs invariant" `Slow test_closed_loop_jobs_invariant;
       ] );
   ]

@@ -136,6 +136,33 @@ let test_robustness_monotone () =
   check_bool "5% error >= 30% error at 3 votes" true
     (rate 0.05 3 >= rate 0.3 3 -. 0.15)
 
+(* The tentpole's acceptance bar: under a mid-run supply shift the
+   closed loop recovers at least half the stale-to-omniscient latency
+   gap, without giving up correctness. Seed-pinned (the committed
+   default config); jobs > 1 keeps it within test-suite time and the
+   aggregates are jobs-invariant anyway. *)
+let test_fig_adapt_recovers_half_the_gap () =
+  let f = X.Fig_adapt.run ~jobs:4 () in
+  let r = X.Fig_adapt.recovery f in
+  check_bool
+    (Printf.sprintf "closed loop recovers >= 50%% of the gap (got %.0f%%)"
+       (100.0 *. r))
+    true (r >= 0.5);
+  check_bool "real gap to recover" true
+    (f.X.Fig_adapt.stale.X.Fig_adapt.mean_latency
+    > f.X.Fig_adapt.omniscient.X.Fig_adapt.mean_latency);
+  check_bool "drift was detected" true
+    (f.X.Fig_adapt.closed.X.Fig_adapt.drift_detected > 0);
+  check_bool "re-planned on drift" true
+    (f.X.Fig_adapt.closed.X.Fig_adapt.replans_on_drift > 0);
+  check_bool "no correctness loss" true
+    (f.X.Fig_adapt.closed.X.Fig_adapt.correct_rate
+    >= f.X.Fig_adapt.stale.X.Fig_adapt.correct_rate -. 0.1);
+  (* the open-loop arms never re-fit *)
+  check_int "stale arm never re-fits" 0 f.X.Fig_adapt.stale.X.Fig_adapt.refits;
+  check_int "omniscient arm never re-fits" 0
+    f.X.Fig_adapt.omniscient.X.Fig_adapt.refits
+
 let test_series_table_renders () =
   let series =
     [
@@ -161,6 +188,8 @@ let suite =
         tc "fig15 runs" `Slow test_fig15_runs;
         tc "findings all hold" `Slow test_findings_all_hold;
         tc "robustness monotone" `Slow test_robustness_monotone;
+        tc "fig_adapt recovers half the gap" `Slow
+          test_fig_adapt_recovers_half_the_gap;
         tc "series table" `Quick test_series_table_renders;
       ] );
   ]

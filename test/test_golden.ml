@@ -178,6 +178,61 @@ let test_engine_aggregate_hex () =
         [ 1; 4 ])
     golden_aggregates
 
+(* Adaptive aggregates with the default Off re-fit policy, pinned
+   bit-for-bit.
+
+   The oracle rows were captured from the adaptive runtime BEFORE the
+   closed-loop (observe -> re-fit -> re-solve) machinery landed: with
+   [refit = Off] the controller must consume the exact historical rng
+   draw sequence, so these hexes are the guarantee the closed loop is
+   truly dormant by default. The simulated row pins the (new)
+   platform-driven path at its first-run values, for any [jobs] — the
+   ISSUE 9 acceptance pin for [--refit off]. Field order as above. *)
+let adaptive_golden_aggregates =
+  [
+    ( "adaptive_oracle_a",
+      `Oracle, 40, 200, 31, 12,
+      [ "407e44cccccccccf"; "3d491132de9a584c"; "407e44cccccccccc";
+        "407e44cccccccccc"; "3ff0000000000000"; "3ff0000000000000";
+        "405a400000000000"; "4000000000000000" ] );
+    ( "adaptive_oracle_b",
+      `Oracle, 25, 400, 33, 10,
+      [ "4070100000000000"; "0"; "4070100000000000";
+        "4070100000000000"; "3ff0000000000000"; "3ff0000000000000";
+        "4072c00000000000"; "3ff0000000000000" ] );
+    ( "adaptive_simulated",
+      `Simulated, 30, 200, 35, 8,
+      [ "408079a06098a2eb"; "4045b1af0f95bf0d"; "40803b605ef8384a";
+        "40828f3e96e25e55"; "3ff0000000000000"; "3fec000000000000";
+        "4051800000000000"; "4000000000000000" ] );
+  ]
+
+let test_adaptive_aggregate_hex () =
+  let module A = Crowdmax_runtime.Adaptive in
+  List.iter
+    (fun (name, src, elements, budget, seed, runs, hex) ->
+      let problem = Problem.create ~elements ~budget ~latency:mturk in
+      List.iter
+        (fun jobs ->
+          let a =
+            A.replicate ~jobs ~source:(golden_source src) ~refit:A.Off ~runs
+              ~seed ~problem ~selection:S.tournament ()
+          in
+          let e = a.A.engine_aggregate in
+          let got =
+            List.map
+              (fun v -> Printf.sprintf "%Lx" (Int64.bits_of_float v))
+              [ e.E.mean_latency; e.E.stddev_latency; e.E.median_latency;
+                e.E.p95_latency; e.E.singleton_rate; e.E.correct_rate;
+                e.E.mean_questions; e.E.mean_rounds ]
+          in
+          Alcotest.check
+            Alcotest.(list string)
+            (Printf.sprintf "%s (jobs=%d)" name jobs)
+            hex got)
+        [ 1; 4 ])
+    adaptive_golden_aggregates
+
 let test_metrics_snapshot_deterministic () =
   (* The merged simulated-metric document is part of the determinism
      contract: identical across repeat invocations and for any jobs. *)
@@ -211,6 +266,8 @@ let suite =
         tc "tournament arithmetic" `Quick test_paper_graph_arithmetic;
         tc "Sec 5.1 heuristics" `Quick test_paper_51_heuristics;
         tc "Sec 2.2 example" `Quick test_paper_22_example;
+        tc "adaptive Off-policy aggregates bit-identical to goldens" `Quick
+          test_adaptive_aggregate_hex;
         tc "engine aggregates bit-identical to pre-deadline engine" `Quick
           test_engine_aggregate_hex;
         tc "metrics snapshot deterministic across jobs" `Quick

@@ -110,6 +110,30 @@ let test_check_increasing_on () =
         and q=4 (L=1)")
     (fun () -> Model.check_increasing_on dip 10)
 
+(* A NaN/infinite parameter would make every [eval] non-finite and, via
+   the planner, poison every tDP table entry; the constructors must
+   refuse it at the source (the Estimate fitters now build through
+   them, so a degenerate fit fails loudly instead of planning with
+   garbage). *)
+let test_linear_constructor_rejects_non_finite () =
+  Alcotest.check_raises "NaN delta"
+    (Invalid_argument "Latency.Model.linear: non-finite delta nan") (fun () ->
+      ignore (Model.linear ~delta:Float.nan ~alpha:1.0));
+  Alcotest.check_raises "infinite alpha"
+    (Invalid_argument "Latency.Model.linear: non-finite alpha inf") (fun () ->
+      ignore (Model.linear ~delta:1.0 ~alpha:Float.infinity))
+
+let test_power_constructor_rejects_non_finite () =
+  Alcotest.check_raises "NaN delta"
+    (Invalid_argument "Latency.Model.power: non-finite delta nan") (fun () ->
+      ignore (Model.power ~delta:Float.nan ~alpha:1.0 ~p:1.0));
+  Alcotest.check_raises "NaN alpha"
+    (Invalid_argument "Latency.Model.power: non-finite alpha nan") (fun () ->
+      ignore (Model.power ~delta:1.0 ~alpha:Float.nan ~p:1.0));
+  Alcotest.check_raises "infinite exponent"
+    (Invalid_argument "Latency.Model.power: non-finite exponent -inf")
+    (fun () -> ignore (Model.power ~delta:1.0 ~alpha:1.0 ~p:Float.neg_infinity))
+
 let test_custom () =
   let m = Model.Custom (fun q -> float_of_int (q * q)) in
   checkf 1e-9 "q=7" 49.0 (Model.eval m 7)
@@ -181,7 +205,11 @@ let test_residual_rms () =
   in
   (* residuals: 1-2 = -1, 2-2 = 0 -> rms = sqrt(0.5) *)
   checkf 1e-9 "rms" (sqrt 0.5) (Estimate.residual_rms m obs);
-  checkf 1e-9 "empty" 0.0 (Estimate.residual_rms m [])
+  (* An empty window must fail loudly: 0.0 would read "no data" as
+     "perfect fit" to a drift detector. *)
+  Alcotest.check_raises "empty"
+    (Invalid_argument "Estimate.residual_rms: no observations") (fun () ->
+      ignore (Estimate.residual_rms m []))
 
 let test_bootstrap_brackets_truth () =
   let module Rng = Crowdmax_util.Rng in
@@ -219,12 +247,74 @@ let test_bootstrap_validation () =
     (Invalid_argument "Estimate.bootstrap_linear: confidence outside (0,1)")
     (fun () -> ignore (Estimate.bootstrap_linear ~confidence:1.0 rng obs))
 
+(* The resample loop used to retry *every* fit failure, so data that can
+   never fit — one batch size, or a NaN — made it spin forever. Now only
+   a zero-x-variance resample (the bootstrap's own bad luck) is redrawn,
+   and boundedly; everything else fails fast with the fit's own error. *)
+let test_bootstrap_degenerate_data_fails_fast () =
+  let module Rng = Crowdmax_util.Rng in
+  let rng = Rng.create 7 in
+  let one_size =
+    List.init 10 (fun i ->
+        { Estimate.batch_size = 5; seconds = float_of_int i })
+  in
+  Alcotest.check_raises "single batch size"
+    (Invalid_argument "Stats.linear_regression: zero x-variance") (fun () ->
+      ignore (Estimate.bootstrap_linear rng one_size));
+  let poisoned =
+    [
+      { Estimate.batch_size = 1; seconds = 1.0 };
+      { Estimate.batch_size = 2; seconds = Float.nan };
+    ]
+  in
+  Alcotest.check_raises "NaN propagates, not redrawn"
+    (Invalid_argument "Stats.linear_regression: non-finite point in data")
+    (fun () -> ignore (Estimate.bootstrap_linear rng poisoned))
+
+let test_distinct_sizes () =
+  Alcotest.check Alcotest.int "empty" 0 (Estimate.distinct_sizes []);
+  Alcotest.check Alcotest.int "dedupes" 2
+    (Estimate.distinct_sizes
+       [
+         { Estimate.batch_size = 5; seconds = 1.0 };
+         { Estimate.batch_size = 5; seconds = 2.0 };
+         { Estimate.batch_size = 9; seconds = 3.0 };
+       ])
+
+let test_refit_preserves_family () =
+  let sizes = [ 10; 20; 40; 80 ] in
+  let linear = Model.linear ~delta:100.0 ~alpha:2.0 in
+  (match Estimate.refit ~like:(Model.linear ~delta:1.0 ~alpha:1.0)
+           (obs_of_model linear sizes)
+   with
+  | Model.Linear { delta; alpha } ->
+      checkf 1e-6 "delta re-estimated" 100.0 delta;
+      checkf 1e-9 "alpha re-estimated" 2.0 alpha
+  | _ -> Alcotest.fail "expected Linear");
+  let power = Model.power ~delta:50.0 ~alpha:3.0 ~p:1.2 in
+  (match Estimate.refit ~like:power (obs_of_model power sizes) with
+  | Model.Power { delta; alpha; p } ->
+      (* the power family re-fits alpha and p around its fixed delta *)
+      checkf 1e-9 "delta kept" 50.0 delta;
+      checkf 1e-6 "alpha" 3.0 alpha;
+      checkf 1e-6 "p" 1.2 p
+  | _ -> Alcotest.fail "expected Power");
+  Alcotest.check_raises "Custom cannot re-fit"
+    (Invalid_argument "Estimate.refit: cannot re-fit Custom model") (fun () ->
+      ignore
+        (Estimate.refit ~like:(Model.Custom float_of_int)
+           (obs_of_model linear sizes)))
+
 let suite =
   [
     ( "latency",
       [
         tc "bootstrap brackets truth" `Slow test_bootstrap_brackets_truth;
         tc "bootstrap validation" `Quick test_bootstrap_validation;
+        tc "bootstrap degenerate data fails fast" `Quick
+          test_bootstrap_degenerate_data_fails_fast;
+        tc "distinct sizes" `Quick test_distinct_sizes;
+        tc "refit preserves family" `Quick test_refit_preserves_family;
         tc "linear eval" `Quick test_linear_eval;
         tc "paper mturk constants" `Quick test_paper_mturk;
         tc "power eval" `Quick test_power_eval;
@@ -240,6 +330,10 @@ let suite =
           test_piecewise_constructor_accepts_and_copies;
         tc "first_decrease" `Quick test_first_decrease;
         tc "check_increasing_on" `Quick test_check_increasing_on;
+        tc "linear constructor rejects non-finite" `Quick
+          test_linear_constructor_rejects_non_finite;
+        tc "power constructor rejects non-finite" `Quick
+          test_power_constructor_rejects_non_finite;
         tc "custom" `Quick test_custom;
         tc "per-round overhead" `Quick test_per_round_overhead;
         tc "is_increasing_on" `Quick test_is_increasing;

@@ -568,6 +568,93 @@ let prop_metrics_deterministic =
       let a = snap 1 in
       a <> [] && M.equal a (snap 1) && M.equal a (snap 2))
 
+(* --- closed-loop estimation ----------------------------------------------- *)
+
+let prop_fit_recovers_model =
+  (* Exact (noise-free) observations over a size ladder: the fit must
+     hand back the generating parameters. This is the estimator's
+     ground-truth contract the NaN guards protect — a silent bad fit
+     here corrupts every closed-loop re-plan downstream. *)
+  let module Est = Crowdmax_latency.Estimate in
+  let gen =
+    Q.make
+      ~print:(fun (d, a, p) -> Printf.sprintf "delta=%g alpha=%g p=%g" d a p)
+      Q.Gen.(
+        float_range 1.0 500.0 >>= fun d ->
+        float_range 0.01 5.0 >>= fun a ->
+        float_range 0.6 1.8 >>= fun p -> return (d, a, p))
+  in
+  Q.Test.make ~name:"fit recovers the generating latency model" ~count:60 gen
+    (fun (delta, alpha, p) ->
+      let sizes = [ 5; 10; 20; 40; 80; 160 ] in
+      let obs m =
+        List.map
+          (fun q -> { Est.batch_size = q; seconds = Model.eval m q })
+          sizes
+      in
+      let close a b = Float.abs (a -. b) <= 1e-6 *. Float.max 1.0 (Float.abs b) in
+      let linear_ok =
+        match Est.fit_linear (obs (Model.linear ~delta ~alpha)) with
+        | Model.Linear f -> close f.delta delta && close f.alpha alpha
+        | _ -> false
+      in
+      let power_ok =
+        match
+          Est.refit ~like:(Model.power ~delta ~alpha ~p)
+            (obs (Model.power ~delta ~alpha ~p))
+        with
+        | Model.Power f ->
+            (* delta is anchored by ~like; alpha and p are solved *)
+            close f.delta delta
+            && Float.abs (f.alpha -. alpha) <= 1e-3 *. Float.max 1.0 alpha
+            && Float.abs (f.p -. p) <= 1e-3
+        | _ -> false
+      in
+      linear_ok && power_ok)
+
+let prop_closed_loop_replicate_jobs_deterministic =
+  (* The re-fit loop must preserve the engine's any-jobs bit-identity
+     for arbitrary seeds, not just the pinned ones: window bookkeeping,
+     drift counters and cache invalidation are all per-run state. *)
+  let module A = Crowdmax_runtime.Adaptive in
+  Q.Test.make ~name:"closed-loop replicate deterministic for jobs 1/2/4"
+    ~count:6
+    (Q.make ~print:(Printf.sprintf "seed=%d") Q.Gen.(int_range 0 10_000))
+    (fun seed ->
+      let problem =
+        Problem.create ~elements:60 ~budget:180 ~latency:Model.paper_mturk
+      in
+      let simulated scale =
+        let c = Crowdmax_crowd.Platform.default_config in
+        let config =
+          {
+            c with
+            Crowdmax_crowd.Platform.base_rate = c.Crowdmax_crowd.Platform.base_rate *. scale;
+            attract_per_question = c.Crowdmax_crowd.Platform.attract_per_question *. scale;
+          }
+        in
+        E.Simulated
+          {
+            platform = Crowdmax_crowd.Platform.create ~config ();
+            rwl = { Rwl.votes = 3; error = W.Uniform 0.15 };
+          }
+      in
+      let agg jobs =
+        A.replicate ~jobs ~source:(simulated 1.0) ~refit:(A.On_drift 0.5)
+          ~source_shift:(1, simulated 0.2) ~runs:4 ~seed ~problem
+          ~selection:S.tournament ()
+      in
+      let base = agg 1 in
+      List.for_all
+        (fun jobs ->
+          let p = agg jobs in
+          E.equal_stats base.A.engine_aggregate p.A.engine_aggregate
+          && base.A.total_replans = p.A.total_replans
+          && base.A.total_refits = p.A.total_refits
+          && base.A.total_drift_detected = p.A.total_drift_detected
+          && base.A.total_replans_on_drift = p.A.total_replans_on_drift)
+        [ 2; 4 ])
+
 let suite =
   [
     ( "properties",
@@ -598,5 +685,7 @@ let suite =
           prop_cached_sweep_equals_fresh;
           prop_piecewise_eval_sane;
           prop_metrics_deterministic;
+          prop_fit_recovers_model;
+          prop_closed_loop_replicate_jobs_deterministic;
         ] );
   ]

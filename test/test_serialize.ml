@@ -157,6 +157,110 @@ let test_round_pre_deadline_compat () =
   | Ok r' -> check_bool "old trace decodes with defaults" true (r = r')
   | Error e -> Alcotest.fail e
 
+(* --- latency models and adaptive results ---------------------------------- *)
+
+let test_model_roundtrip () =
+  List.iter
+    (fun m ->
+      match Ser.model_of_json (Ser.model_to_json m) with
+      | Ok m' -> check_bool "roundtrip" true (Model.equal m m')
+      | Error e -> Alcotest.fail e)
+    [
+      Model.linear ~delta:239.8 ~alpha:0.0620;
+      Model.power ~delta:50.0 ~alpha:3.0 ~p:1.2;
+      Model.piecewise [| (1, 100.0); (10, 180.0); (50, 420.0) |];
+    ]
+
+let test_model_custom_rejected () =
+  Alcotest.check_raises "no serial form for closures"
+    (Invalid_argument "Serialize.model_to_json: Custom models are closures")
+    (fun () ->
+      ignore (Ser.model_to_json (Model.Custom (fun q -> float_of_int q))))
+
+(* A document carrying a NaN parameter must decode to Error through the
+   validating constructors — never to a poisoned in-memory model. *)
+let test_model_bad_documents_rejected () =
+  let reject what doc =
+    match Ser.model_of_json doc with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.fail (what ^ ": accepted")
+  in
+  reject "NaN delta"
+    (J.Obj
+       [
+         ("kind", J.String "linear");
+         ("delta", J.Float Float.nan);
+         ("alpha", J.Float 1.0);
+       ]);
+  reject "infinite alpha"
+    (J.Obj
+       [
+         ("kind", J.String "power");
+         ("delta", J.Float 1.0);
+         ("alpha", J.Float Float.infinity);
+         ("p", J.Float 1.0);
+       ]);
+  reject "unknown kind" (J.Obj [ ("kind", J.String "spline") ])
+
+let sample_adaptive_result () =
+  let module A = Crowdmax_runtime.Adaptive in
+  let problem = Problem.create ~elements:100 ~budget:150 ~latency:model in
+  let truth = G.random (Rng.create 42) 100 in
+  A.run
+    ~source:
+      (E.Simulated
+         {
+           platform = Crowdmax_crowd.Platform.create ();
+           rwl = { Crowdmax_crowd.Rwl.votes = 3; error = Crowdmax_crowd.Worker.Uniform 0.15 };
+         })
+    ~refit:(A.Every_k_rounds 1) (Rng.create 41) ~problem
+    ~selection:S.tournament truth
+
+let test_adaptive_result_roundtrip () =
+  let module A = Crowdmax_runtime.Adaptive in
+  let r = sample_adaptive_result () in
+  (* the sample must exercise the closed-loop fields *)
+  check_bool "re-fit happened" true (r.A.refits >= 1);
+  check_bool "installed a non-default model" true
+    (not (Model.equal r.A.final_model model));
+  let text = J.to_string ~pretty:true (Ser.adaptive_result_to_json r) in
+  match Ser.adaptive_result_of_json (J.of_string text) with
+  | Ok r' ->
+      check_bool "engine result" true (r.A.engine_result = r'.A.engine_result);
+      check_bool "counters" true
+        (r.A.replans = r'.A.replans && r.A.refits = r'.A.refits
+        && r.A.drift_detected = r'.A.drift_detected
+        && r.A.replans_on_drift = r'.A.replans_on_drift);
+      check_bool "final model" true (Model.equal r.A.final_model r'.A.final_model)
+  | Error e -> Alcotest.fail e
+
+(* Dumps written before the re-fit loop existed carry neither the
+   counters nor the final model; they decode with the historical
+   semantics (never re-fit, planned with paper_mturk throughout). *)
+let test_adaptive_pre_refit_compat () =
+  let module A = Crowdmax_runtime.Adaptive in
+  let r = sample_adaptive_result () in
+  let stripped =
+    match Ser.adaptive_result_to_json r with
+    | J.Obj fields ->
+        J.Obj
+          (List.filter
+             (fun (k, _) ->
+               k <> "refits" && k <> "drift_detected"
+               && k <> "replans_on_drift" && k <> "final_model")
+             fields)
+    | _ -> assert false
+  in
+  match Ser.adaptive_result_of_json stripped with
+  | Ok r' ->
+      check_bool "counters default to 0" true
+        (r'.A.refits = 0 && r'.A.drift_detected = 0
+        && r'.A.replans_on_drift = 0);
+      check_bool "replans kept" true (r'.A.replans = r.A.replans);
+      check_bool "model defaults to paper_mturk" true
+        (Model.equal r'.A.final_model Model.paper_mturk)
+  | Error e -> Alcotest.fail e
+
 (* --- metrics documents ---------------------------------------------------- *)
 
 module M = Crowdmax_obs.Metrics
@@ -287,6 +391,12 @@ let suite =
           test_aggregate_pre_timing_compat;
         tc "deadline result roundtrip" `Quick test_deadline_result_roundtrip;
         tc "round pre-deadline compat" `Quick test_round_pre_deadline_compat;
+        tc "model roundtrip" `Quick test_model_roundtrip;
+        tc "model custom rejected" `Quick test_model_custom_rejected;
+        tc "bad model documents rejected" `Quick
+          test_model_bad_documents_rejected;
+        tc "adaptive result roundtrip" `Quick test_adaptive_result_roundtrip;
+        tc "adaptive pre-refit compat" `Quick test_adaptive_pre_refit_compat;
         tc "metrics roundtrip" `Quick test_metrics_roundtrip;
         tc "metrics through text" `Quick test_metrics_roundtrip_through_text;
         tc "aggregate with metrics field" `Quick

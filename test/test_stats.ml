@@ -95,6 +95,24 @@ let test_linear_regression_rejects () =
     (Invalid_argument "Stats.linear_regression: zero x-variance") (fun () ->
       ignore (Stats.linear_regression [| (1.0, 1.0); (1.0, 2.0) |]))
 
+(* A NaN coordinate used to defeat the zero-x-variance guard (the sums
+   go NaN, and [Float.equal sxx 0.0] is false for NaN) and escape as a
+   silent NaN-slope fit that poisoned every latency prediction
+   downstream; non-finite input must be a loud error before any sum. *)
+let test_linear_regression_rejects_non_finite () =
+  List.iter
+    (fun pts ->
+      Alcotest.check_raises "non-finite rejected"
+        (Invalid_argument "Stats.linear_regression: non-finite point in data")
+        (fun () -> ignore (Stats.linear_regression pts)))
+    [
+      [| (Float.nan, 1.0); (2.0, 2.0) |];
+      [| (1.0, Float.nan); (2.0, 2.0) |];
+      [| (1.0, 1.0); (Float.infinity, 2.0) |];
+      [| (1.0, 1.0); (2.0, Float.neg_infinity) |];
+      [| (1.0, 1.0); (2.0, 0.0 /. 0.0) |];
+    ]
+
 let test_power_regression_exact () =
   (* y = 100 + 2 x^1.5 *)
   let pts =
@@ -118,6 +136,26 @@ let test_power_regression_rejects () =
     (Invalid_argument "Stats.power_regression: need >= 2 usable points")
     (fun () ->
       ignore (Stats.power_regression ~delta:100.0 [| (1.0, 50.0); (2.0, 60.0) |]))
+
+(* The [x > 0 && y > delta] filter never sees a NaN coordinate — NaN
+   comparisons are all false — so a NaN point used to be silently
+   dropped and the fit computed from whatever remained. The raw data
+   must be validated before the filter, and a NaN delta (against which
+   every point is "filtered") must be rejected too. *)
+let test_power_regression_rejects_non_finite () =
+  Alcotest.check_raises "NaN delta"
+    (Invalid_argument "Stats.power_regression: non-finite delta") (fun () ->
+      ignore
+        (Stats.power_regression ~delta:Float.nan [| (1.0, 1.0); (2.0, 2.0) |]));
+  let usable = [| (1.0, 90.0); (2.0, 108.0); (4.0, 132.0) |] in
+  List.iter
+    (fun bad ->
+      Alcotest.check_raises "NaN point caught before the filter"
+        (Invalid_argument "Stats.power_regression: non-finite point in data")
+        (fun () ->
+          ignore
+            (Stats.power_regression ~delta:100.0 (Array.append [| bad |] usable))))
+    [ (Float.nan, 50.0); (3.0, Float.nan); (Float.infinity, 120.0) ]
 
 let test_weighted_mean () =
   checkf "weighted" 2.5 (Stats.weighted_mean [| (1.0, 1.0); (3.0, 3.0) |]);
@@ -154,9 +192,13 @@ let suite =
         tc "linear regression exact" `Quick test_linear_regression_exact;
         tc "linear regression noise" `Quick test_linear_regression_noise;
         tc "linear regression rejects" `Quick test_linear_regression_rejects;
+        tc "linear regression rejects non-finite" `Quick
+          test_linear_regression_rejects_non_finite;
         tc "power regression exact" `Quick test_power_regression_exact;
         tc "power regression filters" `Quick test_power_regression_filters;
         tc "power regression rejects" `Quick test_power_regression_rejects;
+        tc "power regression rejects non-finite" `Quick
+          test_power_regression_rejects_non_finite;
         tc "weighted mean" `Quick test_weighted_mean;
         tc "weighted mean rejects NaN" `Quick test_weighted_mean_rejects_nan;
       ] );
