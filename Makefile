@@ -32,7 +32,11 @@ lint:
 # loop's deterministic operation counts (events drained, arrivals,
 # completions at a fixed seed) and fails on any drift; planner-opcheck
 # does the same for the tDP planner's DP counters (states settled, memo
-# hits/misses, pruned branches, plan-cache reuse); history-check
+# hits/misses, pruned branches, plan-cache reuse), adaptive-opcheck for
+# the closed loop's re-fit counters, and server-opcheck for the shared-
+# marketplace query server's fleet counters (admissions, rounds,
+# re-plans, deadline hits, shared-mode discards) plus its any-jobs
+# bit-identity; history-check
 # recomputes the same counters and fails on >2% drift against the last
 # counters-bearing BENCH_history.jsonl row, catching cross-PR work-
 # profile regressions even when the in-repo pins were regenerated
@@ -53,10 +57,13 @@ ci:
 	dune exec bench/main.exe -- engine-opcheck
 	dune exec bench/main.exe -- planner-opcheck
 	dune exec bench/main.exe -- adaptive-opcheck
+	dune exec bench/main.exe -- server-opcheck
 	dune exec bench/main.exe -- history-check
 	dune exec bin/crowdmax_cli.exe -- run --elements 60 --budget 200 \
 		--runs 2 --simulated --adaptive --refit drift:0.5
 	dune exec bin/crowdmax_cli.exe -- experiment fig_adapt --runs 6 -j 4
+	dune exec bin/crowdmax_cli.exe -- serve --queries 4 --runs 2 -j 4
+	dune exec bin/crowdmax_cli.exe -- experiment fig_server --runs 4 -j 4
 	CROWDMAX_ENGINE_BENCH_SECS=0.3 CROWDMAX_ENGINE_BENCH_WRITE=0 \
 		dune exec bench/main.exe -- engine
 

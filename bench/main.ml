@@ -1247,6 +1247,145 @@ let adaptive_opcheck () =
     exit 1
   end
 
+(* --- query-server operation-count gate ------------------------------------ *)
+
+(* The shared-marketplace server's counters (admissions, completions,
+   fleet steps, rounds, posted questions, re-plans and the
+   load-shift-triggered subset, deadline hits, plus the platform's
+   shared-mode call and discard counters) are pure simulated
+   bookkeeping — bit-deterministic for a fixed (fleet, seed). Pinning
+   them catches a fleet-loop change that slips past the statistical
+   tests: an admission that fires on the wrong step, a re-plan that
+   stops detecting load shifts, a withdrawal that stops discarding.
+   The jobs=1 vs jobs=4 replicate comparison re-asserts the
+   determinism contract on every CI run. Regenerate with
+   CROWDMAX_OPCHECK_PRINT=1 after an intentional change. *)
+module Server = Crowdmax_server.Server
+module Contention = Crowdmax_latency.Contention
+
+let server_opcheck_runs = 4
+let server_opcheck_seed = 113
+
+let server_opcheck_expected =
+  (* queries_admitted, queries_completed, fleet_steps, rounds_run,
+     questions_posted, replans, contention_replans, deadline_hits,
+     shared_calls, shared_discarded_answers *)
+  (4, 4, 6, 10, 1109, 10, 5, 5, 5, 63)
+
+let server_opcheck_specs () =
+  [|
+    Server.query_spec ~label:"a" ~elements:120 ~budget:960 ();
+    Server.query_spec ~label:"b" ~elements:80 ~budget:200
+      ~deadline:(Engine.Fixed (Model.eval model 60)) ();
+    Server.query_spec ~label:"c" ~elements:100 ~budget:800 ~votes:2
+      ~deadline:(Engine.Quantile 0.9) ~admit_step:1 ();
+    Server.query_spec ~label:"d" ~elements:60 ~budget:150 ~admit_step:2 ();
+  |]
+
+let server_opcheck_contention () = Contention.create ~base:model ~beta:0.25
+
+let server_opcheck_replicate jobs =
+  Server.replicate ~jobs
+    ~contention:(server_opcheck_contention ())
+    ~platform:(Crowdmax_crowd.Platform.create ())
+    ~latency:model ~selection:Selection.tournament ~runs:server_opcheck_runs
+    ~seed:server_opcheck_seed (server_opcheck_specs ()) ()
+
+let server_opcheck () =
+  section
+    (Printf.sprintf "query-server operation-count gate (%d runs, seed %d)"
+       server_opcheck_runs server_opcheck_seed);
+  let print_mode = Option.is_some (Sys.getenv_opt "CROWDMAX_OPCHECK_PRINT") in
+  let failures = ref 0 in
+  (* One metered run (the replicate seed's first run rng) pins the
+     counters; the platform section's shared-mode instruments ride
+     along. *)
+  let metrics = Metrics.create () in
+  let rng = Rng.create server_opcheck_seed in
+  let specs = server_opcheck_specs () in
+  let truths =
+    Array.map (fun (s : Server.query_spec) -> G.random rng s.Server.elements)
+      specs
+  in
+  let result =
+    Server.run ~metrics
+      ~contention:(server_opcheck_contention ())
+      ~platform:(Crowdmax_crowd.Platform.create ())
+      ~latency:model ~selection:Selection.tournament rng specs truths
+  in
+  let snap = Metrics.snapshot metrics in
+  let count sect name =
+    match Metrics.find snap ~section:sect name with
+    | Some (Metrics.Count c) -> c
+    | _ ->
+        Printf.printf "  %s/%s missing from snapshot\n" sect name;
+        incr failures;
+        -1
+  in
+  let admitted = count "server" "queries_admitted" in
+  let completed = count "server" "queries_completed" in
+  let steps = count "server" "fleet_steps" in
+  let rounds = count "server" "rounds_run" in
+  let posted = count "server" "questions_posted" in
+  let replans = count "server" "replans" in
+  let c_replans = count "server" "contention_replans" in
+  let ddl = count "server" "deadline_hits" in
+  let shared_calls = count "platform" "shared_calls" in
+  let discarded = count "platform" "shared_discarded_answers" in
+  if print_mode then
+    Printf.printf "  (%d, %d, %d, %d, %d, %d, %d, %d, %d, %d)\n%!" admitted
+      completed steps rounds posted replans c_replans ddl shared_calls
+      discarded
+  else begin
+    let ( exp_admitted, exp_completed, exp_steps, exp_rounds, exp_posted,
+          exp_replans, exp_c_replans, exp_ddl, exp_shared, exp_discarded ) =
+      server_opcheck_expected
+    in
+    let check name got expected =
+      if got <> expected then begin
+        Printf.printf "  server/%s = %d, pinned %d\n" name got expected;
+        incr failures
+      end
+    in
+    check "queries_admitted" admitted exp_admitted;
+    check "queries_completed" completed exp_completed;
+    check "fleet_steps" steps exp_steps;
+    check "rounds_run" rounds exp_rounds;
+    check "questions_posted" posted exp_posted;
+    check "replans" replans exp_replans;
+    check "contention_replans" c_replans exp_c_replans;
+    check "deadline_hits" ddl exp_ddl;
+    check "shared_calls" shared_calls exp_shared;
+    check "shared_discarded_answers" discarded exp_discarded;
+    (* structural cross-checks, independent of the pins *)
+    if c_replans > replans then begin
+      Printf.printf "  contention_replans %d > replans %d\n" c_replans replans;
+      incr failures
+    end;
+    if result.Server.contention_replans <> c_replans then begin
+      Printf.printf "  result.contention_replans %d <> metric %d\n"
+        result.Server.contention_replans c_replans;
+      incr failures
+    end;
+    (* the replicate determinism contract, re-asserted under parallelism *)
+    let seq = server_opcheck_replicate 1 in
+    let par = server_opcheck_replicate 4 in
+    if not (Server.equal_aggregate seq par) then begin
+      Printf.printf "  jobs=4 aggregate differs from jobs=1\n";
+      incr failures
+    end;
+    if !failures = 0 then
+      Printf.printf
+        "  ok: %d queries over %d steps, %d rounds, %d posted, %d/%d \
+         replans, %d deadline hits, %d discards (jobs-invariant)\n"
+        admitted steps rounds posted c_replans replans ddl discarded
+  end;
+  if !failures > 0 then begin
+    Printf.printf "query-server operation-count gate FAILED (%d mismatches)\n%!"
+      !failures;
+    exit 1
+  end
+
 (* --- deterministic counter history gate ---------------------------------- *)
 
 (* The opcheck counters above are bit-deterministic, which makes them a
@@ -1341,6 +1480,34 @@ let history_counters () =
       ("drift_detected", agg.Adaptive.total_drift_detected);
       ("replans_on_drift", agg.Adaptive.total_replans_on_drift);
     ];
+  (* server: the shared-marketplace opcheck scenario's fleet counters *)
+  let metrics = Metrics.create () in
+  let rng = Rng.create server_opcheck_seed in
+  let specs = server_opcheck_specs () in
+  let truths =
+    Array.map (fun (s : Server.query_spec) -> G.random rng s.Server.elements)
+      specs
+  in
+  ignore
+    (Server.run ~metrics
+       ~contention:(server_opcheck_contention ())
+       ~platform:(Crowdmax_crowd.Platform.create ())
+       ~latency:model ~selection:Selection.tournament rng specs truths);
+  let snap = Metrics.snapshot metrics in
+  let get sect name =
+    match Metrics.find snap ~section:sect name with
+    | Some (Metrics.Count c) -> c
+    | _ -> -1
+  in
+  List.iter
+    (fun name -> push (Printf.sprintf "server.%s" name) (get "server" name))
+    [
+      "queries_admitted"; "queries_completed"; "fleet_steps"; "rounds_run";
+      "questions_posted"; "replans"; "contention_replans"; "deadline_hits";
+    ];
+  List.iter
+    (fun name -> push (Printf.sprintf "server.%s" name) (get "platform" name))
+    [ "shared_calls"; "shared_discarded_answers" ];
   List.rev !out
 
 let history_append () =
@@ -1671,6 +1838,7 @@ let () =
       ("engine-opcheck", engine_opcheck);
       ("planner-opcheck", planner_opcheck);
       ("adaptive-opcheck", adaptive_opcheck);
+      ("server-opcheck", server_opcheck);
       ("history-append", history_append);
       ("history-check", history_check);
     ]

@@ -6,6 +6,7 @@
      topk        - top-k by successive MAX passes with answer reuse
      frontier    - the cost-latency Pareto frontier of a budget sweep
      estimate    - run the Sec. 6.1 latency-estimation pipeline
+     serve       - a fleet of concurrent MAX queries on one shared marketplace
      experiment  - regenerate a paper figure (fig11a .. fig15)
      metrics-check - validate a `run --metrics` JSON document *)
 
@@ -732,6 +733,123 @@ let metrics_check_cmd =
           appears only for $(b,--simulated) runs).")
     term
 
+(* --- serve --------------------------------------------------------------- *)
+
+let serve_cmd =
+  let module Server = Crowdmax_server.Server in
+  let module Platform = Crowdmax_crowd.Platform in
+  let queries_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "queries" ] ~docv:"N"
+          ~doc:"Concurrent MAX queries to admit (1-32, staggered two per fleet step).")
+  in
+  let oblivious_arg =
+    Arg.(
+      value & flag
+      & info [ "oblivious" ]
+          ~doc:
+            "Plan every query with the solo latency model (ignore fleet \
+             contention) instead of the fitted L(q, o) contention model.")
+  in
+  let pick_arg =
+    Arg.(
+      value
+      & opt (enum [ ("prop", Platform.Proportional); ("fifo", Platform.Fifo) ])
+          Platform.Proportional
+      & info [ "pick" ] ~docv:"POLICY"
+          ~doc:
+            "How marketplace workers pick between queries: $(b,prop) \
+             (proportional to visible batch size; default) or $(b,fifo) \
+             (lowest admission index first).")
+  in
+  (* A deterministic mixed workload: sizes, budgets, vote counts and
+     all three deadline policies cycle; two admissions per fleet step. *)
+  let workload base n =
+    Array.init n (fun i ->
+        let elements = 150 + (50 * (i mod 5)) in
+        let budget = 5 * elements / 2 in
+        let deadline =
+          match i mod 3 with
+          | 0 -> Engine.Wait_all
+          | 1 -> Engine.Fixed (Model.eval base (elements / 2))
+          | _ -> Engine.Quantile 0.9
+        in
+        let votes = if i mod 4 = 3 then 2 else 3 in
+        Server.query_spec
+          ~label:(Printf.sprintf "q%d" i)
+          ~elements ~budget ~votes ~deadline ~admit_step:(i / 2) ())
+  in
+  let run queries runs seed jobs selection oblivious pick =
+    let jobs = resolve_jobs jobs in
+    if queries < 1 || queries > 32 then begin
+      Printf.eprintf "crowdmax: --queries must be in 1..32 (got %d)\n" queries;
+      exit 2
+    end;
+    let platform = Platform.create () in
+    let base = X.Fig_server.calibrate_base platform in
+    let contention =
+      if oblivious then None
+      else Some (X.Fig_server.calibrate_beta platform base)
+    in
+    let specs = workload base queries in
+    let agg =
+      Server.replicate ~jobs ?contention ~pick ~platform ~latency:base
+        ~selection ~runs ~seed specs ()
+    in
+    Format.printf "%d quer%s on one shared marketplace, %d runs, %s planning@."
+      queries
+      (if queries = 1 then "y" else "ies")
+      runs
+      (if oblivious then "contention-oblivious" else "contention-aware");
+    (match (base, contention) with
+    | Model.Linear { delta; alpha }, Some c ->
+        Format.printf
+          "calibration: delta = %.1f, alpha = %.3f, beta = %.3f@." delta alpha
+          (Crowdmax_latency.Contention.beta c)
+    | Model.Linear { delta; alpha }, None ->
+        Format.printf "calibration: delta = %.1f, alpha = %.3f@." delta alpha
+    | _ -> ());
+    let table =
+      Crowdmax_util.Table.create
+        [ ("query", Crowdmax_util.Table.Left);
+          ("c0", Crowdmax_util.Table.Right);
+          ("budget", Crowdmax_util.Table.Right);
+          ("admit", Crowdmax_util.Table.Right);
+          ("mean latency (s)", Crowdmax_util.Table.Right) ]
+    in
+    Array.iteri
+      (fun i (s : Server.query_spec) ->
+        Crowdmax_util.Table.add_row table
+          [
+            s.Server.label;
+            string_of_int s.Server.elements;
+            string_of_int s.Server.budget;
+            string_of_int s.Server.admit_step;
+            Printf.sprintf "%.1f" agg.Server.per_query_mean_latency.(i);
+          ])
+      specs;
+    Crowdmax_util.Table.print table;
+    Format.printf
+      "fleet mean latency %.1f s; makespan %.1f s; fairness %.3f; correct %.0f%%@."
+      agg.Server.mean_fleet_latency agg.Server.mean_makespan
+      agg.Server.mean_fairness
+      (100.0 *. agg.Server.correct_rate);
+    Format.printf "contention replans %d; deadline hits %d@."
+      agg.Server.total_contention_replans agg.Server.total_deadline_hits
+  in
+  let term =
+    Term.(
+      const run $ queries_arg $ runs_arg $ seed_arg $ jobs_arg $ selection_arg
+      $ oblivious_arg $ pick_arg)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve a fleet of concurrent MAX queries off one shared worker \
+          marketplace, re-planning each through tDP as fleet load shifts.")
+    term
+
 (* --- estimate ------------------------------------------------------------ *)
 
 let estimate_cmd =
@@ -752,7 +870,7 @@ let experiment_cmd =
       ("fig11a", `Fig11a); ("fig11b", `Fig11b); ("fig12", `Fig12);
       ("fig13a", `Fig13a); ("fig13b", `Fig13b); ("fig14a", `Fig14a);
       ("fig14b", `Fig14b); ("fig15", `Fig15); ("fig_deadline", `Fig_deadline);
-      ("fig_adapt", `Fig_adapt);
+      ("fig_adapt", `Fig_adapt); ("fig_server", `Fig_server);
     ]
   in
   let figure_arg =
@@ -778,6 +896,7 @@ let experiment_cmd =
     | `Fig_deadline ->
         X.Fig_deadline.print (X.Fig_deadline.run ~jobs ~runs ~seed ())
     | `Fig_adapt -> X.Fig_adapt.print (X.Fig_adapt.run ~jobs ~runs ~seed ())
+    | `Fig_server -> X.Fig_server.print (X.Fig_server.run ~jobs ~runs ~seed ())
   in
   let term = Term.(const run $ figure_arg $ runs_arg $ seed_arg $ jobs_arg) in
   Cmd.v
@@ -794,4 +913,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ allocate_cmd; run_cmd; topk_cmd; frontier_cmd; estimate_cmd;
-            experiment_cmd; metrics_check_cmd ]))
+            serve_cmd; experiment_cmd; metrics_check_cmd ]))

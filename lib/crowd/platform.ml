@@ -32,7 +32,29 @@ let default_config =
 
 type t = { cfg : config }
 
-let create ?(config = default_config) () = { cfg = config }
+(* Config validation happens at construction, not inside the event
+   loop: a [diurnal_amplitude >= 1.0] drives the modulation factor
+   [1 + a*sin(...)] negative for part of every period, which turns the
+   thinning acceptance probability in [arrival_after] negative —
+   Bernoulli draws then silently never accept in the trough and the
+   arrival stream freezes without any error. Rejecting the config is
+   the loud failure; anyone wanting "market closes overnight" semantics
+   needs an explicit zero-clamped rate, not a sign flip. *)
+let create ?(config = default_config) () =
+  let a = config.diurnal_amplitude in
+  if Float.is_nan a || a < 0.0 || a >= 1.0 then
+    invalid_arg "Platform.create: diurnal_amplitude must be in [0, 1)";
+  if a > 0.0 then begin
+    if
+      Float.is_nan config.diurnal_period
+      || (not (Float.is_finite config.diurnal_period))
+      || config.diurnal_period <= 0.0
+    then invalid_arg "Platform.create: diurnal_period must be finite and > 0";
+    if Float.is_nan config.diurnal_phase then
+      invalid_arg "Platform.create: diurnal_phase must not be NaN"
+  end;
+  { cfg = config }
+
 let config t = t.cfg
 
 (* Reusable simulation buffers. [t] itself stays immutable — one
@@ -42,9 +64,17 @@ let config t = t.cfg
 type scratch = {
   cal : Event_calendar.t;  (* in-flight completion events *)
   mutable qbuf : int array;  (* answer_batch question pairs, flattened *)
+  mutable slot_query : int array;  (* simulate_shared: slot -> query *)
+  mutable slot_local : int array;  (* simulate_shared: slot -> local idx *)
 }
 
-let scratch () = { cal = Event_calendar.create (); qbuf = [||] }
+let scratch () =
+  {
+    cal = Event_calendar.create ();
+    qbuf = [||];
+    slot_query = [||];
+    slot_local = [||];
+  }
 
 (* One simulated worker sitting: how many questions they will answer
    before switching tasks (geometric, mean patience_mean, at least 1).
@@ -359,3 +389,289 @@ let answer_batch ?deadline ?metrics ?scratch:scr t rng ~error ~truth questions =
   in
   let report = simulate ?deadline ?metrics ~scratch:s t rng n ~on_complete in
   (List.rev !results, report)
+
+(* --- shared-supply mode -------------------------------------------------- *)
+
+type pick_policy = Fifo | Proportional
+
+(* One worker marketplace serving several concurrent batches ("queries")
+   at once. A single arrival stream whose rate is driven by the *total*
+   visible question count replaces the per-batch streams [simulate]
+   would conjure — the whole point: concurrent batches no longer each
+   summon an independent crowd.
+
+   Draw contracts (tested):
+   - A single query [|q|] is draw-for-draw identical to [simulate q]:
+     the pick step consumes no rng when only one query is live, and the
+     arrival/patience/service draws happen in [simulate]'s exact order.
+   - Under [Fifo] with no deadlines, k queries are draw-for-draw
+     identical to one merged [simulate (sum qs)] batch: FIFO assigns
+     global question [i] to the query owning flattened slot [i], and
+     visibility (hence the arrival rate) is the constant total, exactly
+     like the merged batch — the no-supply-duplication invariant.
+
+   Visibility: a posted batch contributes its full size to the arrival
+   rate until its query is withdrawn (deadline passed) — matching
+   [simulate], where the batch size drives the rate for the whole run
+   regardless of how much of it is already assigned. [Proportional]
+   picks a query for each free worker with probability proportional to
+   the query's posted size among queries that still have unassigned
+   questions (no draw when only one qualifies).
+
+   Per-query deadlines: when an event lands strictly past a query's
+   deadline the query is withdrawn — its unassigned questions leave the
+   market and later completions of its in-flight questions are
+   discarded (the worker, patience permitting, picks up another query's
+   question instead; the crowd does not evaporate because one requester
+   stopped listening). Discarded questions stay in the query's
+   [in_flight] bucket, so [completed + in_flight + unassigned = q]
+   holds per query. *)
+let simulate_shared ?deadlines ?(metrics = Metrics.disabled) ?scratch:scr t rng
+    ~pick ~on_complete qs =
+  let cfg = t.cfg in
+  let nq = Array.length qs in
+  if nq = 0 then invalid_arg "Platform.simulate_shared: no queries";
+  Array.iter
+    (fun q -> if q < 0 then invalid_arg "Platform: negative batch size")
+    qs;
+  if cfg.tail_rate <= 0.0 then invalid_arg "Platform: tail_rate must be > 0";
+  let deadlines =
+    match deadlines with
+    | None -> Array.make nq Float.infinity
+    | Some d ->
+        if Array.length d <> nq then
+          invalid_arg "Platform.simulate_shared: deadlines length mismatch";
+        Array.iter
+          (fun x ->
+            if Float.is_nan x || x <= 0.0 then
+              invalid_arg "Platform: deadline must be > 0")
+          d;
+        Array.copy d
+  in
+  let m_batches = Metrics.counter metrics ~section:"platform" "batches" in
+  Metrics.add m_batches nq;
+  let m_shared =
+    Metrics.counter metrics ~section:"platform" "shared_calls"
+  in
+  Metrics.incr m_shared;
+  let post = cfg.post_overhead in
+  let zero_report i =
+    let deadline = deadlines.(i) in
+    let latency = Float.min post deadline in
+    {
+      latency;
+      last_completion = latency;
+      completed = 0;
+      in_flight = 0;
+      unassigned = 0;
+      deadline_hit = deadline < post;
+    }
+  in
+  let total = Array.fold_left ( + ) 0 qs in
+  if total = 0 then Array.init nq zero_report
+  else begin
+    let m_events = Metrics.counter metrics ~section:"platform" "events_drained" in
+    let m_arrivals = Metrics.counter metrics ~section:"platform" "worker_arrivals" in
+    let m_completions = Metrics.counter metrics ~section:"platform" "completions" in
+    let m_discarded =
+      Metrics.counter metrics ~section:"platform" "shared_discarded_answers"
+    in
+    let m_peak = Metrics.peak metrics ~section:"platform" "in_flight_peak" in
+    let m_arrival_h =
+      Metrics.histogram_spec metrics ~section:"platform" "arrival_seconds"
+        ~buckets:arrival_bucket_spec
+    in
+    let s = match scr with Some s -> s | None -> scratch () in
+    Event_calendar.clear s.cal;
+    let cal = s.cal in
+    if Array.length s.slot_query < total then begin
+      s.slot_query <- Array.make (max 16 (2 * total)) 0;
+      s.slot_local <- Array.make (max 16 (2 * total)) 0
+    end;
+    let slot_query = s.slot_query and slot_local = s.slot_local in
+    (* Per-query progress. [next_q] is the assignment cursor; a query is
+       "done" once fully answered or withdrawn, and the loop runs until
+       every query is done. *)
+    let next_q = Array.make nq 0 in
+    let answered = Array.make nq 0 in
+    let last_time = Array.make nq post in
+    let withdrawn = Array.make nq false in
+    let done_ = Array.make nq false in
+    let remaining = ref nq in
+    let visible = ref 0 in
+    let unassigned_total = ref 0 in
+    Array.iteri
+      (fun i q ->
+        if q = 0 then begin
+          done_.(i) <- true;
+          decr remaining
+        end
+        else begin
+          visible := !visible + q;
+          unassigned_total := !unassigned_total + q
+        end)
+      qs;
+    let next_deadline = ref Float.infinity in
+    let recompute_next_deadline () =
+      let d = ref Float.infinity in
+      for i = 0 to nq - 1 do
+        if (not done_.(i)) && deadlines.(i) < !d then d := deadlines.(i)
+      done;
+      next_deadline := !d
+    in
+    recompute_next_deadline ();
+    (* Arrival-rate constants depend on total visibility, so they are
+       recomputed only when a withdrawal shrinks it. *)
+    let burst_end = post +. cfg.burst_seconds in
+    let diurnal = cfg.diurnal_amplitude > 0.0 in
+    let burst_mean = ref (1.0 /. burst_rate_of cfg !visible) in
+    let tail_mean = 1.0 /. cfg.tail_rate in
+    let median = cfg.service.Worker.median_seconds in
+    let sigma = cfg.service.Worker.sigma in
+    let mu = if sigma <= 0.0 then 0.0 else Worker.service_mu cfg.service in
+    let p_patience = 1.0 /. Float.max 1.0 cfg.patience_mean in
+    let next_arr t =
+      if diurnal then arrival_after rng cfg !visible t
+      else begin
+        let t = if t >= post then t else post in
+        if t < burst_end then begin
+          let dt = Rng.exponential rng !burst_mean in
+          if t +. dt <= burst_end then t +. dt
+          else burst_end +. Rng.exponential rng tail_mean
+        end
+        else t +. Rng.exponential rng tail_mean
+      end
+    in
+    let withdraw_sweep time =
+      for i = 0 to nq - 1 do
+        if (not done_.(i)) && time > deadlines.(i) then begin
+          withdrawn.(i) <- true;
+          done_.(i) <- true;
+          decr remaining;
+          visible := !visible - qs.(i);
+          unassigned_total := !unassigned_total - (qs.(i) - next_q.(i));
+          if !visible > 0 then burst_mean := 1.0 /. burst_rate_of cfg !visible
+        end
+      done;
+      recompute_next_deadline ()
+    in
+    (* One pickable query (unassigned questions, not withdrawn) always
+       exists when this runs ([unassigned_total > 0] is checked at both
+       call sites). The single-candidate case draws nothing — that is
+       what makes the one-query run identical to [simulate]. *)
+    let pick_query () =
+      match pick with
+      | Fifo ->
+          let i = ref 0 in
+          while withdrawn.(!i) || next_q.(!i) >= qs.(!i) do
+            incr i
+          done;
+          !i
+      | Proportional ->
+          let total_w = ref 0 and count = ref 0 and first = ref (-1) in
+          for i = 0 to nq - 1 do
+            if (not withdrawn.(i)) && next_q.(i) < qs.(i) then begin
+              total_w := !total_w + qs.(i);
+              incr count;
+              if !first < 0 then first := i
+            end
+          done;
+          if !count = 1 then !first
+          else begin
+            let r = ref (Rng.int rng !total_w) in
+            let j = ref (-1) in
+            let i = ref 0 in
+            while !j < 0 do
+              if (not withdrawn.(!i)) && next_q.(!i) < qs.(!i) then begin
+                if !r < qs.(!i) then j := !i else r := !r - qs.(!i)
+              end;
+              incr i
+            done;
+            !j
+          end
+    in
+    let next_slot = ref 0 in
+    let completions_seen = ref 0 in
+    let discarded = ref 0 in
+    (* Assign one question to a worker arriving (or freed) at [time]
+       with [patience] answers left after this one. *)
+    let assign time patience =
+      let qi = pick_query () in
+      let slot = !next_slot in
+      incr next_slot;
+      slot_query.(slot) <- qi;
+      slot_local.(slot) <- next_q.(qi);
+      next_q.(qi) <- next_q.(qi) + 1;
+      decr unassigned_total;
+      Metrics.record_peak m_peak (!next_slot - !completions_seen);
+      let sv = if sigma <= 0.0 then median else Rng.lognormal rng ~mu ~sigma in
+      Event_calendar.add cal ~time:(time +. sv) slot patience
+    in
+    let st = { arr_time = 0.0; last_time = post } in
+    st.arr_time <- next_arr 0.0;
+    let arrivals_alive = ref true in
+    while !remaining > 0 do
+      if
+        !arrivals_alive
+        && (Event_calendar.is_empty cal
+           || st.arr_time <= Event_calendar.min_time cal)
+      then begin
+        let time = st.arr_time in
+        if time > !next_deadline then withdraw_sweep time;
+        if !unassigned_total > 0 then begin
+          Metrics.incr m_events;
+          Metrics.incr m_arrivals;
+          Metrics.observe m_arrival_h time;
+          st.arr_time <- next_arr time;
+          let patience = draw_patience rng p_patience in
+          assign time (patience - 1)
+        end
+        else arrivals_alive := false
+      end
+      else if Event_calendar.is_empty cal then
+        (* No future events can exist: every not-done query would need
+           an in-flight completion or a live arrival to finish. Defensive
+           only — unreachable while tail_rate > 0. *)
+        remaining := 0
+      else begin
+        let time = Event_calendar.min_time cal in
+        if time > !next_deadline then withdraw_sweep time;
+        let slot = Event_calendar.min_a cal in
+        let patience = Event_calendar.min_b cal in
+        Event_calendar.remove_min cal;
+        Metrics.incr m_events;
+        incr completions_seen;
+        let qi = slot_query.(slot) in
+        if withdrawn.(qi) then begin
+          (* The requester stopped listening; the answer is lost but the
+             worker is still on the market. *)
+          incr discarded;
+          Metrics.incr m_discarded
+        end
+        else begin
+          Metrics.incr m_completions;
+          answered.(qi) <- answered.(qi) + 1;
+          if time > last_time.(qi) then last_time.(qi) <- time;
+          on_complete ~query:qi slot_local.(slot) time;
+          if answered.(qi) = qs.(qi) then begin
+            done_.(qi) <- true;
+            decr remaining;
+            recompute_next_deadline ()
+          end
+        end;
+        if patience > 0 && !unassigned_total > 0 then
+          assign time (patience - 1)
+      end
+    done;
+    Array.init nq (fun i ->
+        if qs.(i) = 0 then zero_report i
+        else
+          {
+            latency = (if withdrawn.(i) then deadlines.(i) else last_time.(i));
+            last_completion = last_time.(i);
+            completed = answered.(i);
+            in_flight = next_q.(i) - answered.(i);
+            unassigned = qs.(i) - next_q.(i);
+            deadline_hit = withdrawn.(i);
+          })
+  end

@@ -47,6 +47,15 @@ val default_config : config
 type t
 
 val create : ?config:config -> unit -> t
+(** Validates the diurnal fields: [diurnal_amplitude] must be in
+    [0, 1) (an amplitude at or above 1 drives the modulation factor
+    [1 + a*sin] negative for part of every period, which silently turns
+    the thinning acceptance probability in the arrival process negative
+    and freezes the stream in the trough), and when the amplitude is
+    positive, [diurnal_period] must be finite and > 0 and
+    [diurnal_phase] non-NaN. Raises [Invalid_argument] otherwise —
+    loudly at construction, not silently inside the event loop. *)
+
 val config : t -> config
 
 type scratch
@@ -162,3 +171,66 @@ val answer_batch :
     a raw worker under [error]; returns the answers (in completion
     order) and the batch report. Question repetition for reliability is
     the RWL's job ({!Rwl}). *)
+
+(** {1 Shared-supply mode}
+
+    One worker marketplace serving several concurrent batches
+    ("queries") at once — the concurrent-service substrate. A single
+    arrival stream, with rate driven by the {e total} visible question
+    count, replaces the independent per-batch streams that calling
+    {!simulate} once per query would conjure. *)
+
+type pick_policy =
+  | Fifo
+      (** each free worker takes the next question of the
+          earliest-admitted query that still has unassigned questions;
+          draws nothing from the rng *)
+  | Proportional
+      (** each free worker picks a query with probability proportional
+          to its posted size among queries with unassigned questions
+          (one [Rng.int] draw; none when only one query qualifies) *)
+
+val simulate_shared :
+  ?deadlines:float array ->
+  ?metrics:Crowdmax_obs.Metrics.t ->
+  ?scratch:scratch ->
+  t ->
+  Crowdmax_util.Rng.t ->
+  pick:pick_policy ->
+  on_complete:(query:int -> int -> float -> unit) ->
+  int array ->
+  report array
+(** [simulate_shared t rng ~pick ~on_complete qs] runs one event loop
+    over all of [qs] (question counts per query, all posted at time 0)
+    and returns one {!report} per query. [on_complete ~query idx time]
+    fires for every counted answer; [idx] is the question's index
+    {e within its own query} (assigned sequentially per query, exactly
+    like {!simulate}'s indices).
+
+    Visibility and rates: a posted batch contributes its full size to
+    the arrival rate until its query is withdrawn — matching
+    {!simulate}, where the batch size drives the rate for the whole
+    run. Consequently a single query [[|q|]] is {e draw-for-draw
+    identical} to [simulate q], and under [Fifo] with no deadlines, k
+    queries are draw-for-draw identical to one merged
+    [simulate (sum qs)] batch (no supply duplication; the conservation
+    tests pin both).
+
+    [deadlines] (per query, default all infinity, each > 0): the first
+    event strictly past a query's deadline withdraws it — its
+    unassigned questions leave the market and later completions of its
+    in-flight questions are discarded, but the {e worker} stays: a
+    freed worker with patience left picks up another query's question.
+    Discarded questions stay in the withdrawn query's [in_flight]
+    bucket, so [completed + in_flight + unassigned = q] holds for every
+    query, and summed over queries the three buckets account for every
+    posted question. A withdrawn query reports [deadline_hit = true],
+    [latency = deadline] and an unclipped [last_completion], exactly
+    like {!simulate}.
+
+    [metrics] (default disabled) records into the ["platform"] section
+    the same instruments as {!simulate} ([batches] advances by the
+    query count) plus [shared_calls] and [shared_discarded_answers].
+    Raises [Invalid_argument] on an empty [qs], a negative count, a
+    deadlines-length mismatch, a NaN/non-positive deadline, or a
+    non-positive [tail_rate]. *)

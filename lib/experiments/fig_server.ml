@@ -1,0 +1,209 @@
+(* Fig_server: concurrent MAX queries on one shared marketplace —
+   contention-aware vs contention-oblivious fleet planning.
+
+   The single-query figures hand tDP a latency model fitted on an
+   otherwise idle platform. A query server breaks that premise: every
+   admitted query's batch inflates the drain time of everyone else's
+   rounds. This experiment admits a staggered fleet of queries (mixed
+   collection sizes, budgets, vote counts and deadline policies) onto
+   one shared-supply marketplace and compares two planning arms over
+   identical schedules and worker draws:
+
+   - oblivious: every query plans with the solo base model, as if the
+     marketplace were empty. Under load the real rounds run slower
+     than planned, and — worse — the model's *shape* is wrong: the
+     fleet's foreign load is an intercept shift, so the oblivious
+     planner undercounts the per-round overhead and buys too many
+     small rounds, paying the inflated overhead each time.
+   - aware: every query plans with L(q, o) = delta + alpha (q + beta o)
+     evaluated at the fleet's current estimated foreign load. A load
+     shift changes the effective model, [Tdp.Cache] invalidates, and
+     the query re-plans (the contention_replans counter counts those).
+
+   Both arms share the identical solo calibration; the aware arm adds
+   one fitted parameter (beta) measured from a small two-query
+   shared-supply ladder. The read-out is the fleet mean latency gap —
+   the acceptance bar (test- and CI-enforced) is aware < oblivious. *)
+
+module Engine = Crowdmax_runtime.Engine
+module Server = Crowdmax_server.Server
+module Platform = Crowdmax_crowd.Platform
+module Contention = Crowdmax_latency.Contention
+module Estimate = Crowdmax_latency.Estimate
+module Model = Crowdmax_latency.Model
+module Selection = Crowdmax_selection.Selection
+module Rng = Crowdmax_util.Rng
+
+type arm = {
+  label : string;
+  mean_fleet_latency : float;
+  mean_makespan : float;
+  mean_fairness : float;
+  correct_rate : float;
+  contention_replans : int;
+  deadline_hits : int;
+}
+
+type t = {
+  queries : int;
+  runs : int;
+  base : Model.t;
+  beta : float;
+  oblivious : arm;
+  aware : arm;
+}
+
+(* Solo calibration, Fig 11(a)-style: time-to-last-answer over a
+   ladder of batch sizes on the idle platform, least-squares line. *)
+let calibrate_base ?(runs_per_size = 12) ?(seed = 17) platform =
+  let rng = Rng.create seed in
+  let observations =
+    List.concat_map
+      (fun q ->
+        List.init runs_per_size (fun _ ->
+            {
+              Estimate.batch_size = q;
+              seconds = Platform.batch_latency platform rng q;
+            }))
+      [ 10; 20; 40; 80; 160; 320 ]
+  in
+  Estimate.fit_linear observations
+
+(* Contention calibration: a foreground batch of q questions shares
+   the marketplace with a foreign batch of o raw questions and we
+   record the foreground's time-to-last-answer. The pick policy must
+   be the one the server deploys (proportional): under FIFO the
+   lowest-index query drains first and foreign load only *attracts*
+   workers, while under proportional sharing completions interleave
+   and the foreground's last answer lands near the merged batch's end
+   — the contention the fleet actually experiences. One-parameter fit
+   on top of the fixed solo base. *)
+let calibrate_beta ?(runs_per_cell = 8) ?(seed = 19) platform base =
+  let rng = Rng.create seed in
+  let observations =
+    List.concat_map
+      (fun (q, o) ->
+        List.init runs_per_cell (fun _ ->
+            let reports =
+              Platform.simulate_shared platform rng
+                ~pick:Platform.Proportional
+                ~on_complete:(fun ~query:_ _ _ -> ())
+                [| q; o |]
+            in
+            {
+              Contention.batch_size = q;
+              other_load = o;
+              seconds = reports.(0).Platform.latency;
+            }))
+      [ (40, 120); (40, 480); (120, 240); (120, 960); (240, 480) ]
+  in
+  Contention.fit ~base observations
+
+(* The fleet: six queries, admissions staggered over four fleet steps,
+   all three deadline policies and a mixed vote count — the workload
+   shape of the ROADMAP's concurrent-service item. Budgets matter
+   here: a lean budget (2.5x c0, charlie/echo) pins tDP's round
+   structure — it is question-constrained, so no intercept estimate
+   can move the plan — while a generous one (8x c0) leaves a real
+   rounds-vs-questions tradeoff where the contention-inflated
+   intercept legitimately buys fewer, larger rounds. Fixed deadlines
+   are set from the solo model (what an oblivious operator would
+   quote), tight enough that a loaded marketplace actually misses
+   some. *)
+let specs base =
+  let d q = Model.eval base q in
+  [|
+    Server.query_spec ~label:"alpha" ~elements:400 ~budget:3200 ();
+    Server.query_spec ~label:"bravo" ~elements:300 ~budget:2400
+      ~deadline:(Engine.Fixed (d 150)) ();
+    Server.query_spec ~label:"charlie" ~elements:200 ~budget:500
+      ~deadline:(Engine.Quantile 0.9) ~admit_step:1 ();
+    Server.query_spec ~label:"delta" ~elements:350 ~budget:2800
+      ~admit_step:2 ();
+    Server.query_spec ~label:"echo" ~elements:250 ~budget:600 ~votes:2
+      ~deadline:(Engine.Fixed (d 120)) ~admit_step:1 ();
+    Server.query_spec ~label:"foxtrot" ~elements:300 ~budget:2400
+      ~deadline:(Engine.Quantile 0.95) ~admit_step:3 ();
+  |]
+
+let arm label agg =
+  {
+    label;
+    mean_fleet_latency = agg.Server.mean_fleet_latency;
+    mean_makespan = agg.Server.mean_makespan;
+    mean_fairness = agg.Server.mean_fairness;
+    correct_rate = agg.Server.correct_rate;
+    contention_replans = agg.Server.total_contention_replans;
+    deadline_hits = agg.Server.total_deadline_hits;
+  }
+
+let run ?(jobs = 1) ?(runs = 12) ?(seed = 73) () =
+  let platform = Platform.create () in
+  let base = calibrate_base platform in
+  let contention = calibrate_beta platform base in
+  let specs = specs base in
+  let selection = Selection.tournament in
+  let measure label ?contention () =
+    arm label
+      (Server.replicate ~jobs ?contention ~platform ~latency:base ~selection
+         ~runs ~seed specs ())
+  in
+  let oblivious = measure "oblivious (solo model)" () in
+  let aware = measure "contention-aware" ~contention () in
+  {
+    queries = Array.length specs;
+    runs;
+    base;
+    beta = Contention.beta contention;
+    oblivious;
+    aware;
+  }
+
+(* Fractional fleet-mean-latency saving of aware over oblivious; the
+   acceptance bar is > 0. *)
+let improvement t =
+  if t.oblivious.mean_fleet_latency <= 0.0 then 0.0
+  else
+    (t.oblivious.mean_fleet_latency -. t.aware.mean_fleet_latency)
+    /. t.oblivious.mean_fleet_latency
+
+let print t =
+  let module Table = Crowdmax_util.Table in
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "Shared marketplace, %d staggered queries, %d runs" t.queries
+           t.runs)
+      [
+        ("arm", Table.Left);
+        ("fleet mean (s)", Table.Right);
+        ("makespan (s)", Table.Right);
+        ("fairness", Table.Right);
+        ("correct (%)", Table.Right);
+        ("replans", Table.Right);
+        ("ddl hits", Table.Right);
+      ]
+  in
+  List.iter
+    (fun a ->
+      Table.add_row table
+        [
+          a.label;
+          Printf.sprintf "%.1f" a.mean_fleet_latency;
+          Printf.sprintf "%.1f" a.mean_makespan;
+          Printf.sprintf "%.3f" a.mean_fairness;
+          Printf.sprintf "%.1f" (100.0 *. a.correct_rate);
+          string_of_int a.contention_replans;
+          string_of_int a.deadline_hits;
+        ])
+    [ t.oblivious; t.aware ];
+  Table.print table;
+  (match t.base with
+  | Model.Linear { delta; alpha } ->
+      Printf.printf
+        "solo calibration: delta = %.1f, alpha = %.3f; contention beta = \
+         %.3f\n"
+        delta alpha t.beta
+  | _ -> ());
+  Printf.printf "fleet mean latency saving: %.1f%%\n" (100.0 *. improvement t)

@@ -20,6 +20,7 @@ type result = {
   drift_detected : int;
   replans_on_drift : int;
   final_model : Model.t;
+  observations : Estimate.observation list;
 }
 
 (* Fixed fit-residual buckets (seconds RMS): a well-calibrated model on
@@ -152,8 +153,12 @@ let run ?cache ?(source = Engine.Oracle) ?(deadline = Engine.Wait_all)
   (* The model installed by the last On_drift re-fit, pending its first
      solve: that solve is the drift-triggered re-plan. *)
   let drift_replan_pending = ref false in
-  (* Most-recent-first observation window, truncated to [refit_window]. *)
+  (* Most-recent-first observation window, truncated to [refit_window].
+     [observations] keeps every recorded point (newest first), surviving
+     window truncation and the post-install clearing — the audit trail
+     the regression tests read. *)
   let window = ref [] in
+  let observations = ref [] in
   let rounds_since_refit = ref 0 in
   let trace = ref [] in
   let continue_ = ref true in
@@ -214,6 +219,18 @@ let run ?cache ?(source = Engine.Oracle) ?(deadline = Engine.Wait_all)
               ~distinct:posted ~posted
           in
           let latency = outcome.Engine.round_seconds in
+          (* The refit window must see the platform's honest measurement,
+             not the deadline-clipped round cost: when a deadline fires,
+             [round_seconds] is pinned to the cutoff (under [Quantile] it
+             literally equals the current model's own prediction), so a
+             supply crash would read as a perfectly calibrated platform
+             and the drift detector would go blind exactly when it
+             matters. [observed_seconds] is the platform's
+             [last_completion] — the time of the last answer that
+             actually counted, never clipped. The clipped value still
+             prices the round for [total_latency] and the trace: the
+             caller really did stop waiting at the deadline. *)
+          let observed = outcome.Engine.observed_seconds in
           total_latency := !total_latency +. latency;
           questions_posted := !questions_posted + posted;
           remaining_budget := !remaining_budget - posted;
@@ -243,10 +260,9 @@ let run ?cache ?(source = Engine.Oracle) ?(deadline = Engine.Wait_all)
           (match refit with
           | Off -> ()
           | Every_k_rounds k ->
-              window :=
-                take refit_window
-                  ({ Estimate.batch_size = posted; seconds = latency }
-                  :: !window);
+              let obs = { Estimate.batch_size = posted; seconds = observed } in
+              observations := obs :: !observations;
+              window := take refit_window (obs :: !window);
               incr rounds_since_refit;
               if !rounds_since_refit >= k then begin
                 match attempt_refit ~qmax:problem.Problem.budget !model !window with
@@ -258,10 +274,9 @@ let run ?cache ?(source = Engine.Oracle) ?(deadline = Engine.Wait_all)
                 | None -> ()
               end
           | On_drift threshold ->
-              window :=
-                take refit_window
-                  ({ Estimate.batch_size = posted; seconds = latency }
-                  :: !window);
+              let obs = { Estimate.batch_size = posted; seconds = observed } in
+              observations := obs :: !observations;
+              window := take refit_window (obs :: !window);
               let rms = Estimate.residual_rms !model !window in
               Metrics.observe m_residual rms;
               let rel = rms /. Float.max (mean_seconds !window) 1e-9 in
@@ -335,6 +350,7 @@ let run ?cache ?(source = Engine.Oracle) ?(deadline = Engine.Wait_all)
     drift_detected = !drift_detected;
     replans_on_drift = !replans_on_drift;
     final_model = !model;
+    observations = !observations;
   }
 
 type aggregate = {

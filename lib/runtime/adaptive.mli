@@ -65,6 +65,15 @@ type result = {
   final_model : Crowdmax_latency.Model.t;
       (** the latency model the loop ended with — the problem's own
           model unless a re-fit or [model_shift] replaced it *)
+  observations : Crowdmax_latency.Estimate.observation list;
+      (** every observation the closed loop recorded, newest first
+          (empty under [Off]). Each point is
+          [(posted distinct questions, observed_seconds)] where the
+          seconds are the platform's [last_completion] — {e never} the
+          deadline-clipped round cost, so a supply crash under a
+          deadline stays visible to the drift detector. The list
+          survives window truncation and post-install clearing: it is
+          the audit trail, not the live window. *)
 }
 
 val run :
@@ -96,7 +105,9 @@ val run :
     round's re-plan and re-selection subsume carry-forward.
 
     [refit] (default [Off]) closes the loop: each round contributes one
-    observation [(posted, round seconds)] to a most-recent-first window
+    observation [(posted, observed seconds)] — the platform's
+    [last_completion], not the deadline-clipped round cost — to a
+    most-recent-first window
     of at most [refit_window] (default 8) entries, and the policy decides
     when to re-fit the current model's family on it
     ({!Crowdmax_latency.Estimate.refit}). A fitted model is installed

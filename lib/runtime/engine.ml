@@ -93,14 +93,26 @@ type result = {
 
 (* The round deadline, if the policy imposes one. [Quantile p] waits
    until the latency model's predicted completion time of the
-   ceil(p * raw)-th raw question — the modeled p-th completion time —
-   instead of the (tail-dominated) last one. *)
-let round_deadline ~deadline ~latency_model ~raw_posted =
+   ceil(p * posted)-th posted question — the modeled p-th completion
+   time — instead of the (tail-dominated) last one.
+
+   Unit convention (pinned across the whole runtime): L(q) takes q in
+   {e distinct posted questions}. The planner's budgets, the Oracle
+   path's [Model.eval latency_model posted], and the adaptive refit
+   window's [batch_size = posted] all use that unit; the [votes ×]
+   repetition a simulated source posts is a property of the answering
+   environment, absorbed into the fitted model parameters exactly like
+   worker arrival rates are. Evaluating the deadline at raw
+   [votes * posted] (as this function once did) mixed a second unit
+   into the same model: with votes = 3 the quantile deadline was priced
+   at L(3q) while every other consumer asked about L(q), so refit-tuned
+   models silently tripled the wait the policy granted. *)
+let round_deadline ~deadline ~latency_model ~posted =
   match deadline with
   | Wait_all -> None
   | Fixed d -> Some d
   | Quantile p ->
-      let k = max 1 (int_of_float (Float.ceil (p *. float_of_int raw_posted))) in
+      let k = max 1 (int_of_float (Float.ceil (p *. float_of_int posted))) in
       Some (Model.eval latency_model k)
 
 type round_outcome = {
@@ -176,7 +188,7 @@ let answer_round ?scratch ?(metrics = Metrics.disabled) rng ~source ~deadline
       }
   | Simulated { platform; rwl } -> (
       let raw_posted = rwl.Rwl.votes * posted in
-      match round_deadline ~deadline ~latency_model ~raw_posted with
+      match round_deadline ~deadline ~latency_model ~posted with
       | None ->
           let outcome = Rwl.resolve rng rwl ~truth questions in
           (* Latency: all raw repetitions of all posted questions
@@ -202,8 +214,7 @@ let answer_round ?scratch ?(metrics = Metrics.disabled) rng ~source ~deadline
             ~answered:(List.length outcome.Rwl.answers)
             ~unanswered:outcome.Rwl.unanswered)
   | Simulated_pool { platform; pool; votes } -> (
-      match round_deadline ~deadline ~latency_model ~raw_posted:(votes * posted)
-      with
+      match round_deadline ~deadline ~latency_model ~posted with
       | None ->
           let outcome = Rwl.resolve_pool rng ~pool ~votes ~truth questions in
           let latency =

@@ -48,9 +48,14 @@ type deadline_policy =
           (must be > 0) *)
   | Quantile of float
       (** [Quantile p], [p] in (0, 1]: cut the round off at the latency
-          model's predicted completion time of the ceil(p * raw)-th raw
-          question — wait for the modeled p-th completion instead of
-          the tail-dominated last one *)
+          model's predicted completion time of the ceil(p * posted)-th
+          posted question — wait for the modeled p-th completion
+          instead of the tail-dominated last one. [posted] counts
+          {e distinct posted questions}, the one q-unit every consumer
+          of L(q) uses (planner budgets, the Oracle path, the adaptive
+          refit window); the [votes ×] repetition a simulated source
+          posts is an environment property absorbed into the fitted
+          model, never an argument to it. *)
 
 type straggler_policy =
   | Drop  (** forget questions that got zero votes by the deadline *)
@@ -134,6 +139,19 @@ type result = {
   total_latency : float;
   trace : round_record list;  (** in round order *)
 }
+
+val round_deadline :
+  deadline:deadline_policy ->
+  latency_model:Crowdmax_latency.Model.t ->
+  posted:int ->
+  float option
+(** The per-round cutoff a policy imposes, if any: [None] for
+    [Wait_all], the fixed value for [Fixed], and for [Quantile p] the
+    latency model evaluated at [max 1 (ceil (p * posted))] — [posted]
+    in {e distinct posted questions}, the pinned L(q) unit convention
+    (see {!deadline_policy}). Exposed for drivers that run the platform
+    themselves (the query server) and for unit-convention regression
+    tests. *)
 
 type round_outcome = {
   round_seconds : float;

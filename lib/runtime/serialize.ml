@@ -124,6 +124,13 @@ let model_to_json = function
   | Model.Custom _ ->
       invalid_arg "Serialize.model_to_json: Custom models are closures"
 
+let observation_to_json (o : Crowdmax_latency.Estimate.observation) =
+  J.Obj
+    [
+      ("batch_size", J.int o.Crowdmax_latency.Estimate.batch_size);
+      ("seconds", J.Float o.Crowdmax_latency.Estimate.seconds);
+    ]
+
 let adaptive_result_to_json (r : Adaptive.result) =
   J.Obj
     [
@@ -133,6 +140,8 @@ let adaptive_result_to_json (r : Adaptive.result) =
       ("drift_detected", J.int r.Adaptive.drift_detected);
       ("replans_on_drift", J.int r.Adaptive.replans_on_drift);
       ("final_model", model_to_json r.Adaptive.final_model);
+      ( "observations",
+        J.List (List.map observation_to_json r.Adaptive.observations) );
     ]
 
 (* --- decoding ------------------------------------------------------------ *)
@@ -354,6 +363,27 @@ let adaptive_result_of_json doc =
     | None -> Ok Model.paper_mturk
     | Some m -> model_of_json m
   in
+  (* Absent in dumps written before the refit window recorded honest
+     observed seconds; those runs never recorded anything anyway. *)
+  let* observations =
+    match J.member "observations" doc with
+    | None -> Ok []
+    | Some (J.List docs) ->
+        collect
+          (fun d ->
+            match
+              (J.member "batch_size" d, J.member "seconds" d)
+            with
+            | Some b, Some s ->
+                Option.bind (J.to_int b) (fun batch_size ->
+                    Option.map
+                      (fun seconds ->
+                        { Crowdmax_latency.Estimate.batch_size; seconds })
+                      (J.to_float s))
+            | _ -> None)
+          "observations" docs
+    | Some _ -> Error "observations: expected a list"
+  in
   Ok
     {
       Adaptive.engine_result;
@@ -362,6 +392,7 @@ let adaptive_result_of_json doc =
       drift_detected;
       replans_on_drift;
       final_model;
+      observations;
     }
 
 (* Pre-observability aggregates have no "metrics" field: decode it to

@@ -52,7 +52,7 @@ let next_candidates dag is_extracted =
   in
   loop [] (n - 1)
 
-let run rng ~k ~problem ~selection truth =
+let run ?answer rng ~k ~problem ~selection truth =
   if k < 1 then invalid_arg "Topk.run: k < 1";
   let n = Ground_truth.size truth in
   if n <> problem.Problem.elements then
@@ -60,6 +60,16 @@ let run rng ~k ~problem ~selection truth =
   let kk = min k n in
   if problem.Problem.budget < min_budget ~elements:n ~k:kk then
     invalid_arg "Topk.run: budget below the top-k minimum";
+  let answer =
+    match answer with
+    | None -> fun a b -> Ground_truth.better truth a b
+    | Some f ->
+        fun a b ->
+          let w = f a b in
+          if w <> a && w <> b then
+            invalid_arg "Topk.run: answer returned neither element";
+          w
+  in
   let model = problem.Problem.latency in
   let dag = Dag.create n in
   let is_extracted = Array.make n false in
@@ -72,7 +82,8 @@ let run rng ~k ~problem ~selection truth =
   let passes = ref [] in
   for pass = 0 to kk - 1 do
     let pass_start_budget = !remaining_budget in
-    let survivors = ref (Array.of_list (next_candidates dag is_extracted)) in
+    let pass_candidates = next_candidates dag is_extracted in
+    let survivors = ref (Array.of_list pass_candidates) in
     let pass_questions = ref 0 in
     let pass_rounds = ref 0 in
     let pass_latency = ref 0.0 in
@@ -120,7 +131,7 @@ let run rng ~k ~problem ~selection truth =
               let losers = Hashtbl.create 16 in
               List.iter
                 (fun (a, b) ->
-                  let w = Ground_truth.better truth a b in
+                  let w = answer a b in
                   let l = if w = a then b else a in
                   Dag.add_answer_unchecked dag ~winner:w ~loser:l;
                   Hashtbl.replace losers l ())
@@ -140,7 +151,43 @@ let run rng ~k ~problem ~selection truth =
     let chosen =
       match Array.to_list !survivors with
       | [ w ] -> w
-      | [] -> assert false
+      | [] ->
+          (* A non-transitive answer set (a noisy cycle) can empty the
+             survivor set in one round: every member lost to another
+             member, so no one is left standing. Transitive sources
+             (the ground-truth default) can never do this — the true
+             best of the set never loses — but injected/simulated
+             answerers can, so fall back to scoring instead of
+             crashing: among the pass's starting candidates (or, if a
+             cycle in an earlier pass already emptied eligibility, any
+             unextracted element), pick the element with the fewest
+             losses, then the most direct wins, then the lowest id.
+             Purely a function of the DAG — deterministic. *)
+          exact := false;
+          let pool =
+            match pass_candidates with
+            | _ :: _ -> pass_candidates
+            | [] ->
+                let rec all acc e =
+                  if e < 0 then acc
+                  else all (if is_extracted.(e) then acc else e :: acc) (e - 1)
+                in
+                all [] (n - 1)
+          in
+          let strength e =
+            (-Dag.losses dag e, List.length (Dag.direct_wins dag e), -e)
+          in
+          let best_of a b =
+            let (la, wa, ia) = strength a and (lb, wb, ib) = strength b in
+            if
+              la > lb
+              || (la = lb && (wa > wb || (wa = wb && ia > ib)))
+            then a
+            else b
+          in
+          (match pool with
+          | [] -> assert false (* pass < kk <= n: someone is unextracted *)
+          | first :: rest -> List.fold_left best_of first rest)
       | several ->
           (* budget ran dry mid-pass: fall back to the strongest score *)
           exact := false;

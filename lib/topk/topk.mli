@@ -37,6 +37,7 @@ type result = {
 }
 
 val run :
+  ?answer:(int -> int -> int) ->
   Crowdmax_util.Rng.t ->
   k:int ->
   problem:Crowdmax_core.Problem.t ->
@@ -45,7 +46,16 @@ val run :
   result
 (** Raises [Invalid_argument] if [k < 1], the truth size mismatches the
     problem, or the budget cannot cover the k passes
-    ([b < (c0 - 1) + (k - 1)]). *)
+    ([b < (c0 - 1) + (k - 1)]).
+
+    [answer a b] (default: the ground truth's [better]) returns the
+    winner of a comparison and must return one of its arguments
+    ([Invalid_argument] otherwise). A non-transitive answerer — a
+    noisy simulated source — can produce a cycle that eliminates an
+    entire survivor set in one round; the pass then falls back to
+    scoring (fewest losses, most direct wins, lowest id over the
+    pass's candidates) and marks the result [exact = false] instead of
+    crashing. *)
 
 val min_budget : elements:int -> k:int -> int
 (** [(elements - 1) + (k - 1)]: pass 1 must eliminate everyone once and

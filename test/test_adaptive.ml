@@ -241,6 +241,53 @@ let test_closed_loop_jobs_invariant () =
         p.A.total_replans_on_drift)
     [ 2; 4 ]
 
+(* The headline regression: a supply crash under a Fixed deadline.
+   Every clipped round *charges* exactly the deadline, but the refit
+   window must record the platform's last_completion — on a crashed
+   market the last answer that made the cutoff lands far from the
+   model's prediction, so the detector still fires. Feeding the
+   clipped cost instead would read as a healthy round (the static
+   guard below pins that) and silently blind the whole closed loop. *)
+let test_deadline_clip_keeps_drift_visible () =
+  let problem = Problem.create ~elements:300 ~budget:800 ~latency:model in
+  let shift = (1, simulated ~scale:0.005 ()) in
+  let d = 350.0 in
+  let truth = G.random (Rng.create 67) 300 in
+  let r =
+    A.run ~source:(simulated ()) ~deadline:(E.Fixed d) ~refit:(A.On_drift 0.5)
+      ~refit_window:3 ~source_shift:shift (Rng.create 61) ~problem
+      ~selection:S.tournament truth
+  in
+  let trace = r.A.engine_result.E.trace in
+  let obs = List.rev r.A.observations in
+  check_int "one observation per executed round" (List.length trace)
+    (List.length obs);
+  let hits = List.filter (fun rr -> rr.E.deadline_hit) trace in
+  check_bool "the crash actually clipped rounds" true (List.length hits >= 1);
+  List.iter2
+    (fun (o : Crowdmax_latency.Estimate.observation) rr ->
+      check_int "observation keyed by distinct posted questions"
+        rr.E.distinct_questions o.Crowdmax_latency.Estimate.batch_size;
+      if rr.E.deadline_hit then begin
+        (* the requester waited out the full deadline... *)
+        check_bool "clipped round charges the deadline" true
+          (Float.equal rr.E.round_latency d);
+        (* ...but the estimator sees when the last answer landed *)
+        check_bool "recorded seconds are last_completion, not the clip" true
+          (o.Crowdmax_latency.Estimate.seconds < d);
+        (* the poisoned value would have looked healthy: the model's
+           prediction sits within the drift threshold of the clip *)
+        check_bool "clipped cost is inside the drift threshold" true
+          (Float.abs (d -. Model.eval model rr.E.distinct_questions) /. d
+          < 0.5)
+      end
+      else
+        check_bool "unclipped rounds observe the round cost" true
+          (Float.equal o.Crowdmax_latency.Estimate.seconds rr.E.round_latency))
+    obs trace;
+  check_bool "drift detected despite the clipped window" true
+    (r.A.drift_detected >= 1)
+
 let suite =
   [
     ( "adaptive",
@@ -261,6 +308,8 @@ let suite =
         tc "every-k re-fits" `Quick test_every_k_refits;
         tc "on-drift detects and replans" `Slow
           test_on_drift_detects_and_replans;
+        tc "deadline clip keeps drift visible" `Quick
+          test_deadline_clip_keeps_drift_visible;
         tc "closed loop jobs invariant" `Slow test_closed_loop_jobs_invariant;
       ] );
   ]

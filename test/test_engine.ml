@@ -472,10 +472,60 @@ let test_plan_config_matches_manual () =
     && a.E.chosen = b.E.chosen
     && a.E.questions_posted = b.E.questions_posted)
 
+(* --- the pinned deadline unit convention -------------------------------- *)
+
+(* [round_deadline] is THE place Quantile patience is priced, and its
+   argument is distinct posted questions — the same unit every other
+   L(q) consumer uses. The quantile resolves to the k-th distinct
+   answer, never to votes * posted raw marketplace questions. *)
+let test_round_deadline_convention () =
+  let quote deadline posted =
+    E.round_deadline ~deadline ~latency_model:model ~posted
+  in
+  check_bool "Wait_all never cuts" true (quote E.Wait_all 10 = None);
+  check_bool "Fixed is verbatim" true (quote (E.Fixed 42.0) 10 = Some 42.0);
+  (* model is L(q) = 100 + q: the quote exposes k directly *)
+  check_bool "Quantile 1.0 waits for all posted" true
+    (quote (E.Quantile 1.0) 10 = Some 110.0);
+  check_bool "Quantile 0.25 of 10 is the 3rd answer" true
+    (quote (E.Quantile 0.25) 10 = Some 103.0);
+  check_bool "k floors at one answer" true
+    (quote (E.Quantile 0.1) 1 = Some 101.0)
+
+(* Regression for the votes > 1 unit bug: with 3 votes per question the
+   quantile quote must still be L(distinct), not L(3 * distinct) — a
+   raw-batch quote would grant every round nearly triple the patience
+   the requester's model promises. Every clipped round's recorded cost
+   is exactly the distinct-question quote. *)
+let test_quantile_quote_ignores_votes () =
+  let votes = 3 in
+  let cfg =
+    simulated_cfg ~votes ~deadline:(E.Quantile 1.0) ~straggler:E.Drop
+      (tdp_alloc 30 150)
+  in
+  let rng = Rng.create 83 in
+  let truth = G.random rng 30 in
+  let r = E.run rng cfg truth in
+  let hits = List.filter (fun rr -> rr.E.deadline_hit) r.E.trace in
+  check_bool "some round hit the quantile cutoff" true (List.length hits >= 1);
+  List.iter
+    (fun rr ->
+      let quote = Model.eval model rr.E.distinct_questions in
+      let raw_quote = Model.eval model (votes * rr.E.distinct_questions) in
+      check_bool "clipped at the distinct-question quote" true
+        (Float.equal rr.E.round_latency quote);
+      check_bool "a raw-batch quote would have waited longer" true
+        (quote < raw_quote))
+    hits
+
 let suite =
   [
     ( "engine",
       [
+        tc "round_deadline distinct-question convention" `Quick
+          test_round_deadline_convention;
+        tc "quantile quote ignores votes" `Quick
+          test_quantile_quote_ignores_votes;
         tc "plan_config matches manual solve+config" `Quick
           test_plan_config_matches_manual;
         tc "policy validation" `Quick test_policy_validation;

@@ -163,6 +163,28 @@ let test_fig_adapt_recovers_half_the_gap () =
   check_int "omniscient arm never re-fits" 0
     f.X.Fig_adapt.omniscient.X.Fig_adapt.refits
 
+(* The concurrent-service acceptance bar: over a shared marketplace,
+   contention-aware planning must beat the contention-oblivious fleet
+   on mean latency — and the win must come through the re-plan
+   machinery, not a quote confound (the oblivious arm never
+   contention-replans by construction, and both arms share the solo
+   calibration and deadline quotes). Seed-pinned committed default. *)
+let test_fig_server_aware_beats_oblivious () =
+  let f = X.Fig_server.run ~jobs:4 ~runs:8 () in
+  let saving = X.Fig_server.improvement f in
+  check_bool
+    (Printf.sprintf "aware saves fleet mean latency (got %.1f%%)"
+       (100.0 *. saving))
+    true (saving > 0.0);
+  check_bool "positive fitted contention" true (f.X.Fig_server.beta > 0.0);
+  check_bool "aware arm re-planned on load shifts" true
+    (f.X.Fig_server.aware.X.Fig_server.contention_replans > 0);
+  check_int "oblivious arm never contention-replans" 0
+    f.X.Fig_server.oblivious.X.Fig_server.contention_replans;
+  check_bool "no correctness loss" true
+    (f.X.Fig_server.aware.X.Fig_server.correct_rate
+    >= f.X.Fig_server.oblivious.X.Fig_server.correct_rate -. 0.1)
+
 let test_series_table_renders () =
   let series =
     [
@@ -190,6 +212,8 @@ let suite =
         tc "robustness monotone" `Slow test_robustness_monotone;
         tc "fig_adapt recovers half the gap" `Slow
           test_fig_adapt_recovers_half_the_gap;
+        tc "fig_server aware beats oblivious" `Slow
+          test_fig_server_aware_beats_oblivious;
         tc "series table" `Quick test_series_table_renders;
       ] );
   ]

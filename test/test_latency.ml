@@ -305,10 +305,77 @@ let test_refit_preserves_family () =
         (Estimate.refit ~like:(Model.Custom float_of_int)
            (obs_of_model linear sizes)))
 
+(* --- contention: L(q, o) on a shared marketplace ---------------------- *)
+
+module Contention = Crowdmax_latency.Contention
+
+let check_bool = Alcotest.check Alcotest.bool
+
+let test_contention_create_validation () =
+  let base = Model.linear ~delta:100.0 ~alpha:1.0 in
+  Alcotest.check_raises "non-linear base"
+    (Invalid_argument "Contention.create: base model must be Linear")
+    (fun () ->
+      ignore (Contention.create ~base:(Model.Piecewise [| (1, 1.0) |]) ~beta:0.1));
+  Alcotest.check_raises "NaN beta"
+    (Invalid_argument "Contention.create: beta must be finite") (fun () ->
+      ignore (Contention.create ~base ~beta:Float.nan));
+  let c = Contention.create ~base ~beta:0.5 in
+  check_bool "base kept" true (Model.equal base (Contention.base c));
+  checkf 1e-12 "beta kept" 0.5 (Contention.beta c);
+  check_bool "equal on same params" true
+    (Contention.equal c (Contention.create ~base ~beta:0.5));
+  check_bool "beta differs" false
+    (Contention.equal c (Contention.create ~base ~beta:0.6))
+
+let test_contention_effective () =
+  let base = Model.linear ~delta:100.0 ~alpha:2.0 in
+  let c = Contention.create ~base ~beta:0.5 in
+  (* intercept shift: delta + alpha * beta * o = 100 + 2 * 0.5 * 40 *)
+  checkf 1e-9 "loaded intercept" 140.0 (Model.eval (Contention.effective c ~other_load:40) 0);
+  checkf 1e-9 "slope untouched" 160.0 (Model.eval (Contention.effective c ~other_load:40) 10);
+  check_bool "idle marketplace is the base" true
+    (Model.equal base (Contention.effective c ~other_load:0));
+  (* a negative fitted beta must not promise sub-solo rounds *)
+  let optimist = Contention.create ~base ~beta:(-1.0) in
+  check_bool "floored at the solo intercept" true
+    (Model.equal base (Contention.effective optimist ~other_load:50));
+  Alcotest.check_raises "negative load"
+    (Invalid_argument "Contention.effective: negative load") (fun () ->
+      ignore (Contention.effective c ~other_load:(-1)))
+
+let test_contention_fit_recovers () =
+  let base = Model.linear ~delta:100.0 ~alpha:2.0 in
+  let truth = Contention.create ~base ~beta:0.35 in
+  let observations =
+    List.concat_map
+      (fun (q, o) ->
+        [
+          {
+            Contention.batch_size = q;
+            other_load = o;
+            seconds = Model.eval (Contention.effective truth ~other_load:o) q;
+          };
+        ])
+      [ (10, 0); (10, 40); (30, 80); (50, 20); (80, 160) ]
+  in
+  let fitted = Contention.fit ~base observations in
+  checkf 1e-9 "beta recovered from exact data" 0.35 (Contention.beta fitted);
+  Alcotest.check_raises "no loaded observation"
+    (Invalid_argument "Contention.fit: no observation carries a foreign load")
+    (fun () ->
+      ignore
+        (Contention.fit ~base
+           [ { Contention.batch_size = 10; other_load = 0; seconds = 120.0 } ]))
+
 let suite =
   [
     ( "latency",
       [
+        tc "contention create validation" `Quick
+          test_contention_create_validation;
+        tc "contention effective model" `Quick test_contention_effective;
+        tc "contention fit recovers" `Quick test_contention_fit_recovers;
         tc "bootstrap brackets truth" `Slow test_bootstrap_brackets_truth;
         tc "bootstrap validation" `Quick test_bootstrap_validation;
         tc "bootstrap degenerate data fails fast" `Quick

@@ -14,7 +14,8 @@ let () =
    @ Test_heuristics.suite @ Test_selection.suite @ Test_ground_truth.suite
    @ Test_worker.suite @ Test_platform.suite @ Test_rwl.suite
    @ Test_worker_pool.suite
-   @ Test_engine.suite @ Test_adaptive.suite @ Test_topk.suite
+   @ Test_engine.suite @ Test_adaptive.suite @ Test_server.suite
+   @ Test_topk.suite
    @ Test_experiments.suite @ Test_export.suite @ Test_analysis.suite
    @ Test_sort.suite @ Test_serialize.suite @ Test_umbrella.suite
    @ Test_integration.suite @ Test_golden.suite

@@ -402,10 +402,43 @@ let test_events_drained_accounting () =
   check_int "cutoff before arrival: no arrivals" 0
     (platform_count snap2 "worker_arrivals")
 
+(* An amplitude of 1 (or more) drives the instantaneous arrival rate
+   to zero or negative in the trough: thinning then silently never
+   accepts and the stream freezes with no error. The constructor is
+   the loud failure. *)
+let test_diurnal_config_validation () =
+  let amp a = { P.default_config with P.diurnal_amplitude = a } in
+  let reject msg config =
+    Alcotest.check_raises msg
+      (Invalid_argument "Platform.create: diurnal_amplitude must be in [0, 1)")
+      (fun () -> ignore (P.create ~config ()))
+  in
+  reject "amplitude 1 (rate hits zero)" (amp 1.0);
+  reject "amplitude above 1 (rate goes negative)" (amp 1.5);
+  reject "NaN amplitude" (amp Float.nan);
+  reject "negative amplitude" (amp (-0.2));
+  Alcotest.check_raises "NaN period"
+    (Invalid_argument "Platform.create: diurnal_period must be finite and > 0")
+    (fun () ->
+      ignore
+        (P.create
+           ~config:{ (amp 0.5) with P.diurnal_period = Float.nan }
+           ()));
+  Alcotest.check_raises "NaN phase"
+    (Invalid_argument "Platform.create: diurnal_phase must not be NaN")
+    (fun () ->
+      ignore
+        (P.create ~config:{ (amp 0.5) with P.diurnal_phase = Float.nan } ()));
+  (* the open upper end stays usable, and amplitude 0 skips the
+     period/phase checks (the modulation is off) *)
+  ignore (P.create ~config:(amp 0.999) ());
+  ignore (P.create ~config:{ (amp 0.0) with P.diurnal_period = Float.nan } ())
+
 let suite =
   [
     ( "platform",
       [
+        tc "diurnal config validation" `Quick test_diurnal_config_validation;
         tc "diurnal draw budget bounded" `Quick test_diurnal_draw_budget_bounded;
         tc "arrival clamp equivalence" `Quick test_arrival_clamp_equivalence;
         tc "zero batch under deadlines" `Quick test_zero_batch_deadlines;

@@ -231,7 +231,11 @@ let test_adaptive_result_roundtrip () =
         (r.A.replans = r'.A.replans && r.A.refits = r'.A.refits
         && r.A.drift_detected = r'.A.drift_detected
         && r.A.replans_on_drift = r'.A.replans_on_drift);
-      check_bool "final model" true (Model.equal r.A.final_model r'.A.final_model)
+      check_bool "final model" true (Model.equal r.A.final_model r'.A.final_model);
+      check_bool "observation window non-trivial" true
+        (List.length r.A.observations >= 2);
+      check_bool "observations round-trip" true
+        (r.A.observations = r'.A.observations)
   | Error e -> Alcotest.fail e
 
 (* Dumps written before the re-fit loop existed carry neither the

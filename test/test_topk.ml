@@ -124,10 +124,57 @@ let test_minimal_budget_degrades_gracefully () =
   check_int "distinct" k (List.length (List.sort_uniq compare r.Topk.ranking));
   check_bool "within budget" true (r.Topk.questions_posted <= b)
 
+(* Regression for the empty-survivor crash: a rock-paper-scissors
+   answerer (0 beats 1, 1 beats 2, 2 beats 0) makes every element of a
+   3-clique lose once, so one complete pass empties the survivor set.
+   The pass must fall back to scoring — deterministically — and flag
+   the result inexact instead of hitting an assert. *)
+let test_cycle_falls_back_to_scoring () =
+  let cyclic a b =
+    let lo = min a b and hi = max a b in
+    match (lo, hi) with
+    | 0, 1 -> 0
+    | 1, 2 -> 1
+    | 0, 2 -> 2
+    | _ -> Alcotest.fail "unexpected pair"
+  in
+  let problem = Problem.create ~elements:3 ~budget:30 ~latency:model in
+  let truth = G.random (Rng.create 13) 3 in
+  let r =
+    Topk.run ~answer:cyclic (Rng.create 15) ~k:1 ~problem
+      ~selection:S.complete truth
+  in
+  check_bool "inexact" false r.Topk.exact;
+  check_int "still returns a winner" 1 (List.length r.Topk.ranking);
+  (* every element has one loss and one direct win; the documented
+     tie-break is the lowest id *)
+  check_int "deterministic tie-break" 0 (List.hd r.Topk.ranking);
+  (* the same cycle must also survive a k > 1 extraction *)
+  let r2 =
+    Topk.run ~answer:cyclic (Rng.create 15) ~k:3 ~problem
+      ~selection:S.complete truth
+  in
+  check_int "full ranking despite cycles" 3 (List.length r2.Topk.ranking);
+  check_int "distinct" 3 (List.length (List.sort_uniq compare r2.Topk.ranking));
+  check_bool "inexact" false r2.Topk.exact
+
+let test_answer_validation () =
+  let problem = Problem.create ~elements:4 ~budget:20 ~latency:model in
+  let truth = G.random (Rng.create 17) 4 in
+  Alcotest.check_raises "neither element"
+    (Invalid_argument "Topk.run: answer returned neither element") (fun () ->
+      ignore
+        (Topk.run
+           ~answer:(fun _ _ -> 99)
+           (Rng.create 19) ~k:1 ~problem ~selection:S.tournament truth))
+
 let suite =
   [
     ( "topk",
       [
+        tc "cycle falls back to scoring" `Quick
+          test_cycle_falls_back_to_scoring;
+        tc "answer validation" `Quick test_answer_validation;
         tc "exact top-k" `Quick test_exact_top_k;
         tc "k=1 is max" `Quick test_k1_is_max;
         tc "k=n is full sort" `Quick test_k_equals_n_is_full_sort;
